@@ -1,0 +1,65 @@
+// Command prisma-bench regenerates the reproduction's experiment tables
+// E1–E10 (see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	prisma-bench [-quick] [-only E4,E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run smaller workloads")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
+	flag.Parse()
+
+	type exp struct {
+		id string
+		fn func(bool) (*experiments.Table, error)
+	}
+	all := []exp{
+		{"E1", experiments.E1NetworkThroughput},
+		{"E2", experiments.E2ParallelSpeedup},
+		{"E3", experiments.E3MainMemoryVsDisk},
+		{"E4", experiments.E4CompiledVsInterpreted},
+		{"E5", experiments.E5TransitiveClosure},
+		{"E6", experiments.E6MultiQueryThroughput},
+		{"E7", experiments.E7Fragmentation},
+		{"E8", experiments.E8RecoveryOverhead},
+		{"E9", experiments.E9OptimizerAblation},
+		{"E10", experiments.E10Allocation},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	fmt.Printf("PRISMA database machine reproduction — experiment suite (quick=%v)\n\n", *quick)
+	failed := false
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tb, err := e.fn(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tb)
+		fmt.Printf("(%s took %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

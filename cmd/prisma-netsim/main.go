@@ -1,0 +1,89 @@
+// Command prisma-netsim reruns the paper's §3.2 network simulation: the
+// multi-computer's message-passing fabric under uniform random traffic.
+//
+// Usage:
+//
+//	prisma-netsim [-topology torus|mesh|chordal|ring|hypercube]
+//	              [-pes 64] [-rate 15000] [-duration 50ms] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func main() {
+	topology := flag.String("topology", "torus", "torus, mesh, chordal, ring or hypercube")
+	pes := flag.Int("pes", 64, "number of processing elements (power of 2 / square as needed)")
+	rate := flag.Float64("rate", 15000, "offered packets/sec/PE")
+	duration := flag.Duration("duration", 50*time.Millisecond, "injection window")
+	sweep := flag.Bool("sweep", false, "sweep offered load and find the saturation point")
+	seed := flag.Int64("seed", 42, "traffic seed")
+	flag.Parse()
+
+	top, err := buildTopology(*topology, *pes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	nw, err := simnet.New(simnet.Config{Topology: top})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("topology %s: degree %d, avg distance %.2f, diameter %d, theoretical peak %.0f pkts/s/PE\n",
+		top.Name(), simnet.MaxDegree(top), simnet.AvgDistance(top), simnet.Diameter(top), nw.TheoreticalPeak())
+
+	if *sweep {
+		fmt.Printf("%-12s %-12s %-12s %-12s %-10s\n", "offered", "delivered", "avg latency", "max latency", "link util")
+		for _, r := range []float64{2000, 5000, 10000, 15000, 20000, 25000, 30000, 40000} {
+			res := nw.RunUniformTraffic(r, *duration, *seed)
+			fmt.Printf("%-12.0f %-12.0f %-12v %-12v %-10.2f\n",
+				r, res.Throughput, res.AvgLatency.Round(time.Microsecond),
+				res.MaxLatency.Round(time.Microsecond), res.LinkUtil)
+		}
+		best := nw.SaturationThroughput(*duration, *seed)
+		fmt.Printf("\nsaturation: %.0f pkts/s/PE sustained (paper claim: up to 20000 on 64 PEs)\n", best.Throughput)
+		return
+	}
+	res := nw.RunUniformTraffic(*rate, *duration, *seed)
+	fmt.Printf("offered %.0f pkts/s/PE for %v: delivered %.0f pkts/s/PE, avg latency %v, avg hops %.2f, link util %.2f\n",
+		res.OfferedRate, res.Duration, res.Throughput,
+		res.AvgLatency.Round(time.Microsecond), res.AvgHops, res.LinkUtil)
+	if res.Saturated() {
+		fmt.Println("the network is saturated at this load")
+	}
+}
+
+func buildTopology(name string, n int) (simnet.Topology, error) {
+	switch name {
+	case "torus", "mesh":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return nil, fmt.Errorf("netsim: %s needs a square PE count, got %d", name, n)
+		}
+		return simnet.NewMesh(side, side, name == "torus")
+	case "chordal":
+		return simnet.NewChordalRing(n, simnet.BestChord(n))
+	case "ring":
+		return simnet.NewRing(n)
+	case "hypercube":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		if 1<<dim != n {
+			return nil, fmt.Errorf("netsim: hypercube needs a power-of-2 PE count, got %d", n)
+		}
+		return simnet.NewHypercube(dim)
+	default:
+		return nil, fmt.Errorf("netsim: unknown topology %q", name)
+	}
+}

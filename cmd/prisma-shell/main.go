@@ -1,0 +1,155 @@
+// Command prisma-shell is an interactive SQL / PRISMAlog shell on a
+// simulated PRISMA database machine.
+//
+// Usage:
+//
+//	prisma-shell [-pes 64]
+//
+// SQL statements end with ';'. Lines starting with "?-" are PRISMAlog
+// queries; ":rules" enters multi-line rule definition mode (end with a
+// single '.'); ":tables" lists tables, ":describe t" shows one,
+// ":quit" exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	pes := flag.Int("pes", 64, "number of processing elements")
+	flag.Parse()
+
+	eng, err := core.New(core.Config{NumPEs: *pes})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+	s := eng.NewSession()
+	defer s.Close()
+
+	fmt.Printf("PRISMA database machine (%d PEs). SQL ends with ';', PRISMAlog queries start with '?-'.\n", *pes)
+	fmt.Println(`Type ":help" for commands.`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("prisma> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case buf.Len() == 0 && trimmed == "":
+			prompt()
+			continue
+		case buf.Len() == 0 && strings.HasPrefix(trimmed, ":"):
+			if !command(eng, s, sc, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		case buf.Len() == 0 && strings.HasPrefix(trimmed, "?-"):
+			runDatalog(eng, s, trimmed)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			runSQL(s, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+func runSQL(s *core.Session, sql string) {
+	res, err := s.Exec(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	switch {
+	case res.Rel != nil:
+		fmt.Print(res.Rel)
+		fmt.Printf("(%d rows, sim %v, wall %v)\n", res.Rel.Len(), res.SimTime, res.WallTime)
+	case res.Msg != "":
+		fmt.Println(res.Msg)
+	default:
+		fmt.Printf("%d rows affected (sim %v, wall %v)\n", res.Affected, res.SimTime, res.WallTime)
+	}
+}
+
+func runDatalog(eng *core.Engine, s *core.Session, q string) {
+	rel, err := eng.DatalogQuery(s, q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(rel)
+	fmt.Printf("(%d answers)\n", rel.Len())
+}
+
+// command handles ':' meta commands; returns false to quit.
+func command(eng *core.Engine, s *core.Session, sc *bufio.Scanner, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ":quit", ":exit", ":q":
+		return false
+	case ":help":
+		fmt.Println(`commands:
+  <sql statement>;       execute SQL (multi-line until ';')
+  ?- goal(...), ...      run a PRISMAlog query
+  :rules                 enter PRISMAlog rules (finish with a single '.')
+  :tables                list tables
+  :describe <table>      show a table definition
+  :quit                  exit`)
+	case ":tables":
+		for _, name := range eng.Catalog().List() {
+			fmt.Println(" ", name)
+		}
+	case ":describe":
+		if len(fields) < 2 {
+			fmt.Println("usage: :describe <table>")
+			break
+		}
+		desc, err := eng.Catalog().Describe(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(desc)
+	case ":rules":
+		fmt.Println("enter rules; finish with a single '.' on its own line")
+		var rules strings.Builder
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.TrimSpace(line) == "." {
+				break
+			}
+			rules.WriteString(line)
+			rules.WriteByte('\n')
+		}
+		if err := eng.RegisterRules(rules.String()); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("rules registered")
+		}
+	default:
+		fmt.Println("unknown command; :help lists commands")
+	}
+	return true
+}

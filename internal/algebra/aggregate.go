@@ -1,0 +1,366 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// AggFunc is an aggregate function.
+type AggFunc uint8
+
+// Supported aggregates.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// ParseAggFunc maps a SQL function name onto an AggFunc.
+func ParseAggFunc(name string) (AggFunc, bool) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return Count, true
+	case "SUM":
+		return Sum, true
+	case "AVG":
+		return Avg, true
+	case "MIN":
+		return Min, true
+	case "MAX":
+		return Max, true
+	default:
+		return Count, false
+	}
+}
+
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	}
+	return "?"
+}
+
+// AggSpec is one aggregate column: Func over input column Col (Col < 0
+// means COUNT(*)), named As in the output.
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+	As   string
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	min     value.Value
+	max     value.Value
+	started bool
+}
+
+func (st *aggState) observe(v value.Value) {
+	if v.IsNull() {
+		return // SQL aggregates skip NULLs
+	}
+	st.count++
+	switch v.Kind() {
+	case value.KindInt:
+		st.sumI += v.Int()
+		st.sumF += float64(v.Int())
+	case value.KindFloat:
+		st.isFloat = true
+		st.sumF += v.Float()
+	}
+	if !st.started {
+		st.min, st.max = v, v
+		st.started = true
+		return
+	}
+	if value.Compare(v, st.min) < 0 {
+		st.min = v
+	}
+	if value.Compare(v, st.max) > 0 {
+		st.max = v
+	}
+}
+
+func (st *aggState) result(f AggFunc) value.Value {
+	switch f {
+	case Count:
+		return value.NewInt(st.count)
+	case Sum:
+		if st.count == 0 {
+			return value.Null
+		}
+		if st.isFloat {
+			return value.NewFloat(st.sumF)
+		}
+		return value.NewInt(st.sumI)
+	case Avg:
+		if st.count == 0 {
+			return value.Null
+		}
+		return value.NewFloat(st.sumF / float64(st.count))
+	case Min:
+		if !st.started {
+			return value.Null
+		}
+		return st.min
+	case Max:
+		if !st.started {
+			return value.Null
+		}
+		return st.max
+	}
+	return value.Null
+}
+
+// resultKind returns the output kind of an aggregate over input kind k.
+func resultKind(f AggFunc, k value.Kind) value.Kind {
+	switch f {
+	case Count:
+		return value.KindInt
+	case Avg:
+		return value.KindFloat
+	case Sum:
+		if k == value.KindFloat {
+			return value.KindFloat
+		}
+		return value.KindInt
+	default:
+		return k
+	}
+}
+
+// Aggregate groups r by the groupBy columns (empty = one global group)
+// and computes the aggregate specs. Output columns are the group-by
+// columns followed by one column per spec.
+func Aggregate(r *value.Relation, groupBy []int, specs []AggSpec) (*value.Relation, Stats, error) {
+	for _, c := range groupBy {
+		if c < 0 || c >= r.Schema.Len() {
+			return nil, Stats{}, fmt.Errorf("algebra: group-by column %d out of range for %s", c, r.Schema)
+		}
+	}
+	for _, sp := range specs {
+		if sp.Col >= r.Schema.Len() {
+			return nil, Stats{}, fmt.Errorf("algebra: aggregate column %d out of range for %s", sp.Col, r.Schema)
+		}
+		if sp.Col < 0 && sp.Func != Count {
+			return nil, Stats{}, fmt.Errorf("algebra: %s(*) is not defined", sp.Func)
+		}
+	}
+
+	// Output schema.
+	cols := make([]value.Column, 0, len(groupBy)+len(specs))
+	for _, c := range groupBy {
+		cols = append(cols, r.Schema.Column(c))
+	}
+	for _, sp := range specs {
+		name := sp.As
+		if name == "" {
+			if sp.Col < 0 {
+				name = "COUNT(*)"
+			} else {
+				name = fmt.Sprintf("%s(%s)", sp.Func, r.Schema.Column(sp.Col).Name)
+			}
+		}
+		k := value.KindInt
+		if sp.Col >= 0 {
+			k = resultKind(sp.Func, r.Schema.Column(sp.Col).Kind)
+		}
+		cols = append(cols, value.Column{Name: name, Kind: k})
+	}
+	out := value.NewRelation(value.NewSchema(cols...))
+
+	type group struct {
+		key    value.Tuple
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, t := range r.Tuples {
+		k := t.KeyOn(groupBy)
+		g := groups[k]
+		if g == nil {
+			g = &group{key: t.Project(groupBy), states: make([]aggState, len(specs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, sp := range specs {
+			if sp.Col < 0 {
+				g.states[i].count++ // COUNT(*) counts rows, NULLs included
+			} else {
+				g.states[i].observe(t[sp.Col])
+			}
+		}
+	}
+	// A global aggregate over an empty input still emits one row.
+	if len(groupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{key: value.Tuple{}, states: make([]aggState, len(specs))}
+		order = append(order, "")
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make(value.Tuple, 0, len(groupBy)+len(specs))
+		row = append(row, g.key...)
+		for i, sp := range specs {
+			row = append(row, g.states[i].result(sp.Func))
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, Stats{TuplesRead: r.Len(), TuplesEmitted: out.Len(), Hashes: r.Len()}, nil
+}
+
+// MergeAggregates combines per-fragment partial aggregates into a final
+// result — the two-phase distributed aggregation the engine runs: each
+// OFM aggregates its fragment, the coordinator merges. The partials must
+// have been produced by PartialSpecs(specs); specs describes the final
+// result.
+func MergeAggregates(partials []*value.Relation, groupByLen int, specs []AggSpec) (*value.Relation, Stats, error) {
+	if len(partials) == 0 {
+		return nil, Stats{}, fmt.Errorf("algebra: no partial aggregates to merge")
+	}
+	stats := Stats{}
+	// Partial layout: groupBy..., then per spec either (count) for COUNT,
+	// (sum) for SUM, (sum, count) for AVG, (min)/(max) otherwise.
+	type group struct {
+		key    value.Tuple
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, p := range partials {
+		stats.TuplesRead += p.Len()
+		for _, t := range p.Tuples {
+			gb := make([]int, groupByLen)
+			for i := range gb {
+				gb[i] = i
+			}
+			k := t.KeyOn(gb)
+			g := groups[k]
+			if g == nil {
+				g = &group{key: t.Project(gb), states: make([]aggState, len(specs))}
+				groups[k] = g
+				order = append(order, k)
+			}
+			col := groupByLen
+			for i, sp := range specs {
+				st := &g.states[i]
+				switch sp.Func {
+				case Count:
+					st.count += t[col].Int()
+					col++
+				case Sum:
+					v := t[col]
+					if !v.IsNull() {
+						st.count++
+						if v.Kind() == value.KindFloat {
+							st.isFloat = true
+							st.sumF += v.Float()
+						} else {
+							st.sumI += v.Int()
+							st.sumF += v.Float()
+						}
+					}
+					col++
+				case Avg:
+					sum, cnt := t[col], t[col+1]
+					if !sum.IsNull() && cnt.Int() > 0 {
+						st.count += cnt.Int()
+						st.sumF += sum.Float()
+					}
+					col += 2
+				case Min:
+					v := t[col]
+					if !v.IsNull() {
+						if !st.started || value.Compare(v, st.min) < 0 {
+							st.min = v
+						}
+						st.started = true
+						st.count++
+					}
+					col++
+				case Max:
+					v := t[col]
+					if !v.IsNull() {
+						if !st.started || value.Compare(v, st.max) > 0 {
+							st.max = v
+						}
+						st.started = true
+						st.count++
+					}
+					col++
+				}
+			}
+		}
+	}
+	if groupByLen == 0 && len(order) == 0 {
+		groups[""] = &group{key: value.Tuple{}, states: make([]aggState, len(specs))}
+		order = append(order, "")
+	}
+
+	// Final schema mirrors Aggregate's: derive from the first partial's
+	// group-by columns plus the spec names.
+	first := partials[0]
+	cols := make([]value.Column, 0, groupByLen+len(specs))
+	for i := 0; i < groupByLen; i++ {
+		cols = append(cols, first.Schema.Column(i))
+	}
+	for _, sp := range specs {
+		name := sp.As
+		if name == "" {
+			name = sp.Func.String()
+		}
+		k := value.KindFloat
+		switch sp.Func {
+		case Count:
+			k = value.KindInt
+		case Sum, Min, Max:
+			// Take the partial's column kind.
+			k = value.KindFloat
+		}
+		cols = append(cols, value.Column{Name: name, Kind: k})
+	}
+	out := value.NewRelation(value.NewSchema(cols...))
+	for _, k := range order {
+		g := groups[k]
+		row := make(value.Tuple, 0, groupByLen+len(specs))
+		row = append(row, g.key...)
+		for i, sp := range specs {
+			row = append(row, g.states[i].result(sp.Func))
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	stats.TuplesEmitted = out.Len()
+	return out, stats, nil
+}
+
+// PartialSpecs rewrites final aggregate specs into the per-fragment
+// partial specs (AVG becomes SUM+COUNT; COUNT(*) stays COUNT).
+func PartialSpecs(specs []AggSpec) []AggSpec {
+	out := make([]AggSpec, 0, len(specs))
+	for _, sp := range specs {
+		switch sp.Func {
+		case Avg:
+			out = append(out, AggSpec{Func: Sum, Col: sp.Col, As: sp.As + "_sum"})
+			out = append(out, AggSpec{Func: Count, Col: sp.Col, As: sp.As + "_cnt"})
+		default:
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+func deptRel(t *testing.T) *value.Relation {
+	s := value.MustSchema("name", "VARCHAR", "budget", "INT")
+	return rel(t, s,
+		value.NewTuple(value.NewString("eng"), value.NewInt(1000)),
+		value.NewTuple(value.NewString("ops"), value.NewInt(500)),
+		value.NewTuple(value.NewString("sales"), value.NewInt(700)),
+	)
+}
+
+func TestHashJoin(t *testing.T) {
+	emp, dept := empRel(t), deptRel(t)
+	out, st, err := HashJoin(emp, dept, []int{1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eng: 2 employees, ops: 2, hr: no department, sales: no employees.
+	if out.Len() != 4 {
+		t.Fatalf("join produced %d rows: %v", out.Len(), out.Tuples)
+	}
+	if out.Schema.Len() != emp.Schema.Len()+dept.Schema.Len() {
+		t.Errorf("join schema = %v", out.Schema)
+	}
+	for _, row := range out.Tuples {
+		if row[1].Str() != row[3].Str() {
+			t.Errorf("key mismatch in %v", row)
+		}
+	}
+	if st.TuplesEmitted != 4 || st.Hashes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestJoinMethodsAgree(t *testing.T) {
+	// Property: hash, merge and nested-loop joins return the same bag on
+	// random data, including duplicates.
+	r := rand.New(rand.NewSource(21))
+	ls := value.MustSchema("a", "INT", "b", "INT")
+	rs := value.MustSchema("c", "INT", "d", "INT")
+	for trial := 0; trial < 20; trial++ {
+		l := value.NewRelation(ls)
+		rr := value.NewRelation(rs)
+		for i := 0; i < 50; i++ {
+			l.Append(value.Ints(r.Int63n(10), r.Int63n(100)))
+			rr.Append(value.Ints(r.Int63n(10), r.Int63n(100)))
+		}
+		hj, _, err := HashJoin(l, rr, []int{0}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, _, err := MergeJoin(l, rr, []int{0}, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := mustPred(t, expr.NewCmp(expr.EQ, expr.NewCol("a"), expr.NewCol("c")), ls.Concat(rs))
+		nl, _, err := NestedLoopJoin(l, rr, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hj.SameBag(mj) {
+			t.Fatalf("trial %d: hash and merge joins differ: %d vs %d rows", trial, hj.Len(), mj.Len())
+		}
+		if !hj.SameBag(nl) {
+			t.Fatalf("trial %d: hash and nested-loop joins differ: %d vs %d rows", trial, hj.Len(), nl.Len())
+		}
+	}
+}
+
+func TestJoinNullKeys(t *testing.T) {
+	s := value.MustSchema("k", "INT")
+	l := value.NewRelation(s)
+	l.Append(value.NewTuple(value.Null), value.Ints(1))
+	r := value.NewRelation(s)
+	r.Append(value.NewTuple(value.Null), value.Ints(1))
+	for _, join := range []func() (*value.Relation, Stats, error){
+		func() (*value.Relation, Stats, error) { return HashJoin(l, r, []int{0}, []int{0}) },
+		func() (*value.Relation, Stats, error) { return MergeJoin(l, r, []int{0}, []int{0}) },
+	} {
+		out, _, err := join()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// NULL keys never match, even against other NULLs.
+		if out.Len() != 1 {
+			t.Errorf("NULL-key join produced %d rows: %v", out.Len(), out.Tuples)
+		}
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	emp, dept := empRel(t), deptRel(t)
+	if _, _, err := HashJoin(emp, dept, nil, nil); err == nil {
+		t.Error("empty keys should error")
+	}
+	if _, _, err := HashJoin(emp, dept, []int{0}, []int{0, 1}); err == nil {
+		t.Error("mismatched key arity should error")
+	}
+	if _, _, err := HashJoin(emp, dept, []int{9}, []int{0}); err == nil {
+		t.Error("bad left key should error")
+	}
+	if _, _, err := MergeJoin(emp, dept, []int{0}, []int{9}); err == nil {
+		t.Error("bad right key should error")
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	emp, dept := empRel(t), deptRel(t)
+	out, _, err := NestedLoopJoin(emp, dept, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != emp.Len()*dept.Len() {
+		t.Errorf("cross product = %d rows", out.Len())
+	}
+}
+
+func TestThetaJoin(t *testing.T) {
+	emp, dept := empRel(t), deptRel(t)
+	// salary < budget/5: a non-equi join.
+	joined := emp.Schema.Concat(dept.Schema)
+	pred := mustPred(t, expr.NewCmp(expr.LT,
+		expr.NewCol("salary"),
+		expr.NewArith(expr.Div, expr.NewCol("budget"), expr.NewConst(value.NewInt(5)))), joined)
+	out, _, err := NestedLoopJoin(emp, dept, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range out.Tuples {
+		if row[2].Int() >= row[4].Int()/5 {
+			t.Errorf("theta predicate violated in %v", row)
+		}
+	}
+	if out.Len() == 0 {
+		t.Error("theta join should produce some rows")
+	}
+}
+
+func TestSemiAndAntiJoin(t *testing.T) {
+	emp, dept := empRel(t), deptRel(t)
+	semi, _, err := SemiJoin(emp, dept, []int{1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Employees in departments that exist: eng+ops = 4.
+	if semi.Len() != 4 {
+		t.Errorf("semi join = %d rows", semi.Len())
+	}
+	if semi.Schema.Len() != emp.Schema.Len() {
+		t.Error("semi join must keep the left schema")
+	}
+	anti, _, err := AntiJoin(emp, dept, []int{1}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anti.Len() != 1 || anti.Tuples[0][1].Str() != "hr" {
+		t.Errorf("anti join = %v", anti.Tuples)
+	}
+	// semi + anti partition the left side.
+	if semi.Len()+anti.Len() != emp.Len() {
+		t.Error("semi and anti joins must partition the left input")
+	}
+	if _, _, err := SemiJoin(emp, dept, []int{9}, []int{0}); err == nil {
+		t.Error("bad key should error")
+	}
+	if _, _, err := AntiJoin(emp, dept, nil, nil); err == nil {
+		t.Error("empty keys should error")
+	}
+}
+
+func TestAntiJoinNulls(t *testing.T) {
+	s := value.MustSchema("k", "INT")
+	l := value.NewRelation(s)
+	l.Append(value.NewTuple(value.Null))
+	r := value.NewRelation(s)
+	r.Append(value.Ints(1))
+	out, _, err := AntiJoin(l, r, []int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A NULL key has no match, so it survives the anti join.
+	if out.Len() != 1 {
+		t.Errorf("NULL anti join = %v", out.Tuples)
+	}
+}
+
+func TestHashJoinBuildSideChoice(t *testing.T) {
+	// Joining a big with a small relation must produce identical output
+	// regardless of which side is bigger (build-side selection).
+	s := value.MustSchema("k", "INT")
+	small := value.NewRelation(s)
+	big := value.NewRelation(s)
+	for i := 0; i < 3; i++ {
+		small.Append(value.Ints(int64(i)))
+	}
+	for i := 0; i < 100; i++ {
+		big.Append(value.Ints(int64(i % 5)))
+	}
+	a, _, err := HashJoin(small, big, []int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := HashJoin(big, small, []int{0}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Errorf("asymmetric join sizes: %d vs %d", a.Len(), b.Len())
+	}
+	// Column order differs (l ++ r), so compare keys only.
+	if a.Len() != 60 {
+		t.Errorf("join size = %d, want 60", a.Len())
+	}
+}

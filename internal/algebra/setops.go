@@ -1,0 +1,97 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+func checkCompatible(op string, l, r *value.Relation) error {
+	if !value.EqualSchema(l.Schema, r.Schema) {
+		return fmt.Errorf("algebra: %s needs union-compatible schemas, got %s and %s", op, l.Schema, r.Schema)
+	}
+	return nil
+}
+
+// Union returns the set union of l and r (duplicates collapsed), keeping
+// l's schema.
+func Union(l, r *value.Relation) (*value.Relation, Stats, error) {
+	if err := checkCompatible("union", l, r); err != nil {
+		return nil, Stats{}, err
+	}
+	out := value.NewRelation(l.Schema)
+	seen := make(map[string]struct{}, l.Len()+r.Len())
+	for _, src := range []*value.Relation{l, r} {
+		for _, t := range src.Tuples {
+			k := t.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, Stats{TuplesRead: l.Len() + r.Len(), TuplesEmitted: out.Len(), Hashes: l.Len() + r.Len()}, nil
+}
+
+// UnionAll concatenates l and r (bag semantics).
+func UnionAll(l, r *value.Relation) (*value.Relation, Stats, error) {
+	if err := checkCompatible("union all", l, r); err != nil {
+		return nil, Stats{}, err
+	}
+	out := value.NewRelation(l.Schema)
+	out.Tuples = make([]value.Tuple, 0, l.Len()+r.Len())
+	out.Tuples = append(out.Tuples, l.Tuples...)
+	out.Tuples = append(out.Tuples, r.Tuples...)
+	return out, Stats{TuplesRead: out.Len(), TuplesEmitted: out.Len()}, nil
+}
+
+// Diff returns the set difference l \ r.
+func Diff(l, r *value.Relation) (*value.Relation, Stats, error) {
+	if err := checkCompatible("difference", l, r); err != nil {
+		return nil, Stats{}, err
+	}
+	drop := make(map[string]struct{}, r.Len())
+	for _, t := range r.Tuples {
+		drop[t.Key()] = struct{}{}
+	}
+	out := value.NewRelation(l.Schema)
+	seen := make(map[string]struct{}, l.Len())
+	for _, t := range l.Tuples {
+		k := t.Key()
+		if _, gone := drop[k]; gone {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, Stats{TuplesRead: l.Len() + r.Len(), TuplesEmitted: out.Len(), Hashes: l.Len() + r.Len()}, nil
+}
+
+// Intersect returns the set intersection of l and r.
+func Intersect(l, r *value.Relation) (*value.Relation, Stats, error) {
+	if err := checkCompatible("intersection", l, r); err != nil {
+		return nil, Stats{}, err
+	}
+	keep := make(map[string]struct{}, r.Len())
+	for _, t := range r.Tuples {
+		keep[t.Key()] = struct{}{}
+	}
+	out := value.NewRelation(l.Schema)
+	seen := make(map[string]struct{}, l.Len())
+	for _, t := range l.Tuples {
+		k := t.Key()
+		if _, ok := keep[k]; !ok {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, Stats{TuplesRead: l.Len() + r.Len(), TuplesEmitted: out.Len(), Hashes: l.Len() + r.Len()}, nil
+}

@@ -1,0 +1,141 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func intRel(t *testing.T, vals ...int64) *value.Relation {
+	t.Helper()
+	s := value.MustSchema("x", "INT")
+	r := value.NewRelation(s)
+	for _, v := range vals {
+		r.Append(value.Ints(v))
+	}
+	return r
+}
+
+func relVals(r *value.Relation) []int64 {
+	out := make([]int64, r.Len())
+	for i, t := range r.Tuples {
+		out[i] = t[0].Int()
+	}
+	return out
+}
+
+func TestUnion(t *testing.T) {
+	a := intRel(t, 1, 2, 2, 3)
+	b := intRel(t, 3, 4)
+	u, st, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 4 {
+		t.Errorf("union = %v", relVals(u))
+	}
+	if st.TuplesRead != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+	ua, _, err := UnionAll(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua.Len() != 6 {
+		t.Errorf("union all = %v", relVals(ua))
+	}
+}
+
+func TestDiffIntersect(t *testing.T) {
+	a := intRel(t, 1, 2, 3, 3, 4)
+	b := intRel(t, 2, 4, 5)
+	d, _, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := relVals(d); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("diff = %v", got)
+	}
+	i, _, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := relVals(i); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("intersect = %v", got)
+	}
+}
+
+func TestSetOpsCompatibility(t *testing.T) {
+	a := intRel(t, 1)
+	b := value.NewRelation(value.MustSchema("x", "VARCHAR"))
+	b.Append(value.NewTuple(value.NewString("s")))
+	if _, _, err := Union(a, b); err == nil {
+		t.Error("incompatible union should error")
+	}
+	if _, _, err := UnionAll(a, b); err == nil {
+		t.Error("incompatible union all should error")
+	}
+	if _, _, err := Diff(a, b); err == nil {
+		t.Error("incompatible diff should error")
+	}
+	if _, _, err := Intersect(a, b); err == nil {
+		t.Error("incompatible intersect should error")
+	}
+	// Same kinds, different names: compatible (positional).
+	c := value.NewRelation(value.MustSchema("y", "INT"))
+	c.Append(value.Ints(9))
+	if _, _, err := Union(a, c); err != nil {
+		t.Errorf("positionally compatible union failed: %v", err)
+	}
+}
+
+func TestSetAlgebraLaws(t *testing.T) {
+	// (A ∪ B) \ B == A \ B for sets.
+	a := intRel(t, 1, 2, 3)
+	b := intRel(t, 2, 4)
+	ab, _, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, _, err := Diff(ab, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, _, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !left.SameSet(right) {
+		t.Errorf("(A∪B)\\B = %v, A\\B = %v", relVals(left), relVals(right))
+	}
+	// A ∩ B == A \ (A \ B).
+	i1, _, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb, _, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, _, err := Diff(a, amb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !i1.SameSet(i2) {
+		t.Errorf("A∩B = %v, A\\(A\\B) = %v", relVals(i1), relVals(i2))
+	}
+}
+
+func TestEmptySetOps(t *testing.T) {
+	a := intRel(t)
+	b := intRel(t, 1)
+	if u, _, err := Union(a, b); err != nil || u.Len() != 1 {
+		t.Errorf("∅∪{1}: %v, %v", u, err)
+	}
+	if d, _, err := Diff(a, b); err != nil || d.Len() != 0 {
+		t.Errorf("∅\\{1}: %v, %v", d, err)
+	}
+	if i, _, err := Intersect(b, a); err != nil || i.Len() != 0 {
+		t.Errorf("{1}∩∅: %v, %v", i, err)
+	}
+}

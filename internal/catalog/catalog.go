@@ -1,0 +1,220 @@
+// Package catalog is the data dictionary of the Global Data Handler
+// (paper §2.2): relation schemas, fragmentation schemes, fragment
+// placements, and the statistics the knowledge-based optimizer feeds on
+// ("estimating sizes of intermediate results", §2.4).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fragment"
+	"repro/internal/value"
+)
+
+// Table describes one fragmented base relation.
+type Table struct {
+	Name      string
+	Schema    *value.Schema
+	Scheme    *fragment.Scheme
+	Placement fragment.Placement // PE id per fragment
+	// PrimaryKey column positions (empty = none declared).
+	PrimaryKey []int
+
+	mu    sync.Mutex
+	rows  []int   // live tuple count per fragment
+	bytes []int64 // approximate bytes per fragment
+}
+
+// NumFragments returns the table's fragment count.
+func (t *Table) NumFragments() int { return t.Scheme.N }
+
+// PEOf returns the PE hosting fragment i.
+func (t *Table) PEOf(i int) int { return t.Placement[i] }
+
+// UpdateStats records the current size of one fragment.
+func (t *Table) UpdateStats(frag, rows int, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if frag < 0 || frag >= len(t.rows) {
+		return
+	}
+	t.rows[frag] = rows
+	t.bytes[frag] = bytes
+}
+
+// AddStats adjusts one fragment's size by deltas (insert/delete paths).
+func (t *Table) AddStats(frag, rowDelta int, byteDelta int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if frag < 0 || frag >= len(t.rows) {
+		return
+	}
+	t.rows[frag] += rowDelta
+	t.bytes[frag] += byteDelta
+	if t.rows[frag] < 0 {
+		t.rows[frag] = 0
+	}
+	if t.bytes[frag] < 0 {
+		t.bytes[frag] = 0
+	}
+}
+
+// Rows returns the total live tuple count.
+func (t *Table) Rows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sum := 0
+	for _, r := range t.rows {
+		sum += r
+	}
+	return sum
+}
+
+// FragRows returns the live tuple count of fragment i.
+func (t *Table) FragRows(i int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.rows) {
+		return 0
+	}
+	return t.rows[i]
+}
+
+// Bytes returns the total approximate size.
+func (t *Table) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum int64
+	for _, b := range t.bytes {
+		sum += b
+	}
+	return sum
+}
+
+// AvgTupleBytes estimates the width of one tuple (64 when unknown).
+func (t *Table) AvgTupleBytes() int {
+	rows, bytes := t.Rows(), t.Bytes()
+	if rows == 0 || bytes == 0 {
+		return 64
+	}
+	return int(bytes / int64(rows))
+}
+
+// Catalog is the thread-safe dictionary of tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: map[string]*Table{}}
+}
+
+func canon(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// Create registers a table. The scheme must validate against the schema,
+// and the placement must cover every fragment.
+func (c *Catalog) Create(name string, schema *value.Schema, scheme *fragment.Scheme, placement fragment.Placement, primaryKey []int) (*Table, error) {
+	key := canon(name)
+	if key == "" {
+		return nil, fmt.Errorf("catalog: empty table name")
+	}
+	if scheme == nil {
+		scheme = &fragment.Scheme{Strategy: fragment.Single, N: 1}
+	}
+	if err := scheme.Validate(schema); err != nil {
+		return nil, err
+	}
+	if len(placement) != scheme.N {
+		return nil, fmt.Errorf("catalog: placement covers %d fragments, scheme has %d", len(placement), scheme.N)
+	}
+	for _, pk := range primaryKey {
+		if pk < 0 || pk >= schema.Len() {
+			return nil, fmt.Errorf("catalog: primary key column %d out of range", pk)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[key]; dup {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{
+		Name:       key,
+		Schema:     schema,
+		Scheme:     scheme,
+		Placement:  append(fragment.Placement(nil), placement...),
+		PrimaryKey: append([]int(nil), primaryKey...),
+		rows:       make([]int, scheme.N),
+		bytes:      make([]int64, scheme.N),
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Drop removes a table.
+func (c *Catalog) Drop(name string) error {
+	key := canon(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Get looks a table up by name (case-insensitive).
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[canon(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Has reports whether a table exists.
+func (c *Catalog) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[canon(name)]
+	return ok
+}
+
+// List returns all table names, sorted.
+func (c *Catalog) List() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for name := range c.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe renders a table's definition for the shell.
+func (c *Catalog) Describe(name string) (string, error) {
+	t, err := c.Get(name)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "table %s %s\n", t.Name, t.Schema)
+	fmt.Fprintf(&b, "  fragmentation: %s", t.Scheme.Strategy)
+	if t.Scheme.Strategy == fragment.Hash || t.Scheme.Strategy == fragment.Range {
+		fmt.Fprintf(&b, " on %s", t.Schema.Column(t.Scheme.Column).Name)
+	}
+	fmt.Fprintf(&b, ", %d fragments\n", t.Scheme.N)
+	fmt.Fprintf(&b, "  placement:")
+	for i, pe := range t.Placement {
+		fmt.Fprintf(&b, " f%d@pe%d", i, pe)
+	}
+	fmt.Fprintf(&b, "\n  rows: %d (%d bytes)\n", t.Rows(), t.Bytes())
+	return b.String(), nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fragment"
+	"repro/internal/ofm"
+	"repro/internal/pool"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// CreateTable registers a fragmented table: the data allocation manager
+// places its fragments onto PEs, one Persistent OFM per fragment is
+// spawned as a process, and each OFM's redo log lands on the stable
+// store of the nearest disk PE.
+func (e *Engine) CreateTable(name string, schema *value.Schema, scheme *fragment.Scheme, primaryKey []int) error {
+	if scheme == nil {
+		scheme = &fragment.Scheme{Strategy: fragment.Single, N: 1}
+	}
+	if err := scheme.Validate(schema); err != nil {
+		return err
+	}
+	// Allocation: equal initial weights, one per fragment.
+	weights := make([]int64, scheme.N)
+	for i := range weights {
+		weights[i] = 1 << 16
+	}
+	placement := e.alloc.Place(weights, e.m)
+
+	def, err := e.cat.Create(name, schema, scheme, placement, primaryKey)
+	if err != nil {
+		return err
+	}
+	t := &table{def: def, logsRef: &fragLogs{}}
+	for i := 0; i < scheme.N; i++ {
+		pe := placement[i]
+		fragName := fmt.Sprintf("%s#%d", def.Name, i)
+		log, err := e.logFor(pe, fragName)
+		if err != nil {
+			e.cat.Drop(def.Name)
+			return err
+		}
+		frag := i
+		o, err := ofm.New(ofm.Config{
+			Name:     fragName,
+			Schema:   schema,
+			PE:       e.m.PE(pe),
+			Machine:  e.m,
+			Kind:     ofm.Persistent,
+			Log:      log,
+			Compiled: e.compiled,
+			StatsFn: func(rd int, bd int64) {
+				def.AddStats(frag, rd, bd)
+			},
+		})
+		if err != nil {
+			e.cat.Drop(def.Name)
+			return err
+		}
+		// Primary-key hash index for point lookups.
+		if len(primaryKey) == 1 {
+			if _, err := o.Store().CreateHashIndex("pk", primaryKey); err != nil {
+				e.cat.Drop(def.Name)
+				return err
+			}
+		}
+		proc, err := e.spawnOFMProcess(o, pe)
+		if err != nil {
+			e.cat.Drop(def.Name)
+			return err
+		}
+		t.frags = append(t.frags, &fragRef{ofm: o, proc: proc, pe: pe})
+		t.logsRef.logs = append(t.logsRef.logs, log)
+	}
+	e.mu.Lock()
+	e.tables[def.Name] = t
+	e.mu.Unlock()
+	return nil
+}
+
+// logFor opens a WAL for a fragment on the stable store nearest its PE.
+// Machines without disks fall back to transient-style logging on an
+// in-memory store attached to PE 0 — only possible in test rigs.
+func (e *Engine) logFor(pe int, fragName string) (*wal.Log, error) {
+	diskPE := e.m.NearestDiskPE(pe)
+	if diskPE < 0 {
+		return nil, fmt.Errorf("core: machine has no disk PEs for stable storage")
+	}
+	e.mu.Lock()
+	store := e.stores[diskPE]
+	e.mu.Unlock()
+	if store == nil {
+		return nil, fmt.Errorf("core: no stable store on PE %d", diskPE)
+	}
+	return wal.Open(store, "wal-"+fragName)
+}
+
+// DropTable removes a table: processes stop, the catalog entry goes.
+func (e *Engine) DropTable(name string) error {
+	key := canonical(name)
+	e.mu.Lock()
+	t, ok := e.tables[key]
+	if ok {
+		delete(e.tables, key)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: table %q does not exist", name)
+	}
+	for _, f := range t.frags {
+		f.proc.Stop()
+		f.proc.Join()
+	}
+	return e.cat.Drop(name)
+}
+
+// createFromAST handles a parsed CREATE TABLE.
+func (e *Engine) createFromAST(ct *sqlparse.CreateTable) error {
+	schema := value.NewSchema(ct.Cols...)
+	var scheme *fragment.Scheme
+	if ct.Frag != nil {
+		scheme = &fragment.Scheme{Strategy: ct.Frag.Strategy, N: ct.Frag.N, Bounds: ct.Frag.Bounds}
+		if ct.Frag.Column != "" {
+			ix := schema.Index(ct.Frag.Column)
+			if ix < 0 {
+				return fmt.Errorf("core: fragmentation column %q not in table", ct.Frag.Column)
+			}
+			scheme.Column = ix
+		}
+	}
+	var pk []int
+	for _, name := range ct.PrimaryKey {
+		ix := schema.Index(name)
+		if ix < 0 {
+			return fmt.Errorf("core: primary key column %q not in table", name)
+		}
+		pk = append(pk, ix)
+	}
+	return e.CreateTable(ct.Name, schema, scheme, pk)
+}
+
+// LoadTable bulk-loads tuples outside transactions (benchmark setup):
+// the scheme routes each tuple, fragments load in parallel.
+func (e *Engine) LoadTable(name string, tuples []value.Tuple) error {
+	t, err := e.lookupTable(name)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	parts := make([][]value.Tuple, len(t.frags))
+	for _, tp := range tuples {
+		i := t.def.Scheme.FragmentOf(tp)
+		parts[i] = append(parts[i], tp)
+	}
+	t.mu.Unlock()
+	coord := e.coordinatorPE()
+	var specs []pool.CallSpec
+	for i, f := range t.frags {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		specs = append(specs, pool.CallSpec{To: f.proc, Kind: "load",
+			Body: loadReq{tuples: parts[i]}, Bytes: relBytes(parts[i])})
+	}
+	_, errs := e.rt.CallAll(coord, specs)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func relBytes(tuples []value.Tuple) int {
+	n := 0
+	for _, t := range tuples {
+		n += t.Size()
+	}
+	return n
+}

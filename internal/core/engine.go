@@ -1,0 +1,390 @@
+// Package core implements the PRISMA DBMS engine: the Global Data
+// Handler of paper §2.2, which "contains the data dictionary, the query
+// optimizer, the transaction manager, the concurrency control unit, and
+// the parsers for SQL and PRISMAlog", plus "a recovery component and a
+// data allocation manager". It supervises the One-Fragment Managers,
+// each running as a POOL-X-style process pinned to a processing element
+// of the simulated multi-computer.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/fragment"
+	"repro/internal/machine"
+	"repro/internal/ofm"
+	"repro/internal/optimizer"
+	"repro/internal/pool"
+	"repro/internal/prismalog"
+	"repro/internal/txn"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Config assembles an engine.
+type Config struct {
+	// Machine is the multi-computer; nil builds the default 64-PE torus.
+	Machine *machine.Machine
+	// NumPEs overrides the default machine size when Machine is nil.
+	NumPEs int
+	// Allocator places fragments onto PEs; nil uses the central
+	// least-loaded policy (the paper's central resource management).
+	Allocator fragment.Allocator
+	// Compiled selects compiled expression evaluation in the OFMs
+	// (default true; false forces the interpreter — experiment E4).
+	Compiled *bool
+	// Optimizer selects the knowledge-base rule groups (default: all).
+	Optimizer *optimizer.Options
+	// TCAlgorithm picks the transitive-closure strategy for recursive
+	// PRISMAlog rules routed to the closure operator.
+	TCAlgorithm algebra.TCAlgorithm
+	// SemiNaive picks the PRISMAlog fixpoint strategy (default true).
+	SemiNaive *bool
+}
+
+// table couples catalog metadata with the live fragment managers.
+type table struct {
+	def     *catalog.Table
+	frags   []*fragRef
+	logsRef *fragLogs
+	mu      sync.Mutex // serializes round-robin routing
+}
+
+// fragRef is one fragment's OFM plus its serving process.
+type fragRef struct {
+	ofm  *ofm.OFM
+	proc *pool.Process
+	pe   int
+}
+
+// Engine is the PRISMA database engine.
+type Engine struct {
+	m     *machine.Machine
+	rt    *pool.Runtime
+	cat   *catalog.Catalog
+	txns  *txn.Manager
+	opt   *optimizer.Optimizer
+	alloc fragment.Allocator
+
+	compiled  bool
+	tcAlgo    algebra.TCAlgorithm
+	semiNaive bool
+
+	mu      sync.Mutex
+	tables  map[string]*table
+	stores  map[int]*machine.StableStore // disk PE -> stable store
+	rules   []prismalog.Rule             // registered PRISMAlog views
+	nextPE  int                          // round-robin session coordinator
+	nextTxT int
+}
+
+// New builds an engine over a (possibly default) machine.
+func New(cfg Config) (*Engine, error) {
+	m := cfg.Machine
+	if m == nil {
+		var err error
+		m, err = machine.New(machine.Config{NumPEs: cfg.NumPEs})
+		if err != nil {
+			return nil, err
+		}
+	}
+	alloc := cfg.Allocator
+	if alloc == nil {
+		alloc = fragment.CentralAllocator{AvoidDiskPEs: m.NumPEs() > len(m.DiskPEs())}
+	}
+	compiled := true
+	if cfg.Compiled != nil {
+		compiled = *cfg.Compiled
+	}
+	optOpts := optimizer.AllRules()
+	if cfg.Optimizer != nil {
+		optOpts = *cfg.Optimizer
+	}
+	semiNaive := true
+	if cfg.SemiNaive != nil {
+		semiNaive = *cfg.SemiNaive
+	}
+	cat := catalog.New()
+	e := &Engine{
+		m:         m,
+		rt:        pool.NewRuntime(m),
+		cat:       cat,
+		txns:      txn.NewManager(),
+		opt:       optimizer.New(cat, optOpts),
+		alloc:     alloc,
+		compiled:  compiled,
+		tcAlgo:    cfg.TCAlgorithm,
+		semiNaive: semiNaive,
+		tables:    map[string]*table{},
+		stores:    map[int]*machine.StableStore{},
+	}
+	for _, pe := range m.DiskPEs() {
+		store, err := machine.NewStableStore(m.PE(pe), m.Disk())
+		if err != nil {
+			return nil, err
+		}
+		e.stores[pe] = store
+	}
+	return e, nil
+}
+
+// Machine returns the simulated multi-computer.
+func (e *Engine) Machine() *machine.Machine { return e.m }
+
+// Catalog returns the data dictionary.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Txns returns the transaction manager.
+func (e *Engine) Txns() *txn.Manager { return e.txns }
+
+// Close stops every OFM process.
+func (e *Engine) Close() { e.rt.StopAll() }
+
+// lookupTable finds a live table.
+func (e *Engine) lookupTable(name string) (*table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[canonical(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+func canonical(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// coordinatorPE assigns a PE for a new session's GDH component instances
+// ("for each query a new instance is created, possibly running at its
+// own processor", §2.2).
+func (e *Engine) coordinatorPE() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pe := e.nextPE % e.m.NumPEs()
+	e.nextPE++
+	return pe
+}
+
+// ---------- OFM process plumbing ----------
+
+// Request kinds served by an OFM process.
+type scanReq struct {
+	pred expr.Expr
+	cols []int
+}
+
+type aggReq struct {
+	pred    expr.Expr
+	groupBy []int
+	specs   []algebra.AggSpec
+}
+
+type closureReq struct {
+	fromCol, toCol int
+	algo           algebra.TCAlgorithm
+}
+
+type insertReq struct {
+	tx     txn.ID
+	tuples []value.Tuple
+}
+
+type deleteReq struct {
+	tx   txn.ID
+	pred expr.Expr
+}
+
+type updateReq struct {
+	tx   txn.ID
+	pred expr.Expr
+	set  map[int]expr.Expr
+}
+
+type loadReq struct{ tuples []value.Tuple }
+
+// spawnOFMProcess runs an OFM as a message-serving POOL-X process.
+func (e *Engine) spawnOFMProcess(o *ofm.OFM, pe int) (*pool.Process, error) {
+	return e.rt.Spawn("ofm-"+o.Name(), pe, func(ctx *pool.Context) error {
+		for {
+			msg, ok := ctx.Receive()
+			if !ok {
+				return nil
+			}
+			var body any
+			var bytes int
+			var err error
+			switch req := msg.Body.(type) {
+			case scanReq:
+				var rel *value.Relation
+				rel, err = o.Scan(req.pred, req.cols)
+				if rel != nil {
+					body, bytes = rel, rel.Size()
+				}
+			case aggReq:
+				var rel *value.Relation
+				rel, err = o.Aggregate(req.pred, req.groupBy, req.specs)
+				if rel != nil {
+					body, bytes = rel, rel.Size()
+				}
+			case closureReq:
+				var rel *value.Relation
+				rel, err = o.Closure(req.fromCol, req.toCol, req.algo)
+				if rel != nil {
+					body, bytes = rel, rel.Size()
+				}
+			case insertReq:
+				err = o.InsertTx(req.tx, req.tuples...)
+				body, bytes = len(req.tuples), 16
+			case deleteReq:
+				var n int
+				n, err = o.DeleteTx(req.tx, req.pred)
+				body, bytes = n, 16
+			case updateReq:
+				var n int
+				n, err = o.UpdateTx(req.tx, req.pred, req.set)
+				body, bytes = n, 16
+			case loadReq:
+				err = o.Load(req.tuples)
+				body, bytes = len(req.tuples), 16
+			case txn.ID:
+				switch msg.Kind {
+				case "prepare":
+					err = o.Prepare(req)
+				case "commit":
+					err = o.Commit(req)
+				case "abort":
+					err = o.Abort(req)
+				default:
+					err = fmt.Errorf("core: unknown txn request %q", msg.Kind)
+				}
+				bytes = 8
+			default:
+				err = fmt.Errorf("core: unknown request %T", msg.Body)
+			}
+			if rerr := ctx.Reply(msg, body, bytes, err); rerr != nil {
+				return rerr
+			}
+		}
+	})
+}
+
+// ofmParticipant adapts a fragment process to txn.Participant, shipping
+// 2PC messages over the simulated network from the coordinator's PE.
+type ofmParticipant struct {
+	eng     *Engine
+	frag    *fragRef
+	coordPE int
+}
+
+// Name implements txn.Participant.
+func (p *ofmParticipant) Name() string { return p.frag.ofm.Name() }
+
+// Prepare implements txn.Participant.
+func (p *ofmParticipant) Prepare(tx txn.ID) error {
+	_, err := p.eng.rt.Call(p.coordPE, p.frag.proc, "prepare", tx, 64)
+	return err
+}
+
+// Commit implements txn.Participant.
+func (p *ofmParticipant) Commit(tx txn.ID) error {
+	_, err := p.eng.rt.Call(p.coordPE, p.frag.proc, "commit", tx, 64)
+	return err
+}
+
+// Abort implements txn.Participant.
+func (p *ofmParticipant) Abort(tx txn.ID) error {
+	_, err := p.eng.rt.Call(p.coordPE, p.frag.proc, "abort", tx, 64)
+	return err
+}
+
+// ---------- crash / recovery (experiment E8) ----------
+
+// CrashTable simulates the loss of every PE hosting the table: volatile
+// fragment state vanishes; stable storage survives.
+func (e *Engine) CrashTable(name string) error {
+	t, err := e.lookupTable(name)
+	if err != nil {
+		return err
+	}
+	for _, f := range t.frags {
+		f.ofm.Crash()
+	}
+	return nil
+}
+
+// RecoverTable rebuilds every fragment from its log, returning the total
+// number of redo records applied.
+func (e *Engine) RecoverTable(name string) (int, error) {
+	t, err := e.lookupTable(name)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, f := range t.frags {
+		n, err := f.ofm.Recover()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	// Refresh catalog statistics.
+	for i, f := range t.frags {
+		t.def.UpdateStats(i, f.ofm.Rows(), f.ofm.MemSize())
+	}
+	return total, nil
+}
+
+// CheckpointTable folds each fragment's state into its checkpoint.
+func (e *Engine) CheckpointTable(name string) error {
+	t, err := e.lookupTable(name)
+	if err != nil {
+		return err
+	}
+	for _, f := range t.frags {
+		if err := f.ofm.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogBytes reports the current WAL footprint of the table (E8 metric).
+func (e *Engine) LogBytes(name string) (int64, error) {
+	t, err := e.lookupTable(name)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for i := range t.frags {
+		log := e.fragLog(t, i)
+		if log != nil {
+			total += log.Bytes()
+		}
+	}
+	return total, nil
+}
+
+// fragLogs tracks logs per fragment for LogBytes; set up at create time.
+type fragLogs struct {
+	logs []*wal.Log
+}
+
+func (e *Engine) fragLog(t *table, i int) *wal.Log {
+	if t.logsRef == nil || i >= len(t.logsRef.logs) {
+		return nil
+	}
+	return t.logsRef.logs[i]
+}

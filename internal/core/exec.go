@@ -1,0 +1,623 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/fragment"
+	"repro/internal/plan"
+	"repro/internal/pool"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// execCtx carries per-query state: the session (locks, coordinator PE)
+// and the common-subexpression cache the optimizer's CSE rule feeds.
+type execCtx struct {
+	s      *Session
+	tx     *txn.Txn
+	shared map[string]*value.Relation
+	mu     sync.Mutex
+}
+
+func (ctx *execCtx) cacheGet(key string) (*value.Relation, bool) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	r, ok := ctx.shared[key]
+	return r, ok
+}
+
+func (ctx *execCtx) cachePut(key string, r *value.Relation) {
+	ctx.mu.Lock()
+	ctx.shared[key] = r
+	ctx.mu.Unlock()
+}
+
+// execPlan runs an optimized plan under the given transaction.
+func (e *Engine) execPlan(s *Session, tx *txn.Txn, root plan.Node) (*value.Relation, error) {
+	ctx := &execCtx{s: s, tx: tx, shared: map[string]*value.Relation{}}
+	return e.exec(ctx, root)
+}
+
+func (e *Engine) exec(ctx *execCtx, n plan.Node) (*value.Relation, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return e.execScan(ctx, t)
+	case *plan.Select:
+		return e.execSelect(ctx, t)
+	case *plan.Project:
+		return e.execProject(ctx, t)
+	case *plan.Join:
+		return e.execJoin(ctx, t)
+	case *plan.Aggregate:
+		return e.execAggregate(ctx, t)
+	case *plan.Sort:
+		rel, err := e.exec(ctx, t.Child)
+		if err != nil {
+			return nil, err
+		}
+		out, st, err := algebra.Sort(rel, t.Cols, t.Desc)
+		if err != nil {
+			return nil, err
+		}
+		e.m.PE(ctx.s.pe).Advance(e.m.Cost().CompareCost(st.Compares))
+		return out, nil
+	case *plan.Distinct:
+		rel, err := e.exec(ctx, t.Child)
+		if err != nil {
+			return nil, err
+		}
+		out, st := algebra.Distinct(rel)
+		e.m.PE(ctx.s.pe).Advance(e.m.Cost().HashCost(st.Hashes))
+		return out, nil
+	case *plan.Limit:
+		rel, err := e.exec(ctx, t.Child)
+		if err != nil {
+			return nil, err
+		}
+		out, _ := algebra.Limit(rel, t.N)
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: unknown plan node %T", n)
+}
+
+// lockFragments S-locks the listed fragments of a table for the query.
+func (e *Engine) lockFragments(ctx *execCtx, t *table, frags []int) error {
+	for _, fi := range frags {
+		if err := ctx.tx.Lock(t.frags[fi].ofm.Name(), txn.Shared); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execScan runs a (possibly filtered) parallel scan over a table's
+// fragments, pruning fragments by the predicate where the fragmentation
+// scheme allows. Shared scans hit the CSE cache.
+func (e *Engine) execScan(ctx *execCtx, sc *plan.Scan) (*value.Relation, error) {
+	key := ""
+	if sc.Shared {
+		key = sc.Table + "|"
+		if sc.Pred != nil {
+			key += sc.Pred.String()
+		}
+		if rel, ok := ctx.cacheGet(key); ok {
+			out := value.NewRelation(sc.Out)
+			out.Tuples = rel.Tuples
+			return out, nil
+		}
+	}
+	t, err := e.lookupTable(sc.Table)
+	if err != nil {
+		return nil, err
+	}
+	frags := e.pruneFragments(t, sc.Pred)
+	if err := e.lockFragments(ctx, t, frags); err != nil {
+		return nil, err
+	}
+	parts, err := e.parallelScan(ctx, t, frags, sc.Pred)
+	if err != nil {
+		return nil, err
+	}
+	out := value.NewRelation(sc.Out)
+	for _, p := range parts {
+		out.Tuples = append(out.Tuples, p.Tuples...)
+	}
+	if sc.Shared {
+		ctx.cachePut(key, out)
+	}
+	return out, nil
+}
+
+// parallelScan issues scan calls to fragment processes as one batched
+// fan-out (deterministic virtual timing) and returns the per-fragment
+// results in fragment order.
+func (e *Engine) parallelScan(ctx *execCtx, t *table, frags []int, pred expr.Expr) ([]*value.Relation, error) {
+	specs := make([]pool.CallSpec, len(frags))
+	for i, fi := range frags {
+		specs[i] = pool.CallSpec{To: t.frags[fi].proc, Kind: "scan", Body: scanReq{pred: pred}, Bytes: 128}
+	}
+	results, errs := e.rt.CallAll(ctx.s.pe, specs)
+	out := make([]*value.Relation, len(frags))
+	for i := range frags {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[i] = results[i].(*value.Relation)
+	}
+	return out, nil
+}
+
+// execSelect filters at the coordinator (predicates that survived
+// pushdown: cross-table conditions, HAVING).
+func (e *Engine) execSelect(ctx *execCtx, s *plan.Select) (*value.Relation, error) {
+	rel, err := e.exec(ctx, s.Child)
+	if err != nil {
+		return nil, err
+	}
+	if e.compiled {
+		pred, err := expr.CompilePredicate(expr.Clone(s.Pred), rel.Schema)
+		if err != nil {
+			return nil, err
+		}
+		out, st, err := algebra.Select(rel, pred)
+		if err != nil {
+			return nil, err
+		}
+		e.m.PE(ctx.s.pe).Advance(e.m.Cost().ScanCost(st.TuplesRead, true))
+		return out, nil
+	}
+	bound := expr.Clone(s.Pred)
+	if _, err := expr.Bind(bound, rel.Schema); err != nil {
+		return nil, err
+	}
+	out, st, err := algebra.SelectInterpreted(rel, bound)
+	if err != nil {
+		return nil, err
+	}
+	e.m.PE(ctx.s.pe).Advance(e.m.Cost().ScanCost(st.TuplesRead, false))
+	return out, nil
+}
+
+func (e *Engine) execProject(ctx *execCtx, p *plan.Project) (*value.Relation, error) {
+	rel, err := e.exec(ctx, p.Child)
+	if err != nil {
+		return nil, err
+	}
+	exprs := make([]expr.Expr, len(p.Exprs))
+	for i, ex := range p.Exprs {
+		exprs[i] = expr.Clone(ex)
+	}
+	proj, err := expr.CompileProjector(exprs, p.Names, rel.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out, st, err := algebra.ProjectExprs(rel, proj)
+	if err != nil {
+		return nil, err
+	}
+	out.Schema = p.Out
+	e.m.PE(ctx.s.pe).Advance(e.m.Cost().BuildCost(st.TuplesEmitted))
+	return out, nil
+}
+
+// execJoin dispatches on the optimizer's chosen method.
+func (e *Engine) execJoin(ctx *execCtx, j *plan.Join) (*value.Relation, error) {
+	method := j.Method
+	// Only scan-over-table children can run distributed.
+	ls, lok := j.Left.(*plan.Scan)
+	rs, rok := j.Right.(*plan.Scan)
+	if method == plan.JoinColocated || method == plan.JoinRepartition {
+		if !lok || !rok {
+			method = plan.JoinCentral
+		}
+	}
+	if method == plan.JoinBroadcast && !lok && !rok {
+		method = plan.JoinCentral
+	}
+	var out *value.Relation
+	var err error
+	switch method {
+	case plan.JoinColocated:
+		out, err = e.execColocatedJoin(ctx, j, ls, rs)
+	case plan.JoinRepartition:
+		out, err = e.execRepartitionJoin(ctx, j, ls, rs)
+	case plan.JoinBroadcast:
+		out, err = e.execBroadcastJoin(ctx, j, ls, rs)
+	default:
+		out, err = e.execCentralJoin(ctx, j)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if j.Swapped {
+		// The sides were exchanged for a smaller build table; put the
+		// columns back in the order Out (and bound parents) expect.
+		lw := j.Left.Schema().Len()
+		for i, t := range out.Tuples {
+			restored := make(value.Tuple, 0, len(t))
+			restored = append(restored, t[lw:]...)
+			restored = append(restored, t[:lw]...)
+			out.Tuples[i] = restored
+		}
+	}
+	out.Schema = j.Out
+	if j.Residual != nil {
+		pred, err := expr.CompilePredicate(expr.Clone(j.Residual), out.Schema)
+		if err != nil {
+			return nil, err
+		}
+		filtered, st, err := algebra.Select(out, pred)
+		if err != nil {
+			return nil, err
+		}
+		e.m.PE(ctx.s.pe).Advance(e.m.Cost().ScanCost(st.TuplesRead, true))
+		out = filtered
+		out.Schema = j.Out
+	}
+	return out, nil
+}
+
+// execCentralJoin collects both inputs at the coordinator and hash-joins
+// there — the no-parallelism baseline.
+func (e *Engine) execCentralJoin(ctx *execCtx, j *plan.Join) (*value.Relation, error) {
+	l, err := e.exec(ctx, j.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.exec(ctx, j.Right)
+	if err != nil {
+		return nil, err
+	}
+	out, st, err := algebra.HashJoin(l, r, j.LeftKeys, j.RightKeys)
+	if err != nil {
+		return nil, err
+	}
+	cost := e.m.Cost()
+	e.m.PE(ctx.s.pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
+	return out, nil
+}
+
+// execColocatedJoin joins fragment pairs in place: both tables are
+// hash-fragmented identically on the join key, so matching tuples are
+// guaranteed to live on corresponding fragments. Only results travel.
+func (e *Engine) execColocatedJoin(ctx *execCtx, j *plan.Join, ls, rs *plan.Scan) (*value.Relation, error) {
+	lt, err := e.lookupTable(ls.Table)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := e.lookupTable(rs.Table)
+	if err != nil {
+		return nil, err
+	}
+	if lt.def.Scheme.N != rt.def.Scheme.N {
+		return nil, fmt.Errorf("core: colocated join over mismatched fragment counts")
+	}
+	all := make([]int, lt.def.Scheme.N)
+	for i := range all {
+		all[i] = i
+	}
+	if err := e.lockFragments(ctx, lt, all); err != nil {
+		return nil, err
+	}
+	if err := e.lockFragments(ctx, rt, all); err != nil {
+		return nil, err
+	}
+
+	results := make([]*value.Relation, lt.def.Scheme.N)
+	errs := make([]error, lt.def.Scheme.N)
+	var wg sync.WaitGroup
+	for i := 0; i < lt.def.Scheme.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lf, rf := lt.frags[i], rt.frags[i]
+			// Fragment-local work: direct scans charge the fragment PEs,
+			// the join charges the left fragment's PE, and only the
+			// result ships to the coordinator.
+			lrel, err := lf.ofm.Scan(ls.Pred, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rrel, err := rf.ofm.Scan(rs.Pred, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if lf.pe != rf.pe {
+				// Mismatched placement: ship the right fragment over.
+				e.m.Send(rf.pe, lf.pe, rrel.Size())
+			}
+			out, st, err := algebra.HashJoin(lrel, rrel, j.LeftKeys, j.RightKeys)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cost := e.m.Cost()
+			e.m.PE(lf.pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
+			e.m.Send(lf.pe, ctx.s.pe, out.Size())
+			results[i] = out
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := value.NewRelation(j.Out)
+	for _, r := range results {
+		merged.Tuples = append(merged.Tuples, r.Tuples...)
+	}
+	return merged, nil
+}
+
+// execBroadcastJoin ships the small input to every fragment of the big
+// (scanned) input and joins in place: only the small relation and the
+// join results travel. The classic small-dimension-table strategy.
+func (e *Engine) execBroadcastJoin(ctx *execCtx, j *plan.Join, ls, rs *plan.Scan) (*value.Relation, error) {
+	// Decide which side is the fragmented big scan.
+	bigLeft := false
+	var big *plan.Scan
+	var small plan.Node
+	if ls != nil {
+		if t, err := e.lookupTable(ls.Table); err == nil && len(t.frags) > 1 {
+			big, small, bigLeft = ls, j.Right, true
+		}
+	}
+	if big == nil && rs != nil {
+		if t, err := e.lookupTable(rs.Table); err == nil && len(t.frags) > 1 {
+			big, small = rs, j.Left
+		}
+	}
+	if big == nil {
+		return e.execCentralJoin(ctx, j)
+	}
+	smallRel, err := e.exec(ctx, small)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := e.lookupTable(big.Table)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]int, len(bt.frags))
+	for i := range all {
+		all[i] = i
+	}
+	if err := e.lockFragments(ctx, bt, all); err != nil {
+		return nil, err
+	}
+	// Stamp the broadcast sends sequentially (deterministic timing).
+	smallBytes := smallRel.Size()
+	for _, f := range bt.frags {
+		if f.pe != ctx.s.pe {
+			e.m.Send(ctx.s.pe, f.pe, smallBytes)
+		}
+	}
+	results := make([]*value.Relation, len(bt.frags))
+	errs := make([]error, len(bt.frags))
+	var wg sync.WaitGroup
+	for i, f := range bt.frags {
+		wg.Add(1)
+		go func(i int, f *fragRef) {
+			defer wg.Done()
+			bigRel, err := f.ofm.Scan(big.Pred, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var out *value.Relation
+			var st algebra.Stats
+			if bigLeft {
+				out, st, err = algebra.HashJoin(bigRel, smallRel, j.LeftKeys, j.RightKeys)
+			} else {
+				out, st, err = algebra.HashJoin(smallRel, bigRel, j.LeftKeys, j.RightKeys)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cost := e.m.Cost()
+			e.m.PE(f.pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
+			e.m.Send(f.pe, ctx.s.pe, out.Size())
+			results[i] = out
+		}(i, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := value.NewRelation(j.Out)
+	for _, r := range results {
+		merged.Tuples = append(merged.Tuples, r.Tuples...)
+	}
+	return merged, nil
+}
+
+// execRepartitionJoin hash-partitions both inputs on the join keys
+// across the left table's fragment PEs, joins each bucket at its PE in
+// parallel, and ships only results to the coordinator — the classic
+// distributed hash join.
+func (e *Engine) execRepartitionJoin(ctx *execCtx, j *plan.Join, ls, rs *plan.Scan) (*value.Relation, error) {
+	lt, err := e.lookupTable(ls.Table)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := e.lookupTable(rs.Table)
+	if err != nil {
+		return nil, err
+	}
+	lAll := make([]int, lt.def.Scheme.N)
+	for i := range lAll {
+		lAll[i] = i
+	}
+	rAll := make([]int, rt.def.Scheme.N)
+	for i := range rAll {
+		rAll[i] = i
+	}
+	if err := e.lockFragments(ctx, lt, lAll); err != nil {
+		return nil, err
+	}
+	if err := e.lockFragments(ctx, rt, rAll); err != nil {
+		return nil, err
+	}
+
+	// Bucket targets: the left table's fragment PEs.
+	buckets := lt.def.Scheme.N
+	targetPE := make([]int, buckets)
+	for i := range targetPE {
+		targetPE[i] = lt.frags[i].pe
+	}
+
+	type sideResult struct {
+		parts [][]value.Tuple // [bucket][]tuples
+		err   error
+	}
+	partition := func(t *table, pred expr.Expr, keys []int) sideResult {
+		parts := make([][]value.Tuple, buckets)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, len(t.frags))
+		for fi, f := range t.frags {
+			wg.Add(1)
+			go func(fi int, f *fragRef) {
+				defer wg.Done()
+				rel, err := f.ofm.Scan(pred, nil)
+				if err != nil {
+					errs[fi] = err
+					return
+				}
+				local := fragment.PartitionByHash(rel.Tuples, keys, buckets)
+				// Ship each bucket to its target PE.
+				for b, tuples := range local {
+					if len(tuples) == 0 {
+						continue
+					}
+					if f.pe != targetPE[b] {
+						e.m.Send(f.pe, targetPE[b], relBytes(tuples))
+					}
+					mu.Lock()
+					parts[b] = append(parts[b], tuples...)
+					mu.Unlock()
+				}
+			}(fi, f)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return sideResult{err: err}
+			}
+		}
+		return sideResult{parts: parts}
+	}
+
+	var lres, rres sideResult
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); lres = partition(lt, ls.Pred, j.LeftKeys) }()
+	go func() { defer wg.Done(); rres = partition(rt, rs.Pred, j.RightKeys) }()
+	wg.Wait()
+	if lres.err != nil {
+		return nil, lres.err
+	}
+	if rres.err != nil {
+		return nil, rres.err
+	}
+
+	// Join each bucket at its PE.
+	results := make([]*value.Relation, buckets)
+	errs := make([]error, buckets)
+	var jwg sync.WaitGroup
+	for b := 0; b < buckets; b++ {
+		jwg.Add(1)
+		go func(b int) {
+			defer jwg.Done()
+			l := value.NewRelation(ls.Out)
+			l.Tuples = lres.parts[b]
+			r := value.NewRelation(rs.Out)
+			r.Tuples = rres.parts[b]
+			out, st, err := algebra.HashJoin(l, r, j.LeftKeys, j.RightKeys)
+			if err != nil {
+				errs[b] = err
+				return
+			}
+			cost := e.m.Cost()
+			e.m.PE(targetPE[b]).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
+			e.m.Send(targetPE[b], ctx.s.pe, out.Size())
+			results[b] = out
+		}(b)
+	}
+	jwg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := value.NewRelation(j.Out)
+	for _, r := range results {
+		merged.Tuples = append(merged.Tuples, r.Tuples...)
+	}
+	return merged, nil
+}
+
+// execAggregate runs two-phase distributed aggregation when the
+// optimizer marked pushdown (per-fragment partials, coordinator merge),
+// else aggregates the child at the coordinator.
+func (e *Engine) execAggregate(ctx *execCtx, a *plan.Aggregate) (*value.Relation, error) {
+	if a.Pushdown {
+		if sc, ok := a.Child.(*plan.Scan); ok {
+			return e.execPushdownAggregate(ctx, a, sc)
+		}
+	}
+	rel, err := e.exec(ctx, a.Child)
+	if err != nil {
+		return nil, err
+	}
+	out, st, err := algebra.Aggregate(rel, a.GroupBy, a.Specs)
+	if err != nil {
+		return nil, err
+	}
+	cost := e.m.Cost()
+	e.m.PE(ctx.s.pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
+	out.Schema = a.Out
+	return out, nil
+}
+
+func (e *Engine) execPushdownAggregate(ctx *execCtx, a *plan.Aggregate, sc *plan.Scan) (*value.Relation, error) {
+	t, err := e.lookupTable(sc.Table)
+	if err != nil {
+		return nil, err
+	}
+	frags := e.pruneFragments(t, sc.Pred)
+	if err := e.lockFragments(ctx, t, frags); err != nil {
+		return nil, err
+	}
+	partialSpecs := algebra.PartialSpecs(a.Specs)
+	specs := make([]pool.CallSpec, len(frags))
+	for i, fi := range frags {
+		specs[i] = pool.CallSpec{To: t.frags[fi].proc, Kind: "aggregate",
+			Body: aggReq{pred: sc.Pred, groupBy: a.GroupBy, specs: partialSpecs}, Bytes: 192}
+	}
+	results, errs := e.rt.CallAll(ctx.s.pe, specs)
+	partials := make([]*value.Relation, len(frags))
+	for i := range frags {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		partials[i] = results[i].(*value.Relation)
+	}
+	out, st, err := algebra.MergeAggregates(partials, len(a.GroupBy), a.Specs)
+	if err != nil {
+		return nil, err
+	}
+	cost := e.m.Cost()
+	e.m.PE(ctx.s.pe).Advance(cost.HashCost(st.TuplesRead) + cost.BuildCost(st.TuplesEmitted))
+	out.Schema = a.Out
+	return out, nil
+}

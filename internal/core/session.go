@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Session is one client's connection to the engine. Each session gets
+// its own coordinator PE — the paper's "for each query a new instance is
+// created, possibly running at its own processor" — and may hold an
+// explicit transaction across statements.
+type Session struct {
+	e  *Engine
+	pe int
+	tx *txn.Txn
+}
+
+// NewSession opens a session on a round-robin-assigned coordinator PE.
+func (e *Engine) NewSession() *Session {
+	return &Session{e: e, pe: e.coordinatorPE()}
+}
+
+// PE returns the session's coordinator processing element.
+func (s *Session) PE() int { return s.pe }
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.tx != nil }
+
+// transaction returns the open transaction, or begins an autocommit one.
+func (s *Session) transaction() (*txn.Txn, bool, error) {
+	if s.tx != nil {
+		if s.tx.State() != txn.Active {
+			return nil, false, fmt.Errorf("core: transaction is %s; ROLLBACK to continue", s.tx.State())
+		}
+		return s.tx, false, nil
+	}
+	return s.e.txns.Begin(), true, nil
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Rel holds query output (SELECT / PRISMAlog).
+	Rel *value.Relation
+	// Affected counts rows touched by DML.
+	Affected int
+	// Msg describes DDL and transaction-control outcomes.
+	Msg string
+	// Plan is the optimized logical plan of a SELECT (debugging aid).
+	Plan string
+	// SimTime is the simulated response time on the 1988 machine model:
+	// the largest per-PE virtual clock advance during the statement.
+	SimTime time.Duration
+	// WallTime is the host's real execution time.
+	WallTime time.Duration
+}
+
+// Exec parses and executes one SQL statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	wallStart := time.Now()
+	simStart := s.e.m.MaxClock()
+	res, err := s.execStmt(st)
+	if err != nil {
+		return nil, err
+	}
+	res.WallTime = time.Since(wallStart)
+	res.SimTime = s.e.m.MaxClock() - simStart
+	return res, nil
+}
+
+func (s *Session) execStmt(st sqlparse.Stmt) (*Result, error) {
+	switch t := st.(type) {
+	case *sqlparse.CreateTable:
+		if err := s.e.createFromAST(t); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("table %s created", t.Name)}, nil
+
+	case *sqlparse.DropTable:
+		if err := s.e.DropTable(t.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("table %s dropped", t.Name)}, nil
+
+	case *sqlparse.Insert:
+		n, err := s.e.execInsert(s, t)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+
+	case *sqlparse.Update:
+		n, err := s.e.execUpdate(s, t)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+
+	case *sqlparse.Delete:
+		n, err := s.e.execDelete(s, t)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+
+	case *sqlparse.Select:
+		return s.execSelect(t)
+
+	case *sqlparse.Begin:
+		if s.tx != nil {
+			return nil, fmt.Errorf("core: transaction already open")
+		}
+		s.tx = s.e.txns.Begin()
+		return &Result{Msg: "transaction started"}, nil
+
+	case *sqlparse.Commit:
+		if s.tx == nil {
+			return nil, fmt.Errorf("core: no open transaction")
+		}
+		err := s.tx.Commit()
+		s.tx = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "committed"}, nil
+
+	case *sqlparse.Rollback:
+		if s.tx == nil {
+			return nil, fmt.Errorf("core: no open transaction")
+		}
+		s.tx.Abort()
+		s.tx = nil
+		return &Result{Msg: "rolled back"}, nil
+	}
+	return nil, fmt.Errorf("core: unhandled statement %T", st)
+}
+
+// execSelect translates, optimizes and runs a SELECT.
+func (s *Session) execSelect(sel *sqlparse.Select) (*Result, error) {
+	root, err := s.e.translateSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	root = s.e.opt.Optimize(root)
+	tx, autocommit, err := s.transaction()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := s.e.execPlan(s, tx, root)
+	if err != nil {
+		if autocommit {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	if autocommit {
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Rel: rel, Plan: plan.Format(root)}, nil
+}
+
+// Query is a convenience wrapper returning just the relation.
+func (s *Session) Query(sql string) (*value.Relation, error) {
+	res, err := s.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if res.Rel == nil {
+		return nil, fmt.Errorf("core: statement produced no relation")
+	}
+	return res.Rel, nil
+}
+
+// Close aborts any open transaction.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Abort()
+		s.tx = nil
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// All returns every experiment in quick mode; used by tests and benches.
+func runAll(t *testing.T) []*Table {
+	t.Helper()
+	fns := []func(bool) (*Table, error){
+		E1NetworkThroughput,
+		E2ParallelSpeedup,
+		E3MainMemoryVsDisk,
+		E4CompiledVsInterpreted,
+		E5TransitiveClosure,
+		E6MultiQueryThroughput,
+		E7Fragmentation,
+		E8RecoveryOverhead,
+		E9OptimizerAblation,
+		E10Allocation,
+	}
+	var out []*Table
+	for _, fn := range fns {
+		tb, err := fn(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tb)
+	}
+	return out
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tables := runAll(t)
+	if len(tables) != 10 {
+		t.Fatalf("%d experiments", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", tb.ID)
+		}
+		s := tb.String()
+		if !strings.Contains(s, tb.ID) || !strings.Contains(s, tb.Header[0]) {
+			t.Errorf("%s renders badly:\n%s", tb.ID, s)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "X", Title: "test", Header: []string{"a", "bb"}}
+	tb.AddRow("hello", 3.14159)
+	tb.AddRow(42, "x")
+	tb.Notes = append(tb.Notes, "a note")
+	s := tb.String()
+	for _, frag := range []string{"X — test", "hello", "3.14", "42", "note: a note"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("missing %q in:\n%s", frag, s)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	emps := genEmployees(100, 1)
+	if len(emps) != 100 || len(emps[0]) != 3 {
+		t.Fatalf("genEmployees shape wrong")
+	}
+	// Deterministic.
+	emps2 := genEmployees(100, 1)
+	for i := range emps {
+		if emps[i][2].Int() != emps2[i][2].Int() {
+			t.Fatal("genEmployees not deterministic")
+		}
+	}
+	edges := genEdges(10, 30, 2)
+	if len(edges) != 30 {
+		t.Fatal("genEdges count")
+	}
+	chain := chainEdges(5)
+	if len(chain) != 5 || chain[4][1].Int() != 5 {
+		t.Fatalf("chainEdges = %v", chain)
+	}
+	tree := treeEdges(4)
+	if len(tree) == 0 {
+		t.Fatal("treeEdges empty")
+	}
+}

@@ -1,0 +1,571 @@
+// Package expr implements scalar expressions over tuples: a tree
+// representation with a straightforward interpreter, plus the dynamic
+// expression compiler that PRISMA's One-Fragment Managers use to "avoid
+// the otherwise excessive interpretation overhead incurred by a query
+// expression interpreter" (paper §2.5). The compiler turns a bound,
+// type-checked tree into specialized Go closures.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Expr is a scalar expression node. Expressions are built by the SQL and
+// PRISMAlog front ends with column names, bound against a schema (which
+// resolves names to positions and infers types), and then either
+// interpreted with Eval or compiled with Compile.
+type Expr interface {
+	// Eval interprets the expression against one tuple.
+	Eval(t value.Tuple) (value.Value, error)
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// holds reports whether the three-way comparison result c satisfies op.
+func (op CmpOp) holds(c int) bool {
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	}
+	return false
+}
+
+// Swap returns the operator with operands reversed (a op b == b Swap(op) a).
+func (op CmpOp) Swap() CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default:
+		return op
+	}
+}
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	case Mod:
+		return "%"
+	}
+	return "?"
+}
+
+// Col references a column, by name before binding and by position after.
+type Col struct {
+	Name  string
+	Index int // -1 until bound
+	kind  value.Kind
+}
+
+// NewCol returns an unbound column reference.
+func NewCol(name string) *Col { return &Col{Name: name, Index: -1} }
+
+// NewColIdx returns a pre-bound column reference (used by the planner when
+// it knows positions already).
+func NewColIdx(i int, k value.Kind) *Col {
+	return &Col{Name: fmt.Sprintf("$%d", i), Index: i, kind: k}
+}
+
+// Eval implements Expr.
+func (c *Col) Eval(t value.Tuple) (value.Value, error) {
+	if c.Index < 0 {
+		return value.Null, fmt.Errorf("expr: column %q not bound", c.Name)
+	}
+	if c.Index >= len(t) {
+		return value.Null, fmt.Errorf("expr: column %d out of range for tuple of %d", c.Index, len(t))
+	}
+	return t[c.Index], nil
+}
+
+func (c *Col) String() string { return c.Name }
+
+// Const is a literal value.
+type Const struct{ V value.Value }
+
+// NewConst returns a literal expression.
+func NewConst(v value.Value) *Const { return &Const{V: v} }
+
+// Eval implements Expr.
+func (c *Const) Eval(value.Tuple) (value.Value, error) { return c.V, nil }
+
+func (c *Const) String() string { return c.V.Quoted() }
+
+// Cmp compares two sub-expressions. NULL operands make the result NULL
+// (treated as false by filters), following SQL three-valued logic.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// NewCmp builds a comparison node.
+func NewCmp(op CmpOp, l, r Expr) *Cmp { return &Cmp{Op: op, L: l, R: r} }
+
+// Eval implements Expr.
+func (c *Cmp) Eval(t value.Tuple) (value.Value, error) {
+	l, err := c.L.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := c.R.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null, nil
+	}
+	if !value.Comparable(l, r) {
+		return value.Null, fmt.Errorf("expr: cannot compare %s with %s", l.Kind(), r.Kind())
+	}
+	return value.NewBool(c.Op.holds(value.Compare(l, r))), nil
+}
+
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// Arith applies an arithmetic operator to two sub-expressions.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// NewArith builds an arithmetic node.
+func NewArith(op ArithOp, l, r Expr) *Arith { return &Arith{Op: op, L: l, R: r} }
+
+// Eval implements Expr.
+func (a *Arith) Eval(t value.Tuple) (value.Value, error) {
+	l, err := a.L.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := a.R.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	switch a.Op {
+	case Add:
+		return value.Add(l, r)
+	case Sub:
+		return value.Sub(l, r)
+	case Mul:
+		return value.Mul(l, r)
+	case Div:
+		return value.Div(l, r)
+	case Mod:
+		return value.Mod(l, r)
+	}
+	return value.Null, fmt.Errorf("expr: bad arithmetic op %d", a.Op)
+}
+
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// And is logical conjunction with SQL three-valued semantics.
+type And struct{ L, R Expr }
+
+// NewAnd builds a conjunction; see also Conjoin.
+func NewAnd(l, r Expr) *And { return &And{L: l, R: r} }
+
+// Eval implements Expr.
+func (a *And) Eval(t value.Tuple) (value.Value, error) {
+	l, err := a.L.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	if l.Kind() == value.KindBool && !l.Bool() {
+		return value.NewBool(false), nil
+	}
+	r, err := a.R.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	if r.Kind() == value.KindBool && !r.Bool() {
+		return value.NewBool(false), nil
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null, nil
+	}
+	if l.Kind() != value.KindBool || r.Kind() != value.KindBool {
+		return value.Null, fmt.Errorf("expr: AND over non-boolean")
+	}
+	return value.NewBool(true), nil
+}
+
+func (a *And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is logical disjunction with SQL three-valued semantics.
+type Or struct{ L, R Expr }
+
+// NewOr builds a disjunction.
+func NewOr(l, r Expr) *Or { return &Or{L: l, R: r} }
+
+// Eval implements Expr.
+func (o *Or) Eval(t value.Tuple) (value.Value, error) {
+	l, err := o.L.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	if l.Kind() == value.KindBool && l.Bool() {
+		return value.NewBool(true), nil
+	}
+	r, err := o.R.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	if r.Kind() == value.KindBool && r.Bool() {
+		return value.NewBool(true), nil
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null, nil
+	}
+	if l.Kind() != value.KindBool || r.Kind() != value.KindBool {
+		return value.Null, fmt.Errorf("expr: OR over non-boolean")
+	}
+	return value.NewBool(false), nil
+}
+
+func (o *Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// NewNot builds a negation.
+func NewNot(e Expr) *Not { return &Not{E: e} }
+
+// Eval implements Expr.
+func (n *Not) Eval(t value.Tuple) (value.Value, error) {
+	v, err := n.E.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindBool {
+		return value.Null, fmt.Errorf("expr: NOT over non-boolean")
+	}
+	return value.NewBool(!v.Bool()), nil
+}
+
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// Neg is arithmetic negation.
+type Neg struct{ E Expr }
+
+// NewNeg builds an arithmetic negation.
+func NewNeg(e Expr) *Neg { return &Neg{E: e} }
+
+// Eval implements Expr.
+func (n *Neg) Eval(t value.Tuple) (value.Value, error) {
+	v, err := n.E.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	return value.Neg(v)
+}
+
+func (n *Neg) String() string { return fmt.Sprintf("(-%s)", n.E) }
+
+// IsNull tests for NULL (IS NULL / IS NOT NULL via Negate).
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// NewIsNull builds an IS [NOT] NULL test.
+func NewIsNull(e Expr, negate bool) *IsNull { return &IsNull{E: e, Negate: negate} }
+
+// Eval implements Expr.
+func (n *IsNull) Eval(t value.Tuple) (value.Value, error) {
+	v, err := n.E.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	return value.NewBool(v.IsNull() != n.Negate), nil
+}
+
+func (n *IsNull) String() string {
+	if n.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.E)
+}
+
+// In tests membership in a literal list.
+type In struct {
+	E      Expr
+	List   []value.Value
+	Negate bool
+}
+
+// NewIn builds an IN-list test.
+func NewIn(e Expr, list []value.Value, negate bool) *In {
+	return &In{E: e, List: list, Negate: negate}
+}
+
+// Eval implements Expr.
+func (in *In) Eval(t value.Tuple) (value.Value, error) {
+	v, err := in.E.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	for _, item := range in.List {
+		if value.Equal(v, item) {
+			return value.NewBool(!in.Negate), nil
+		}
+	}
+	return value.NewBool(in.Negate), nil
+}
+
+func (in *In) String() string {
+	items := make([]string, len(in.List))
+	for i, v := range in.List {
+		items[i] = v.Quoted()
+	}
+	not := ""
+	if in.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("(%s %sIN (%s))", in.E, not, strings.Join(items, ", "))
+}
+
+// Like is the SQL LIKE pattern match ('%' any run, '_' any single char).
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+	matcher *likeMatcher
+}
+
+// NewLike builds a LIKE test; the pattern is pre-compiled.
+func NewLike(e Expr, pattern string, negate bool) *Like {
+	return &Like{E: e, Pattern: pattern, Negate: negate, matcher: compileLike(pattern)}
+}
+
+// Eval implements Expr.
+func (l *Like) Eval(t value.Tuple) (value.Value, error) {
+	v, err := l.E.Eval(t)
+	if err != nil {
+		return value.Null, err
+	}
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindString {
+		return value.Null, fmt.Errorf("expr: LIKE over %s", v.Kind())
+	}
+	return value.NewBool(l.matcher.match(v.Str()) != l.Negate), nil
+}
+
+func (l *Like) String() string {
+	not := ""
+	if l.Negate {
+		not = "NOT "
+	}
+	return fmt.Sprintf("(%s %sLIKE '%s')", l.E, not, l.Pattern)
+}
+
+// Call invokes a builtin scalar function.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// NewCall builds a builtin function call.
+func NewCall(name string, args ...Expr) *Call {
+	return &Call{Name: strings.ToUpper(name), Args: args}
+}
+
+// Eval implements Expr.
+func (c *Call) Eval(t value.Tuple) (value.Value, error) {
+	args := make([]value.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(t)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	fn, ok := builtins[c.Name]
+	if !ok {
+		return value.Null, fmt.Errorf("expr: unknown function %s", c.Name)
+	}
+	return fn(args)
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+}
+
+// builtins are the scalar functions available to both front ends.
+var builtins = map[string]func([]value.Value) (value.Value, error){
+	"ABS": func(args []value.Value) (value.Value, error) {
+		if len(args) != 1 {
+			return value.Null, fmt.Errorf("expr: ABS takes 1 argument")
+		}
+		v := args[0]
+		switch v.Kind() {
+		case value.KindNull:
+			return value.Null, nil
+		case value.KindInt:
+			if v.Int() < 0 {
+				return value.NewInt(-v.Int()), nil
+			}
+			return v, nil
+		case value.KindFloat:
+			if v.Float() < 0 {
+				return value.NewFloat(-v.Float()), nil
+			}
+			return v, nil
+		}
+		return value.Null, fmt.Errorf("expr: ABS over %s", v.Kind())
+	},
+	"LENGTH": func(args []value.Value) (value.Value, error) {
+		if len(args) != 1 {
+			return value.Null, fmt.Errorf("expr: LENGTH takes 1 argument")
+		}
+		v := args[0]
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		if v.Kind() != value.KindString {
+			return value.Null, fmt.Errorf("expr: LENGTH over %s", v.Kind())
+		}
+		return value.NewInt(int64(len(v.Str()))), nil
+	},
+	"LOWER": func(args []value.Value) (value.Value, error) {
+		if len(args) != 1 {
+			return value.Null, fmt.Errorf("expr: LOWER takes 1 argument")
+		}
+		v := args[0]
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		if v.Kind() != value.KindString {
+			return value.Null, fmt.Errorf("expr: LOWER over %s", v.Kind())
+		}
+		return value.NewString(strings.ToLower(v.Str())), nil
+	},
+	"UPPER": func(args []value.Value) (value.Value, error) {
+		if len(args) != 1 {
+			return value.Null, fmt.Errorf("expr: UPPER takes 1 argument")
+		}
+		v := args[0]
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		if v.Kind() != value.KindString {
+			return value.Null, fmt.Errorf("expr: UPPER over %s", v.Kind())
+		}
+		return value.NewString(strings.ToUpper(v.Str())), nil
+	},
+}
+
+// Conjoin ANDs a list of predicates together; nil for an empty list.
+func Conjoin(preds []Expr) Expr {
+	var out Expr
+	for _, p := range preds {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = NewAnd(out, p)
+		}
+	}
+	return out
+}
+
+// SplitConjuncts flattens nested ANDs into a list of conjuncts.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*And); ok {
+		return append(SplitConjuncts(a.L), SplitConjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+// Truthy reports whether v should pass a WHERE filter: true only for a
+// boolean true (NULL and false both fail, per SQL).
+func Truthy(v value.Value) bool {
+	return v.Kind() == value.KindBool && v.Bool()
+}

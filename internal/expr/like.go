@@ -1,0 +1,104 @@
+package expr
+
+// likeMatcher is a compiled SQL LIKE pattern. '%' matches any run of
+// characters (including empty), '_' matches exactly one. Patterns are
+// compiled once per expression and reused per tuple.
+type likeMatcher struct {
+	// segments between '%' wildcards; each segment must appear in order.
+	// Within a segment '_' matches any single byte.
+	segments    []string
+	leadingPct  bool
+	trailingPct bool
+}
+
+func compileLike(pattern string) *likeMatcher {
+	m := &likeMatcher{}
+	var cur []byte
+	flush := func() {
+		m.segments = append(m.segments, string(cur))
+		cur = cur[:0]
+	}
+	first := true
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == '%' {
+			if first && len(cur) == 0 {
+				m.leadingPct = true
+			} else {
+				flush()
+			}
+			// Collapse runs of %.
+			for i+1 < len(pattern) && pattern[i+1] == '%' {
+				i++
+			}
+			if i == len(pattern)-1 {
+				m.trailingPct = true
+			}
+			first = false
+			continue
+		}
+		first = false
+		cur = append(cur, pattern[i])
+	}
+	if len(cur) > 0 || len(m.segments) == 0 {
+		flush()
+	}
+	return m
+}
+
+// segMatchAt reports whether segment seg matches s starting at position i.
+func segMatchAt(s, seg string, i int) bool {
+	if i+len(seg) > len(s) {
+		return false
+	}
+	for j := 0; j < len(seg); j++ {
+		if seg[j] != '_' && seg[j] != s[i+j] {
+			return false
+		}
+	}
+	return true
+}
+
+// segFind returns the first position >= from where seg matches s, or -1.
+func segFind(s, seg string, from int) int {
+	for i := from; i+len(seg) <= len(s); i++ {
+		if segMatchAt(s, seg, i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *likeMatcher) match(s string) bool {
+	segs := m.segments
+	if len(segs) == 0 {
+		return m.leadingPct || s == ""
+	}
+	pos := 0
+	for i, seg := range segs {
+		isFirst := i == 0
+		isLast := i == len(segs)-1
+		switch {
+		case isFirst && !m.leadingPct && isLast && !m.trailingPct:
+			// Exact match (with _ wildcards).
+			return len(s) == len(seg) && segMatchAt(s, seg, 0)
+		case isFirst && !m.leadingPct:
+			// Anchored prefix.
+			if !segMatchAt(s, seg, 0) {
+				return false
+			}
+			pos = len(seg)
+		case isLast && !m.trailingPct:
+			// Anchored suffix; it must also start at or after pos.
+			start := len(s) - len(seg)
+			return start >= pos && segMatchAt(s, seg, start)
+		default:
+			// Floating segment.
+			at := segFind(s, seg, pos)
+			if at < 0 {
+				return false
+			}
+			pos = at + len(seg)
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package expr
+
+import "testing"
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"abc", "ab", false},
+		{"abc", "abcd", false},
+		{"a%", "abc", true},
+		{"a%", "a", true},
+		{"a%", "ba", false},
+		{"%c", "abc", true},
+		{"%c", "c", true},
+		{"%c", "cb", false},
+		{"%b%", "abc", true},
+		{"%b%", "b", true},
+		{"%b%", "ac", false},
+		{"a%c", "abc", true},
+		{"a%c", "ac", true},
+		{"a%c", "abd", false},
+		{"a%b%c", "aXbYc", true},
+		{"a%b%c", "abc", true},
+		{"a%b%c", "acb", false},
+		{"_", "a", true},
+		{"_", "", false},
+		{"_", "ab", false},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"_b%", "abc", true},
+		{"_b%", "bbc", true},
+		{"_b%", "bca", false},
+		{"%", "", true},
+		{"%", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"%%", "x", true},      // collapsed %
+		{"a%%b", "aXb", true},  // collapsed % inside
+		{"%a_", "za b", false}, // suffix segment with _
+		{"%a_", "zaX", true},   //
+		{"abc%", "abc", true},  // trailing % matches empty
+		{"abc%", "ab", false},  //
+		{"%abc", "abc", true},  // leading % matches empty
+		{"a%a", "a", false},    // overlapping anchors need two chars
+		{"a%a", "aa", true},    //
+		{"__", "ab", true},     // two underscores
+		{"__", "a", false},     //
+		{"x_%", "xy", true},    // underscore then any
+		{"x_%", "x", false},    //
+	}
+	for _, c := range cases {
+		m := compileLike(c.pattern)
+		if got := m.match(c.s); got != c.want {
+			t.Errorf("LIKE %q on %q = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestLikeSuffixAfterFloating(t *testing.T) {
+	// The suffix anchor must not overlap a floating segment already
+	// consumed: "%ab%b" on "ab" must be false ("ab" then a later "b").
+	m := compileLike("%ab%b")
+	if m.match("ab") {
+		t.Error("pattern pct-ab-pct-b should not match ab")
+	}
+	if !m.match("abb") {
+		t.Error("pattern pct-ab-pct-b should match abb")
+	}
+	if !m.match("abXb") {
+		t.Error("pattern pct-ab-pct-b should match abXb")
+	}
+}

@@ -1,0 +1,184 @@
+package machine
+
+import "time"
+
+// CostModel converts engine operations into virtual CPU time on a
+// processing element. The defaults model a 1988-era PE (a 68020-class
+// processor around 2 MIPS, as in the DOOM machine the paper builds on).
+// Instruction counts per operation are rough but their *ratios* carry the
+// experiments: compiled expression evaluation is ~10x cheaper than
+// interpreted (paper §2.5), hashing costs more than comparing, and
+// message handling costs per byte.
+type CostModel struct {
+	// MIPS is the PE's instruction rate in millions per second.
+	MIPS float64
+	// InstrScanInterp is instructions to evaluate one interpreted
+	// predicate node-tree against one tuple.
+	InstrScanInterp float64
+	// InstrScanCompiled is instructions for the compiled equivalent.
+	InstrScanCompiled float64
+	// InstrCompare is instructions per tuple comparison (sort/merge).
+	InstrCompare float64
+	// InstrHash is instructions per hash+probe/insert of one tuple.
+	InstrHash float64
+	// InstrBuild is instructions to materialize one output tuple.
+	InstrBuild float64
+	// InstrMsgFixed is the fixed instruction cost to send one message.
+	InstrMsgFixed float64
+	// InstrMsgPerByte is instructions per message byte (marshalling).
+	InstrMsgPerByte float64
+	// InstrExprCompile is the one-time cost of compiling an expression
+	// (the OFM expression compiler's price of admission).
+	InstrExprCompile float64
+}
+
+func (c *CostModel) fill() {
+	if c.MIPS == 0 {
+		c.MIPS = 2.0
+	}
+	if c.InstrScanInterp == 0 {
+		c.InstrScanInterp = 150
+	}
+	if c.InstrScanCompiled == 0 {
+		c.InstrScanCompiled = 15
+	}
+	if c.InstrCompare == 0 {
+		c.InstrCompare = 25
+	}
+	if c.InstrHash == 0 {
+		c.InstrHash = 60
+	}
+	if c.InstrBuild == 0 {
+		c.InstrBuild = 40
+	}
+	if c.InstrMsgFixed == 0 {
+		c.InstrMsgFixed = 1000
+	}
+	if c.InstrMsgPerByte == 0 {
+		c.InstrMsgPerByte = 2
+	}
+	if c.InstrExprCompile == 0 {
+		c.InstrExprCompile = 50000
+	}
+}
+
+// DefaultCostModel returns the 1988-calibrated cost model.
+func DefaultCostModel() CostModel {
+	var c CostModel
+	c.fill()
+	return c
+}
+
+// instr converts an instruction count to virtual time.
+func (c CostModel) instr(n float64) time.Duration {
+	if n <= 0 || c.MIPS <= 0 {
+		return 0
+	}
+	return time.Duration(n / c.MIPS * 1e3) // n instr / (MIPS*1e6 instr/s) in ns
+}
+
+// ScanCost returns CPU time to filter n tuples, interpreted or compiled.
+func (c CostModel) ScanCost(n int, compiled bool) time.Duration {
+	per := c.InstrScanInterp
+	if compiled {
+		per = c.InstrScanCompiled
+	}
+	return c.instr(per * float64(n))
+}
+
+// CompileCost returns the one-time expression compilation cost.
+func (c CostModel) CompileCost() time.Duration { return c.instr(c.InstrExprCompile) }
+
+// CompareCost returns CPU time for n tuple comparisons.
+func (c CostModel) CompareCost(n int) time.Duration { return c.instr(c.InstrCompare * float64(n)) }
+
+// HashCost returns CPU time for n hash operations.
+func (c CostModel) HashCost(n int) time.Duration { return c.instr(c.InstrHash * float64(n)) }
+
+// BuildCost returns CPU time to materialize n output tuples.
+func (c CostModel) BuildCost(n int) time.Duration { return c.instr(c.InstrBuild * float64(n)) }
+
+// MsgCost returns sender CPU time for one message of the given size.
+func (c CostModel) MsgCost(bytes int) time.Duration {
+	return c.instr(c.InstrMsgFixed + c.InstrMsgPerByte*float64(bytes))
+}
+
+// SortCost returns CPU time to sort n tuples (n log2 n comparisons).
+func (c CostModel) SortCost(n int) time.Duration {
+	if n < 2 {
+		return 0
+	}
+	log := 0
+	for v := n; v > 1; v >>= 1 {
+		log++
+	}
+	return c.CompareCost(n * log)
+}
+
+// DiskModel charges virtual time for secondary storage, calibrated to a
+// late-1980s Winchester disk: ~24 ms average positioning, ~1 MB/s
+// sustained transfer. The three-orders-of-magnitude gap between these
+// numbers and main-memory access is the reason PRISMA is a main-memory
+// machine (paper §2.1); experiment E3 measures it.
+type DiskModel struct {
+	// Seek is average seek plus rotational latency per random access.
+	Seek time.Duration
+	// TransferBps is sustained sequential transfer in bytes/second.
+	TransferBps float64
+	// BlockBytes is the granularity of one random access.
+	BlockBytes int
+}
+
+func (d *DiskModel) fill() {
+	if d.Seek == 0 {
+		d.Seek = 24 * time.Millisecond
+	}
+	if d.TransferBps == 0 {
+		d.TransferBps = 1 << 20 // 1 MB/s
+	}
+	if d.BlockBytes == 0 {
+		d.BlockBytes = 4096
+	}
+}
+
+// DefaultDiskModel returns the 1988-calibrated disk model.
+func DefaultDiskModel() DiskModel {
+	var d DiskModel
+	d.fill()
+	return d
+}
+
+// transfer returns pure transfer time for n bytes.
+func (d DiskModel) transfer(bytes int) time.Duration {
+	if bytes <= 0 || d.TransferBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / d.TransferBps * float64(time.Second))
+}
+
+// SequentialRead returns time for one positioned, contiguous read.
+func (d DiskModel) SequentialRead(bytes int) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.Seek + d.transfer(bytes)
+}
+
+// SequentialWrite returns time for one positioned, contiguous write
+// (appends to a log pay this; the seek amortizes to near zero on a
+// dedicated log disk, so only a quarter of the seek is charged).
+func (d DiskModel) SequentialWrite(bytes int) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.Seek/4 + d.transfer(bytes)
+}
+
+// RandomRead returns time to read n blocks scattered over the disk.
+func (d DiskModel) RandomRead(blocks int) time.Duration {
+	if blocks <= 0 {
+		return 0
+	}
+	per := d.Seek + d.transfer(d.BlockBytes)
+	return time.Duration(blocks) * per
+}

@@ -1,0 +1,103 @@
+package machine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCostModelDefaults(t *testing.T) {
+	var c CostModel
+	c.fill()
+	if c.MIPS != 2.0 {
+		t.Errorf("MIPS = %v", c.MIPS)
+	}
+	// 150 instructions at 2 MIPS = 75 µs per interpreted tuple.
+	if got := c.ScanCost(1, false); got != 75*time.Microsecond {
+		t.Errorf("interpreted scan = %v, want 75µs", got)
+	}
+	// The compiled/interpreted ratio is 10x: the §2.5 claim.
+	interp := c.ScanCost(1000, false)
+	comp := c.ScanCost(1000, true)
+	if interp != 10*comp {
+		t.Errorf("interpreted %v vs compiled %v: want exactly 10x default ratio", interp, comp)
+	}
+}
+
+func TestCostScaling(t *testing.T) {
+	var c CostModel
+	c.fill()
+	if c.ScanCost(2000, true) != 2*c.ScanCost(1000, true) {
+		t.Error("scan cost must scale linearly")
+	}
+	if c.HashCost(100) <= c.CompareCost(100) {
+		t.Error("hashing a tuple costs more than comparing")
+	}
+	if c.MsgCost(10000) <= c.MsgCost(10) {
+		t.Error("bigger messages cost more")
+	}
+	if c.ScanCost(0, false) != 0 || c.HashCost(0) != 0 || c.BuildCost(0) != 0 {
+		t.Error("zero-op costs must be zero")
+	}
+	if c.ScanCost(-5, false) != 0 {
+		t.Error("negative counts must cost zero")
+	}
+	if c.CompileCost() <= 0 {
+		t.Error("expression compilation must cost something")
+	}
+}
+
+func TestSortCost(t *testing.T) {
+	var c CostModel
+	c.fill()
+	if c.SortCost(1) != 0 || c.SortCost(0) != 0 {
+		t.Error("sorting <2 tuples is free")
+	}
+	// n log n growth: 4x the tuples costs more than 4x.
+	small := c.SortCost(1000)
+	big := c.SortCost(4000)
+	if big <= 4*small {
+		t.Errorf("sort cost not superlinear: %v vs %v", small, big)
+	}
+}
+
+func TestDiskModelDefaults(t *testing.T) {
+	var d DiskModel
+	d.fill()
+	if d.Seek != 24*time.Millisecond {
+		t.Errorf("Seek = %v", d.Seek)
+	}
+	// Reading 1 MB sequentially: 24 ms seek + 1 s transfer.
+	got := d.SequentialRead(1 << 20)
+	want := 24*time.Millisecond + time.Second
+	if got != want {
+		t.Errorf("SequentialRead(1MB) = %v, want %v", got, want)
+	}
+	if d.SequentialRead(0) != 0 || d.SequentialWrite(0) != 0 || d.RandomRead(0) != 0 {
+		t.Error("zero-byte I/O is free")
+	}
+	// Random reads dominate: 100 scattered blocks cost ~100 seeks.
+	if d.RandomRead(100) < 100*d.Seek {
+		t.Errorf("RandomRead(100) = %v too cheap", d.RandomRead(100))
+	}
+	// Log appends amortize the seek.
+	if d.SequentialWrite(4096) >= d.SequentialRead(4096) {
+		t.Error("log append should be cheaper than a cold read")
+	}
+}
+
+// TestMemoryVsDiskGap quantifies why PRISMA keeps data in main memory:
+// scanning a fragment from memory (CPU only) versus paging it from disk
+// differs by orders of magnitude under 1988 parameters.
+func TestMemoryVsDiskGap(t *testing.T) {
+	var c CostModel
+	c.fill()
+	var d DiskModel
+	d.fill()
+	const tuples = 10000
+	const bytesPerTuple = 64
+	memTime := c.ScanCost(tuples, true)
+	diskTime := d.SequentialRead(tuples*bytesPerTuple) + memTime
+	if diskTime < 5*memTime {
+		t.Errorf("disk path %v should dwarf memory path %v", diskTime, memTime)
+	}
+}

@@ -1,0 +1,119 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StableStore is the stable storage the paper's §3.2 describes: "some of
+// the processing elements will also be connected to secondary storage
+// (disk). Using these, the multi-computer system implements stable
+// storage and automatic recovery upon system failures."
+//
+// It holds named append-only segments that survive simulated crashes
+// (Crash clears nothing here — volatile state lives in the engine, which
+// discards it and replays from these segments). Every operation charges
+// virtual disk time to the owning PE.
+type StableStore struct {
+	pe   *PE
+	disk DiskModel
+
+	mu       sync.Mutex
+	segments map[string][]byte
+	writes   int
+	syncs    int
+}
+
+// NewStableStore attaches stable storage to a disk-equipped PE.
+func NewStableStore(pe *PE, disk DiskModel) (*StableStore, error) {
+	if pe == nil {
+		return nil, fmt.Errorf("machine: stable store needs a PE")
+	}
+	if !pe.HasDisk() {
+		return nil, fmt.Errorf("machine: PE %d has no disk", pe.ID())
+	}
+	(&disk).fill()
+	return &StableStore{pe: pe, disk: disk, segments: map[string][]byte{}}, nil
+}
+
+// PE returns the owning processing element.
+func (s *StableStore) PE() *PE { return s.pe }
+
+// Append durably appends b to the named segment and returns the offset
+// at which it was written. The PE is charged a sequential write.
+func (s *StableStore) Append(name string, b []byte) (int64, error) {
+	if name == "" {
+		return 0, fmt.Errorf("machine: empty segment name")
+	}
+	s.mu.Lock()
+	seg := s.segments[name]
+	off := int64(len(seg))
+	s.segments[name] = append(seg, b...)
+	s.writes++
+	s.syncs++
+	s.mu.Unlock()
+	s.pe.Advance(s.disk.SequentialWrite(len(b)))
+	return off, nil
+}
+
+// ReadAll returns a copy of the named segment's full contents, charging
+// one sequential read. A missing segment reads as empty.
+func (s *StableStore) ReadAll(name string) []byte {
+	s.mu.Lock()
+	seg := s.segments[name]
+	out := append([]byte(nil), seg...)
+	s.mu.Unlock()
+	s.pe.Advance(s.disk.SequentialRead(len(out)))
+	return out
+}
+
+// Size returns the current length of the named segment without charging
+// disk time (metadata is cached in memory).
+func (s *StableStore) Size(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.segments[name]))
+}
+
+// Replace atomically replaces the named segment's contents (used by
+// checkpointing: write the snapshot, then truncate the log).
+func (s *StableStore) Replace(name string, b []byte) {
+	s.mu.Lock()
+	s.segments[name] = append([]byte(nil), b...)
+	s.writes++
+	s.syncs++
+	s.mu.Unlock()
+	s.pe.Advance(s.disk.SequentialWrite(len(b)))
+}
+
+// Truncate empties the named segment (log truncation after checkpoint).
+func (s *StableStore) Truncate(name string) {
+	s.mu.Lock()
+	delete(s.segments, name)
+	s.mu.Unlock()
+	s.pe.Advance(s.disk.SequentialWrite(0) + s.disk.Seek/4)
+}
+
+// Segments lists the existing segment names (order unspecified).
+func (s *StableStore) Segments() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.segments))
+	for name := range s.segments {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Writes returns how many durable writes the store has performed.
+func (s *StableStore) Writes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// SimulatedWriteTime returns the virtual time one append of n bytes costs.
+func (s *StableStore) SimulatedWriteTime(n int) time.Duration {
+	return s.disk.SequentialWrite(n)
+}

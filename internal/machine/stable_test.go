@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newTestStore(t *testing.T) (*Machine, *StableStore) {
+	t.Helper()
+	m := newTestMachine(t, 16)
+	pe := m.PE(m.DiskPEs()[0])
+	s, err := NewStableStore(pe, DiskModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func TestStableStoreAppendRead(t *testing.T) {
+	_, s := newTestStore(t)
+	off, err := s.Append("wal", []byte("hello "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 {
+		t.Errorf("first offset = %d", off)
+	}
+	off, err = s.Append("wal", []byte("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 6 {
+		t.Errorf("second offset = %d", off)
+	}
+	if got := s.ReadAll("wal"); !bytes.Equal(got, []byte("hello world")) {
+		t.Errorf("ReadAll = %q", got)
+	}
+	if s.Size("wal") != 11 {
+		t.Errorf("Size = %d", s.Size("wal"))
+	}
+	if got := s.ReadAll("missing"); len(got) != 0 {
+		t.Errorf("missing segment read %q", got)
+	}
+	if s.Writes() != 2 {
+		t.Errorf("Writes = %d", s.Writes())
+	}
+}
+
+func TestStableStoreChargesDiskTime(t *testing.T) {
+	_, s := newTestStore(t)
+	before := s.PE().Clock()
+	if _, err := s.Append("wal", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	after := s.PE().Clock()
+	if after <= before {
+		t.Error("append must charge virtual disk time")
+	}
+	// The charge matches the disk model.
+	if d := after - before; d != s.SimulatedWriteTime(4096) {
+		t.Errorf("charged %v, model says %v", d, s.SimulatedWriteTime(4096))
+	}
+}
+
+func TestStableStoreReplaceTruncate(t *testing.T) {
+	_, s := newTestStore(t)
+	if _, err := s.Append("seg", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	s.Replace("seg", []byte("new-contents"))
+	if got := s.ReadAll("seg"); !bytes.Equal(got, []byte("new-contents")) {
+		t.Errorf("after Replace = %q", got)
+	}
+	s.Truncate("seg")
+	if s.Size("seg") != 0 {
+		t.Errorf("after Truncate size = %d", s.Size("seg"))
+	}
+	if len(s.Segments()) != 0 {
+		t.Errorf("segments = %v", s.Segments())
+	}
+}
+
+func TestStableStoreValidation(t *testing.T) {
+	m := newTestMachine(t, 16)
+	if _, err := NewStableStore(nil, DiskModel{}); err == nil {
+		t.Error("nil PE should error")
+	}
+	// PE 1 has no disk (disks on every 8th).
+	if _, err := NewStableStore(m.PE(1), DiskModel{}); err == nil {
+		t.Error("diskless PE should error")
+	}
+	_, s := newTestStore(t)
+	if _, err := s.Append("", []byte("x")); err == nil {
+		t.Error("empty segment name should error")
+	}
+}
+
+func TestStableStoreIsolationBetweenSegments(t *testing.T) {
+	_, s := newTestStore(t)
+	if _, err := s.Append("a", []byte("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append("b", []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Size("a") != 3 || s.Size("b") != 2 {
+		t.Errorf("sizes: a=%d b=%d", s.Size("a"), s.Size("b"))
+	}
+	if len(s.Segments()) != 2 {
+		t.Errorf("segments = %v", s.Segments())
+	}
+	// Mutating a returned copy must not affect the store.
+	got := s.ReadAll("a")
+	got[0] = 'z'
+	if s.ReadAll("a")[0] != 'a' {
+		t.Error("ReadAll must return a copy")
+	}
+}

@@ -1,0 +1,351 @@
+package ofm
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Transactional updates use deferred write sets: mutations buffer in the
+// OFM until two-phase commit applies them. Reads see committed state
+// only. This file also implements txn.Participant and crash recovery.
+
+func (o *OFM) ws(tx txn.ID) *writeSet {
+	w := o.pending[tx]
+	if w == nil {
+		w = &writeSet{}
+		o.pending[tx] = w
+	}
+	return w
+}
+
+// InsertTx buffers inserts for tx. The caller must already hold the
+// fragment lock through the transaction layer.
+func (o *OFM) InsertTx(tx txn.ID, tuples ...value.Tuple) error {
+	// Validate eagerly so errors surface at insert, not commit.
+	for _, t := range tuples {
+		if err := storage.Conform(o.cfg.Schema, t); err != nil {
+			return fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+		}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	w := o.ws(tx)
+	if w.prepared {
+		return fmt.Errorf("ofm %s: txn %d already prepared", o.cfg.Name, tx)
+	}
+	w.inserts = append(w.inserts, tuples...)
+	o.cfg.PE.Advance(o.costs().BuildCost(len(tuples)))
+	return nil
+}
+
+// DeleteTx buffers the deletion of every committed tuple matching pred
+// (nil = all) and returns how many will be deleted.
+func (o *OFM) DeleteTx(tx txn.ID, pred expr.Expr) (int, error) {
+	matching, err := o.matchRowIDs(pred)
+	if err != nil {
+		return 0, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	w := o.ws(tx)
+	if w.prepared {
+		return 0, fmt.Errorf("ofm %s: txn %d already prepared", o.cfg.Name, tx)
+	}
+	for _, id := range matching {
+		if t, ok := o.store.Get(id); ok {
+			w.deletes = append(w.deletes, id)
+			w.delTuple = append(w.delTuple, t)
+		}
+	}
+	return len(matching), nil
+}
+
+// UpdateTx buffers an update: matching tuples are deleted and their
+// transformed images inserted. set maps column index to a bound
+// expression evaluated against the old tuple.
+func (o *OFM) UpdateTx(tx txn.ID, pred expr.Expr, set map[int]expr.Expr) (int, error) {
+	matching, err := o.matchRowIDs(pred)
+	if err != nil {
+		return 0, err
+	}
+	// Bind the set expressions once.
+	bound := map[int]expr.Expr{}
+	for col, e := range set {
+		if col < 0 || col >= o.cfg.Schema.Len() {
+			return 0, fmt.Errorf("ofm %s: update column %d out of range", o.cfg.Name, col)
+		}
+		be := expr.Clone(e)
+		if _, err := expr.Bind(be, o.cfg.Schema); err != nil {
+			return 0, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+		}
+		bound[col] = be
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	w := o.ws(tx)
+	if w.prepared {
+		return 0, fmt.Errorf("ofm %s: txn %d already prepared", o.cfg.Name, tx)
+	}
+	count := 0
+	for _, id := range matching {
+		old, ok := o.store.Get(id)
+		if !ok {
+			continue
+		}
+		updated := old.Clone()
+		for col, e := range bound {
+			v, err := e.Eval(old)
+			if err != nil {
+				return count, fmt.Errorf("ofm %s: update: %w", o.cfg.Name, err)
+			}
+			updated[col] = v
+		}
+		w.deletes = append(w.deletes, id)
+		w.delTuple = append(w.delTuple, old)
+		w.inserts = append(w.inserts, updated)
+		count++
+	}
+	o.cfg.PE.Advance(o.costs().BuildCost(count))
+	return count, nil
+}
+
+// matchRowIDs resolves pred against committed rows.
+func (o *OFM) matchRowIDs(pred expr.Expr) ([]storage.RowID, error) {
+	var ids []storage.RowID
+	if pred == nil {
+		o.store.Scan(func(id storage.RowID, _ value.Tuple) bool {
+			ids = append(ids, id)
+			return true
+		})
+		o.cfg.PE.Advance(o.costs().ScanCost(len(ids), o.cfg.Compiled))
+		return ids, nil
+	}
+	var p *expr.Predicate
+	var bound expr.Expr
+	var err error
+	if o.cfg.Compiled {
+		p, err = o.compilePred(pred)
+	} else {
+		bound = expr.Clone(pred)
+		_, err = expr.Bind(bound, o.cfg.Schema)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+	}
+	scanned := 0
+	var evalErr error
+	o.store.Scan(func(id storage.RowID, t value.Tuple) bool {
+		scanned++
+		var hit bool
+		if p != nil {
+			hit, evalErr = p.Match(t)
+		} else {
+			var v value.Value
+			v, evalErr = bound.Eval(t)
+			hit = expr.Truthy(v)
+		}
+		if evalErr != nil {
+			return false
+		}
+		if hit {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	o.cfg.PE.Advance(o.costs().ScanCost(scanned, o.cfg.Compiled))
+	if evalErr != nil {
+		return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, evalErr)
+	}
+	return ids, nil
+}
+
+// PendingFor reports the buffered write counts for tx (tests, tooling).
+func (o *OFM) PendingFor(tx txn.ID) (inserts, deletes int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	w := o.pending[tx]
+	if w == nil {
+		return 0, 0
+	}
+	return len(w.inserts), len(w.deletes)
+}
+
+// ---------- txn.Participant ----------
+
+// Prepare implements txn.Participant: the write set is forced to the
+// redo log with a prepare marker. Transient OFMs vote yes with no I/O.
+func (o *OFM) Prepare(tx txn.ID) error {
+	o.mu.Lock()
+	w := o.pending[tx]
+	if w == nil {
+		w = &writeSet{}
+		o.pending[tx] = w
+	}
+	if w.prepared {
+		o.mu.Unlock()
+		return nil
+	}
+	w.prepared = true
+	inserts := append([]value.Tuple(nil), w.inserts...)
+	delTuples := append([]value.Tuple(nil), w.delTuple...)
+	o.mu.Unlock()
+
+	if o.cfg.Kind == Transient {
+		return nil
+	}
+	// Redo records in apply order (deletes, then inserts), sealed by the
+	// prepare marker, forced in one write.
+	recs := make([]wal.Record, 0, len(inserts)+len(delTuples)+1)
+	for _, t := range delTuples {
+		recs = append(recs, wal.Record{Type: wal.RecDelete, Txn: tx, Tuple: t})
+	}
+	for _, t := range inserts {
+		recs = append(recs, wal.Record{Type: wal.RecInsert, Txn: tx, Tuple: t})
+	}
+	recs = append(recs, wal.Record{Type: wal.RecPrepare, Txn: tx})
+	o.chargeRemoteLog(len(recs))
+	if err := o.cfg.Log.Append(recs...); err != nil {
+		return fmt.Errorf("ofm %s: prepare: %w", o.cfg.Name, err)
+	}
+	return nil
+}
+
+// chargeRemoteLog charges the message cost of shipping log records from
+// the OFM's PE to its (nearest) disk PE, where the allocator placed the
+// stable store.
+func (o *OFM) chargeRemoteLog(nRecords int) {
+	if o.cfg.Machine == nil || o.cfg.Log == nil {
+		return
+	}
+	bytes := nRecords * 64 // approximate record wire size
+	diskPE := o.cfg.Machine.NearestDiskPE(o.cfg.PE.ID())
+	if diskPE >= 0 && diskPE != o.cfg.PE.ID() {
+		o.cfg.Machine.Send(o.cfg.PE.ID(), diskPE, bytes)
+	}
+}
+
+// Commit implements txn.Participant: the commit marker is forced, then
+// the write set is applied to the main-memory store.
+func (o *OFM) Commit(tx txn.ID) error {
+	o.mu.Lock()
+	w := o.pending[tx]
+	delete(o.pending, tx)
+	o.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	if o.cfg.Kind == Persistent {
+		if err := o.cfg.Log.Append(wal.Record{Type: wal.RecCommit, Txn: tx}); err != nil {
+			return fmt.Errorf("ofm %s: commit marker: %w", o.cfg.Name, err)
+		}
+	}
+	var rowDelta int
+	var byteDelta int64
+	for i, id := range w.deletes {
+		if o.store.Delete(id) {
+			rowDelta--
+			byteDelta -= int64(w.delTuple[i].Size())
+		}
+	}
+	for _, t := range w.inserts {
+		if _, err := o.store.Insert(t); err != nil {
+			return fmt.Errorf("ofm %s: commit apply: %w", o.cfg.Name, err)
+		}
+		rowDelta++
+		byteDelta += int64(t.Size())
+	}
+	o.cfg.PE.Advance(o.costs().BuildCost(len(w.inserts) + len(w.deletes)))
+	if o.cfg.StatsFn != nil && (rowDelta != 0 || byteDelta != 0) {
+		o.cfg.StatsFn(rowDelta, byteDelta)
+	}
+	return nil
+}
+
+// Abort implements txn.Participant: the write set is dropped; a prepared
+// persistent transaction logs an abort marker so recovery resolves it.
+func (o *OFM) Abort(tx txn.ID) error {
+	o.mu.Lock()
+	w := o.pending[tx]
+	delete(o.pending, tx)
+	o.mu.Unlock()
+	if w == nil || o.cfg.Kind == Transient {
+		return nil
+	}
+	if w.prepared {
+		if err := o.cfg.Log.Append(wal.Record{Type: wal.RecAbort, Txn: tx}); err != nil {
+			return fmt.Errorf("ofm %s: abort marker: %w", o.cfg.Name, err)
+		}
+	}
+	return nil
+}
+
+// ---------- crash recovery ----------
+
+// Crash simulates a PE failure: all volatile state (the store and any
+// pending write sets) vanishes. Stable storage survives.
+func (o *OFM) Crash() {
+	o.mu.Lock()
+	o.pending = map[txn.ID]*writeSet{}
+	o.mu.Unlock()
+	o.store.Clear()
+}
+
+// Recover rebuilds the fragment from stable storage: checkpoint image
+// plus the redo records of committed transactions. Only Persistent OFMs
+// can recover; a Transient OFM's contents are simply gone (its producer
+// re-runs the query). Returns the number of redo records applied.
+func (o *OFM) Recover() (int, error) {
+	if o.cfg.Kind != Persistent {
+		return 0, fmt.Errorf("ofm %s: transient OFMs do not recover", o.cfg.Name)
+	}
+	res, err := o.cfg.Log.Recover()
+	if err != nil {
+		return 0, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+	}
+	o.store.Clear()
+	if _, err := o.store.InsertBatch(res.Snapshot); err != nil {
+		return 0, fmt.Errorf("ofm %s: recover snapshot: %w", o.cfg.Name, err)
+	}
+	applied := 0
+	for _, r := range res.Redo {
+		switch r.Type {
+		case wal.RecInsert:
+			if _, err := o.store.Insert(r.Tuple); err != nil {
+				return applied, fmt.Errorf("ofm %s: redo insert: %w", o.cfg.Name, err)
+			}
+		case wal.RecDelete:
+			// Delete by value: find one matching committed tuple.
+			var target storage.RowID = -1
+			o.store.Scan(func(id storage.RowID, t value.Tuple) bool {
+				if value.EqualTuples(t, r.Tuple) {
+					target = id
+					return false
+				}
+				return true
+			})
+			if target >= 0 {
+				o.store.Delete(target)
+			}
+		}
+		applied++
+	}
+	o.cfg.PE.Advance(o.costs().BuildCost(len(res.Snapshot) + applied))
+	return applied, nil
+}
+
+// Checkpoint folds the committed store into the checkpoint segment and
+// truncates the log (persistent OFMs only; transient is a no-op).
+func (o *OFM) Checkpoint() error {
+	if o.cfg.Kind != Persistent {
+		return nil
+	}
+	if err := o.cfg.Log.Checkpoint(o.store.Snapshot()); err != nil {
+		return fmt.Errorf("ofm %s: checkpoint: %w", o.cfg.Name, err)
+	}
+	return nil
+}

@@ -1,0 +1,401 @@
+// Package optimizer is the knowledge-based query optimizer of the Global
+// Data Handler (paper §2.4): "the knowledge base contains rules
+// concerning logical transformations, estimating sizes of intermediate
+// results, detection of common subexpressions, and applying parallelism
+// to minimize response time."
+//
+// The knowledge base is literally a list of rewrite rules applied to the
+// logical plan until fixpoint. Rule groups can be toggled independently,
+// which is what the E9 ablation experiment sweeps.
+package optimizer
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/fragment"
+	"repro/internal/plan"
+)
+
+// Options enables rule groups of the knowledge base.
+type Options struct {
+	// Pushdown moves selection predicates toward the scans.
+	Pushdown bool
+	// JoinOrder reorders join chains smallest-estimate-first.
+	JoinOrder bool
+	// CSE marks identical scan subtrees as shared.
+	CSE bool
+	// Parallel chooses distributed join methods and aggregate pushdown.
+	Parallel bool
+	// Selectivity is the assumed fraction of rows a predicate keeps
+	// (0 takes the default 0.33; equality on a key estimates sharper).
+	Selectivity float64
+}
+
+// AllRules enables the complete knowledge base.
+func AllRules() Options {
+	return Options{Pushdown: true, JoinOrder: true, CSE: true, Parallel: true}
+}
+
+// Optimizer rewrites logical plans using catalog statistics.
+type Optimizer struct {
+	cat  *catalog.Catalog
+	opts Options
+}
+
+// New builds an optimizer over a catalog.
+func New(cat *catalog.Catalog, opts Options) *Optimizer {
+	if opts.Selectivity <= 0 || opts.Selectivity >= 1 {
+		opts.Selectivity = 0.33
+	}
+	return &Optimizer{cat: cat, opts: opts}
+}
+
+// Options returns the enabled rule groups.
+func (o *Optimizer) Options() Options { return o.opts }
+
+// Optimize rewrites the plan: estimation, pushdown, join ordering, CSE
+// and parallelization, in that order.
+func (o *Optimizer) Optimize(root plan.Node) plan.Node {
+	root = o.estimate(root)
+	if o.opts.Pushdown {
+		root = o.pushdown(root)
+		root = o.estimate(root)
+	}
+	if o.opts.JoinOrder {
+		root = o.orderJoins(root)
+		root = o.estimate(root)
+	}
+	if o.opts.CSE {
+		o.markCommonScans(root)
+	}
+	if o.opts.Parallel {
+		o.parallelize(root)
+	}
+	return root
+}
+
+// ---------- size estimation ----------
+
+// estimate annotates cardinality estimates bottom-up.
+func (o *Optimizer) estimate(n plan.Node) plan.Node {
+	switch t := n.(type) {
+	case *plan.Scan:
+		rows := 1000
+		if tab, err := o.cat.Get(t.Table); err == nil {
+			rows = tab.Rows()
+		}
+		if t.Pred != nil {
+			rows = o.filterEstimate(rows, t.Pred)
+		}
+		t.EstRows = rows
+	case *plan.Select:
+		o.estimate(t.Child)
+		t.EstRows = o.filterEstimate(plan.EstRows(t.Child), t.Pred)
+	case *plan.Project:
+		o.estimate(t.Child)
+		t.EstRows = plan.EstRows(t.Child)
+	case *plan.Join:
+		o.estimate(t.Left)
+		o.estimate(t.Right)
+		l, r := plan.EstRows(t.Left), plan.EstRows(t.Right)
+		// Equi-join estimate: |L|*|R| / max(|L|,|R|) — the classic
+		// distinct-keys heuristic.
+		max := l
+		if r > max {
+			max = r
+		}
+		if max == 0 {
+			t.EstRows = 0
+		} else {
+			t.EstRows = l * r / max
+		}
+		if t.Residual != nil {
+			t.EstRows = o.filterEstimate(t.EstRows, t.Residual)
+		}
+	case *plan.Aggregate:
+		o.estimate(t.Child)
+		in := plan.EstRows(t.Child)
+		if len(t.GroupBy) == 0 {
+			t.EstRows = 1
+		} else {
+			// Assume ~sqrt(n) groups.
+			g := 1
+			for g*g < in {
+				g++
+			}
+			t.EstRows = g
+		}
+	case *plan.Sort:
+		o.estimate(t.Child)
+	case *plan.Distinct:
+		o.estimate(t.Child)
+	case *plan.Limit:
+		o.estimate(t.Child)
+	}
+	return n
+}
+
+// filterEstimate shrinks a row count through a predicate: each equality
+// conjunct keeps selectivity²; other conjuncts keep selectivity.
+func (o *Optimizer) filterEstimate(rows int, pred expr.Expr) int {
+	sel := 1.0
+	for _, c := range expr.SplitConjuncts(pred) {
+		if cmp, ok := c.(*expr.Cmp); ok && cmp.Op == expr.EQ {
+			sel *= o.opts.Selectivity * o.opts.Selectivity
+		} else {
+			sel *= o.opts.Selectivity
+		}
+	}
+	est := int(float64(rows) * sel)
+	if est < 1 && rows > 0 {
+		est = 1
+	}
+	return est
+}
+
+// ---------- rule group: selection pushdown ----------
+
+// pushdown moves Select predicates down toward scans. Conjuncts are
+// split and pushed independently; whatever cannot sink stays in place.
+func (o *Optimizer) pushdown(n plan.Node) plan.Node {
+	switch t := n.(type) {
+	case *plan.Select:
+		t.Child = o.pushdown(t.Child)
+		remaining := o.sink(t.Child, expr.SplitConjuncts(t.Pred))
+		if len(remaining) == 0 {
+			return t.Child
+		}
+		t.Pred = expr.Conjoin(remaining)
+		return t
+	case *plan.Project:
+		t.Child = o.pushdown(t.Child)
+	case *plan.Join:
+		t.Left = o.pushdown(t.Left)
+		t.Right = o.pushdown(t.Right)
+		if t.Residual != nil {
+			left := o.tryPushJoinSide(t, expr.SplitConjuncts(t.Residual))
+			t.Residual = expr.Conjoin(left)
+		}
+	case *plan.Aggregate:
+		t.Child = o.pushdown(t.Child)
+	case *plan.Sort:
+		t.Child = o.pushdown(t.Child)
+	case *plan.Distinct:
+		t.Child = o.pushdown(t.Child)
+	case *plan.Limit:
+		t.Child = o.pushdown(t.Child)
+	}
+	return n
+}
+
+// sink tries to absorb conjuncts into the subtree root; it returns the
+// conjuncts that could not be absorbed.
+func (o *Optimizer) sink(n plan.Node, conjuncts []expr.Expr) []expr.Expr {
+	var rest []expr.Expr
+	switch t := n.(type) {
+	case *plan.Scan:
+		for _, c := range conjuncts {
+			t.Pred = expr.Conjoin([]expr.Expr{t.Pred, c})
+		}
+		return nil
+	case *plan.Select:
+		for _, c := range conjuncts {
+			t.Pred = expr.NewAnd(t.Pred, c)
+		}
+		return nil
+	case *plan.Join:
+		lw := t.Left.Schema().Len()
+		for _, c := range conjuncts {
+			cols := expr.Columns(c)
+			if allBelow(cols, lw) {
+				t.Left = wrapSelect(t.Left, c)
+			} else if allAtOrAbove(cols, lw) {
+				shifted := expr.Clone(c)
+				expr.MapCols(shifted, func(i int) int { return i - lw })
+				t.Right = wrapSelect(t.Right, shifted)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		// Recurse into the new selects.
+		t.Left = o.pushdown(t.Left)
+		t.Right = o.pushdown(t.Right)
+		return rest
+	default:
+		return conjuncts
+	}
+}
+
+// tryPushJoinSide pushes residual join conjuncts that reference only one
+// side down to that side, returning what stays.
+func (o *Optimizer) tryPushJoinSide(j *plan.Join, conjuncts []expr.Expr) []expr.Expr {
+	var rest []expr.Expr
+	lw := j.Left.Schema().Len()
+	for _, c := range conjuncts {
+		cols := expr.Columns(c)
+		switch {
+		case allBelow(cols, lw):
+			j.Left = o.pushdown(wrapSelect(j.Left, c))
+		case allAtOrAbove(cols, lw):
+			shifted := expr.Clone(c)
+			expr.MapCols(shifted, func(i int) int { return i - lw })
+			j.Right = o.pushdown(wrapSelect(j.Right, shifted))
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return rest
+}
+
+func allBelow(cols []int, n int) bool {
+	for _, c := range cols {
+		if c >= n {
+			return false
+		}
+	}
+	return len(cols) > 0
+}
+
+func allAtOrAbove(cols []int, n int) bool {
+	for _, c := range cols {
+		if c < n {
+			return false
+		}
+	}
+	return len(cols) > 0
+}
+
+func wrapSelect(n plan.Node, pred expr.Expr) plan.Node {
+	if s, ok := n.(*plan.Select); ok {
+		s.Pred = expr.NewAnd(s.Pred, pred)
+		return s
+	}
+	if sc, ok := n.(*plan.Scan); ok {
+		sc.Pred = expr.Conjoin([]expr.Expr{sc.Pred, pred})
+		return sc
+	}
+	return &plan.Select{Child: n, Pred: pred}
+}
+
+// ---------- rule group: join ordering ----------
+
+// orderJoins flips each join so the smaller estimated input builds the
+// hash table (left side), recursively.
+func (o *Optimizer) orderJoins(n plan.Node) plan.Node {
+	switch t := n.(type) {
+	case *plan.Join:
+		t.Left = o.orderJoins(t.Left)
+		t.Right = o.orderJoins(t.Right)
+		// Keep deep joins left-deep; swap when the right side is smaller
+		// and the join is a pure equi-join (residuals reference the
+		// concatenated schema and would need remapping).
+		if t.Residual == nil && plan.EstRows(t.Right) < plan.EstRows(t.Left) {
+			t.Left, t.Right = t.Right, t.Left
+			t.LeftKeys, t.RightKeys = t.RightKeys, t.LeftKeys
+			t.Swapped = !t.Swapped // executor restores the column order
+		}
+	case *plan.Select:
+		t.Child = o.orderJoins(t.Child)
+	case *plan.Project:
+		t.Child = o.orderJoins(t.Child)
+	case *plan.Aggregate:
+		t.Child = o.orderJoins(t.Child)
+	case *plan.Sort:
+		t.Child = o.orderJoins(t.Child)
+	case *plan.Distinct:
+		t.Child = o.orderJoins(t.Child)
+	case *plan.Limit:
+		t.Child = o.orderJoins(t.Child)
+	}
+	return n
+}
+
+// ---------- rule group: common subexpression detection ----------
+
+// markCommonScans finds scans of the same table with identical predicates
+// and marks them shared, so the executor evaluates once and reuses.
+func (o *Optimizer) markCommonScans(root plan.Node) {
+	seen := map[string][]*plan.Scan{}
+	plan.Walk(root, func(n plan.Node) {
+		if sc, ok := n.(*plan.Scan); ok {
+			key := sc.Table + "|"
+			if sc.Pred != nil {
+				key += sc.Pred.String()
+			}
+			seen[key] = append(seen[key], sc)
+		}
+	})
+	for _, scans := range seen {
+		if len(scans) > 1 {
+			for _, sc := range scans {
+				sc.Shared = true
+			}
+		}
+	}
+}
+
+// ---------- rule group: parallelism ----------
+
+// parallelize picks distributed join methods and enables aggregate
+// pushdown — "applying parallelism to minimize response time".
+func (o *Optimizer) parallelize(root plan.Node) {
+	plan.Walk(root, func(n plan.Node) {
+		switch t := n.(type) {
+		case *plan.Aggregate:
+			// Push partial aggregation to the fragments when the child is
+			// a bare (possibly filtered) scan of a fragmented table.
+			if sc, ok := t.Child.(*plan.Scan); ok {
+				if tab, err := o.cat.Get(sc.Table); err == nil && tab.NumFragments() > 1 {
+					t.Pushdown = true
+				}
+			}
+		case *plan.Join:
+			if t.Method != plan.JoinAuto {
+				return
+			}
+			t.Method = o.chooseJoinMethod(t)
+		}
+	})
+}
+
+// chooseJoinMethod selects colocated when both inputs are scans of
+// tables hash-fragmented identically on the join keys; repartition when
+// both inputs are large; central otherwise.
+func (o *Optimizer) chooseJoinMethod(j *plan.Join) plan.JoinMethod {
+	ls, lok := j.Left.(*plan.Scan)
+	rs, rok := j.Right.(*plan.Scan)
+	if lok && rok && len(j.LeftKeys) == 1 && len(j.RightKeys) == 1 {
+		lt, lerr := o.cat.Get(ls.Table)
+		rt, rerr := o.cat.Get(rs.Table)
+		if lerr == nil && rerr == nil &&
+			lt.Scheme.Strategy == fragment.Hash && rt.Scheme.Strategy == fragment.Hash &&
+			lt.Scheme.N == rt.Scheme.N &&
+			lt.Scheme.Column == j.LeftKeys[0] && rt.Scheme.Column == j.RightKeys[0] {
+			return plan.JoinColocated
+		}
+	}
+	// A tiny input joined with a fragmented scan: ship the small side to
+	// every fragment and join in place.
+	const broadcastThreshold = 512
+	fragmentedScan := func(n plan.Node) bool {
+		sc, ok := n.(*plan.Scan)
+		if !ok {
+			return false
+		}
+		tab, err := o.cat.Get(sc.Table)
+		return err == nil && tab.NumFragments() > 1
+	}
+	lSmall := plan.EstRows(j.Left) <= broadcastThreshold
+	rSmall := plan.EstRows(j.Right) <= broadcastThreshold
+	if lSmall && fragmentedScan(j.Right) && !fragmentedScan(j.Left) {
+		return plan.JoinBroadcast
+	}
+	if rSmall && fragmentedScan(j.Left) && !fragmentedScan(j.Right) {
+		return plan.JoinBroadcast
+	}
+	const repartitionThreshold = 2000
+	if plan.EstRows(j.Left) > repartitionThreshold && plan.EstRows(j.Right) > repartitionThreshold {
+		return plan.JoinRepartition
+	}
+	return plan.JoinCentral
+}

@@ -1,0 +1,266 @@
+// Package plan defines the logical query plans the Global Data Handler
+// produces from SQL and PRISMAlog and the knowledge-based optimizer
+// rewrites (paper §2.4). A plan is a tree of relational operators; every
+// node carries its output schema and a cardinality estimate that the
+// optimizer maintains.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Node is one operator of a logical plan.
+type Node interface {
+	// Schema is the node's output schema.
+	Schema() *value.Schema
+	// Children returns the input nodes.
+	Children() []Node
+	// String renders one line (children not included).
+	String() string
+}
+
+// Scan reads a base table, optionally filtered and with fragment-level
+// parallelism decided by the optimizer.
+type Scan struct {
+	Table  string
+	Out    *value.Schema
+	Pred   expr.Expr // pushed-down predicate, bound to Out
+	Shared bool      // marked by CSE: result reused by multiple parents
+
+	// EstRows is the optimizer's cardinality estimate.
+	EstRows int
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() *value.Schema { return s.Out }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+func (s *Scan) String() string {
+	b := fmt.Sprintf("Scan(%s)", s.Table)
+	if s.Pred != nil {
+		b += fmt.Sprintf(" filter=%s", s.Pred)
+	}
+	if s.Shared {
+		b += " [shared]"
+	}
+	return fmt.Sprintf("%s est=%d", b, s.EstRows)
+}
+
+// Select filters its child.
+type Select struct {
+	Child   Node
+	Pred    expr.Expr // bound to Child.Schema()
+	EstRows int
+}
+
+// Schema implements Node.
+func (s *Select) Schema() *value.Schema { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.Child} }
+
+func (s *Select) String() string { return fmt.Sprintf("Select(%s) est=%d", s.Pred, s.EstRows) }
+
+// Project computes output expressions.
+type Project struct {
+	Child   Node
+	Exprs   []expr.Expr
+	Names   []string
+	Out     *value.Schema
+	EstRows int
+}
+
+// Schema implements Node.
+func (p *Project) Schema() *value.Schema { return p.Out }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+func (p *Project) String() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("Project(%s) est=%d", strings.Join(parts, ", "), p.EstRows)
+}
+
+// JoinMethod selects the physical join strategy.
+type JoinMethod uint8
+
+// Join methods the executor implements.
+const (
+	// JoinAuto lets the executor pick (colocated, repartitioned or
+	// centralized) from the fragmentation schemes.
+	JoinAuto JoinMethod = iota
+	// JoinColocated joins fragment pairs in place.
+	JoinColocated
+	// JoinRepartition hash-partitions both sides across PEs.
+	JoinRepartition
+	// JoinBroadcast ships a small input to every fragment of the other.
+	JoinBroadcast
+	// JoinCentral collects both sides at the coordinator.
+	JoinCentral
+)
+
+func (m JoinMethod) String() string {
+	switch m {
+	case JoinColocated:
+		return "colocated"
+	case JoinRepartition:
+		return "repartition"
+	case JoinBroadcast:
+		return "broadcast"
+	case JoinCentral:
+		return "central"
+	default:
+		return "auto"
+	}
+}
+
+// Join equi-joins two inputs; extra theta conditions live in Residual.
+// When the optimizer swaps the sides (smaller input first), Swapped is
+// set and the executor restores the original column order, so Out — and
+// every expression bound upstream — stays valid.
+type Join struct {
+	Left, Right Node
+	LeftKeys    []int
+	RightKeys   []int
+	Residual    expr.Expr // bound to the concatenated schema (Out)
+	Method      JoinMethod
+	Swapped     bool
+	Out         *value.Schema
+	EstRows     int
+}
+
+// Schema implements Node.
+func (j *Join) Schema() *value.Schema { return j.Out }
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+func (j *Join) String() string {
+	swapped := ""
+	if j.Swapped {
+		swapped = " swapped"
+	}
+	return fmt.Sprintf("Join(l=%v, r=%v, method=%s%s) est=%d", j.LeftKeys, j.RightKeys, j.Method, swapped, j.EstRows)
+}
+
+// Aggregate groups and aggregates; the executor pushes partials to the
+// fragments when Pushdown is set.
+type Aggregate struct {
+	Child    Node
+	GroupBy  []int
+	Specs    []algebra.AggSpec
+	Pushdown bool
+	Out      *value.Schema
+	EstRows  int
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() *value.Schema { return a.Out }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("Aggregate(groupBy=%v, %d specs, pushdown=%v) est=%d", a.GroupBy, len(a.Specs), a.Pushdown, a.EstRows)
+}
+
+// Sort orders its input.
+type Sort struct {
+	Child Node
+	Cols  []int
+	Desc  []bool
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() *value.Schema { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+func (s *Sort) String() string { return fmt.Sprintf("Sort(%v desc=%v)", s.Cols, s.Desc) }
+
+// Distinct removes duplicates.
+type Distinct struct{ Child Node }
+
+// Schema implements Node.
+func (d *Distinct) Schema() *value.Schema { return d.Child.Schema() }
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Child} }
+
+func (d *Distinct) String() string { return "Distinct" }
+
+// Limit truncates its input.
+type Limit struct {
+	Child Node
+	N     int
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() *value.Schema { return l.Child.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+func (l *Limit) String() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Format renders the whole plan tree, indented.
+func Format(n Node) string {
+	var b strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.String())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// Walk visits every node pre-order.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// EstRows returns a node's cardinality estimate (0 when unknown).
+func EstRows(n Node) int {
+	switch t := n.(type) {
+	case *Scan:
+		return t.EstRows
+	case *Select:
+		return t.EstRows
+	case *Project:
+		return t.EstRows
+	case *Join:
+		return t.EstRows
+	case *Aggregate:
+		return t.EstRows
+	case *Sort:
+		return EstRows(t.Child)
+	case *Distinct:
+		return EstRows(t.Child)
+	case *Limit:
+		est := EstRows(t.Child)
+		if t.N < est {
+			return t.N
+		}
+		return est
+	}
+	return 0
+}

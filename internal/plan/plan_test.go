@@ -1,0 +1,128 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+func testScan() *Scan {
+	return &Scan{Table: "t", Out: value.MustSchema("a", "INT", "b", "VARCHAR"), EstRows: 100}
+}
+
+func TestSchemasPropagate(t *testing.T) {
+	sc := testScan()
+	sel := &Select{Child: sc, Pred: expr.NewCmp(expr.GT, expr.NewColIdx(0, value.KindInt), expr.NewConst(value.NewInt(1)))}
+	if sel.Schema() != sc.Out {
+		t.Error("Select must pass through its child's schema")
+	}
+	srt := &Sort{Child: sel, Cols: []int{0}}
+	dst := &Distinct{Child: srt}
+	lim := &Limit{Child: dst, N: 10}
+	if lim.Schema() != sc.Out || dst.Schema() != sc.Out || srt.Schema() != sc.Out {
+		t.Error("pass-through nodes must preserve schema")
+	}
+	j := &Join{Left: sc, Right: testScan(), LeftKeys: []int{0}, RightKeys: []int{0},
+		Out: sc.Out.Concat(sc.Out)}
+	if j.Schema().Len() != 4 {
+		t.Errorf("join schema = %v", j.Schema())
+	}
+	if len(j.Children()) != 2 || len(lim.Children()) != 1 || sc.Children() != nil {
+		t.Error("Children arity wrong")
+	}
+}
+
+func TestJoinMethodStrings(t *testing.T) {
+	for m, want := range map[JoinMethod]string{
+		JoinAuto: "auto", JoinColocated: "colocated", JoinRepartition: "repartition",
+		JoinBroadcast: "broadcast", JoinCentral: "central",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestNodeStrings(t *testing.T) {
+	sc := testScan()
+	sc.Shared = true
+	sc.Pred = expr.NewCmp(expr.GT, expr.NewColIdx(0, value.KindInt), expr.NewConst(value.NewInt(5)))
+	if s := sc.String(); !strings.Contains(s, "Scan(t)") || !strings.Contains(s, "[shared]") || !strings.Contains(s, "> 5") {
+		t.Errorf("Scan.String() = %q", s)
+	}
+	j := &Join{Left: sc, Right: testScan(), LeftKeys: []int{0}, RightKeys: []int{1},
+		Method: JoinBroadcast, Swapped: true, Out: sc.Out.Concat(sc.Out)}
+	if s := j.String(); !strings.Contains(s, "broadcast") || !strings.Contains(s, "swapped") {
+		t.Errorf("Join.String() = %q", s)
+	}
+	agg := &Aggregate{Child: sc, GroupBy: []int{1}, Specs: []algebra.AggSpec{{Func: algebra.Count, Col: -1}},
+		Pushdown: true, Out: value.MustSchema("b", "VARCHAR", "n", "INT")}
+	if s := agg.String(); !strings.Contains(s, "pushdown=true") {
+		t.Errorf("Aggregate.String() = %q", s)
+	}
+	p := &Project{Child: sc, Exprs: []expr.Expr{expr.NewColIdx(0, value.KindInt)},
+		Names: []string{"a"}, Out: value.MustSchema("a", "INT")}
+	if s := p.String(); !strings.Contains(s, "Project") {
+		t.Errorf("Project.String() = %q", s)
+	}
+}
+
+func TestFormatIndentsTree(t *testing.T) {
+	root := &Limit{N: 3, Child: &Sort{Cols: []int{0}, Child: testScan()}}
+	s := Format(root)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Format lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[1], "  ") || !strings.HasPrefix(lines[2], "    ") {
+		t.Errorf("indentation wrong:\n%s", s)
+	}
+}
+
+func TestEstRowsPropagation(t *testing.T) {
+	sc := testScan() // 100
+	if EstRows(&Distinct{Child: sc}) != 100 {
+		t.Error("Distinct estimate")
+	}
+	if EstRows(&Sort{Child: sc}) != 100 {
+		t.Error("Sort estimate")
+	}
+	if EstRows(&Limit{Child: sc, N: 7}) != 7 {
+		t.Error("Limit caps estimate")
+	}
+	if EstRows(&Limit{Child: sc, N: 1000}) != 100 {
+		t.Error("Limit above child estimate")
+	}
+	agg := &Aggregate{Child: sc, EstRows: 12}
+	if EstRows(agg) != 12 {
+		t.Error("Aggregate estimate")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	sc := testScan()
+	j := &Join{Left: sc, Right: testScan(), Out: sc.Out.Concat(sc.Out)}
+	var kinds []string
+	Walk(&Limit{Child: j, N: 1}, func(n Node) {
+		switch n.(type) {
+		case *Limit:
+			kinds = append(kinds, "limit")
+		case *Join:
+			kinds = append(kinds, "join")
+		case *Scan:
+			kinds = append(kinds, "scan")
+		}
+	})
+	want := []string{"limit", "join", "scan", "scan"}
+	if len(kinds) != len(want) {
+		t.Fatalf("walk visited %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", kinds, want)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package pool
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+func newRT(t *testing.T) *Runtime {
+	t.Helper()
+	m, err := machine.New(machine.Config{NumPEs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRuntime(m)
+}
+
+// echo spawns a process that replies to "echo" calls and counts "cast"
+// messages.
+func spawnEcho(t *testing.T, rt *Runtime, name string, pe int) *Process {
+	t.Helper()
+	p, err := rt.Spawn(name, pe, func(ctx *Context) error {
+		for {
+			msg, ok := ctx.Receive()
+			if !ok {
+				return nil
+			}
+			switch msg.Kind {
+			case "echo":
+				if err := ctx.Reply(msg, msg.Body, msg.Bytes, nil); err != nil {
+					return err
+				}
+			case "fail":
+				if err := ctx.Reply(msg, nil, 0, fmt.Errorf("requested failure")); err != nil {
+					return err
+				}
+			case "die":
+				return fmt.Errorf("told to die")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSpawnAndCall(t *testing.T) {
+	rt := newRT(t)
+	defer rt.StopAll()
+	p := spawnEcho(t, rt, "echo-1", 3)
+	if p.PE().ID() != 3 {
+		t.Errorf("explicit allocation failed: PE %d", p.PE().ID())
+	}
+	got, err := rt.Call(0, p, "echo", "hello", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Errorf("Call returned %v", got)
+	}
+}
+
+func TestCallChargesVirtualTime(t *testing.T) {
+	rt := newRT(t)
+	defer rt.StopAll()
+	p := spawnEcho(t, rt, "echo-2", 5)
+	m := rt.Machine()
+	m.ResetClocks()
+	if _, err := rt.Call(0, p, "echo", "x", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if m.PE(0).Clock() <= 0 {
+		t.Error("caller PE clock must advance (send CPU + reply arrival)")
+	}
+	if m.PE(5).Clock() <= 0 {
+		t.Error("callee PE clock must advance (arrival + reply CPU)")
+	}
+	// The caller's clock includes a round trip: at least twice the
+	// one-way transfer of the payload.
+	oneWay := m.Net().TransferTime(0, 5, 1024)
+	if m.PE(0).Clock() < oneWay {
+		t.Errorf("caller clock %v below one-way transfer %v", m.PE(0).Clock(), oneWay)
+	}
+}
+
+func TestCallErrorPropagation(t *testing.T) {
+	rt := newRT(t)
+	defer rt.StopAll()
+	p := spawnEcho(t, rt, "echo-3", 1)
+	if _, err := rt.Call(0, p, "fail", nil, 0); err == nil || !strings.Contains(err.Error(), "requested failure") {
+		t.Errorf("Call error = %v", err)
+	}
+}
+
+func TestCalleeDiesWithoutReply(t *testing.T) {
+	rt := newRT(t)
+	defer rt.StopAll()
+	p := spawnEcho(t, rt, "echo-4", 1)
+	if _, err := rt.Call(0, p, "die", nil, 0); err == nil || !strings.Contains(err.Error(), "died") {
+		t.Errorf("Call to dying process = %v", err)
+	}
+	if err := p.Join(); err == nil || !strings.Contains(err.Error(), "told to die") {
+		t.Errorf("Join = %v", err)
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	rt := newRT(t)
+	defer rt.StopAll()
+	if _, err := rt.Spawn("x", -1, func(*Context) error { return nil }); err == nil {
+		t.Error("negative PE should error")
+	}
+	if _, err := rt.Spawn("x", 99, func(*Context) error { return nil }); err == nil {
+		t.Error("out-of-range PE should error")
+	}
+	spawnEcho(t, rt, "dup", 0)
+	if _, err := rt.Spawn("dup", 1, func(*Context) error { return nil }); err == nil {
+		t.Error("duplicate name should error")
+	}
+}
+
+func TestLookupAndStop(t *testing.T) {
+	rt := newRT(t)
+	p := spawnEcho(t, rt, "worker", 2)
+	if got, ok := rt.Lookup("worker"); !ok || got != p {
+		t.Error("Lookup failed")
+	}
+	p.Stop()
+	if err := p.Join(); err != nil {
+		t.Errorf("clean stop returned %v", err)
+	}
+	if _, ok := rt.Lookup("worker"); ok {
+		t.Error("stopped process still registered")
+	}
+	// Stopping twice is safe.
+	p.Stop()
+}
+
+func TestSendAsync(t *testing.T) {
+	rt := newRT(t)
+	defer rt.StopAll()
+	var mu sync.Mutex
+	count := 0
+	p, err := rt.Spawn("counter", 4, func(ctx *Context) error {
+		for {
+			msg, ok := ctx.Receive()
+			if !ok {
+				return nil
+			}
+			if msg.Kind == "inc" {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			}
+			if msg.Kind == "read" {
+				mu.Lock()
+				c := count
+				mu.Unlock()
+				if err := ctx.Reply(msg, c, 8, nil); err != nil {
+					return err
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := rt.Send(0, p, "inc", nil, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := rt.Call(0, p, "read", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(int) != 10 {
+		t.Errorf("count = %v", got)
+	}
+}
+
+func TestInterProcessMessaging(t *testing.T) {
+	rt := newRT(t)
+	defer rt.StopAll()
+	leaf := spawnEcho(t, rt, "leaf", 7)
+	// A relay process that forwards calls to leaf — exercises
+	// Context.Call and Context.Send between processes.
+	relay, err := rt.Spawn("relay", 2, func(ctx *Context) error {
+		for {
+			msg, ok := ctx.Receive()
+			if !ok {
+				return nil
+			}
+			if msg.Kind == "relay" {
+				res, err := ctx.Call(leaf, "echo", msg.Body, msg.Bytes)
+				if rerr := ctx.Reply(msg, res, msg.Bytes, err); rerr != nil {
+					return rerr
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.Call(0, relay, "relay", "ping", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "ping" {
+		t.Errorf("relayed call returned %v", got)
+	}
+}
+
+func TestPanicIsCaptured(t *testing.T) {
+	rt := newRT(t)
+	p, err := rt.Spawn("bomb", 0, func(ctx *Context) error {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Join(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Join after panic = %v", err)
+	}
+}
+
+func TestStopAllTerminatesEverything(t *testing.T) {
+	rt := newRT(t)
+	for i := 0; i < 8; i++ {
+		spawnEcho(t, rt, fmt.Sprintf("w-%d", i), i%4)
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.StopAll()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("StopAll did not terminate")
+	}
+	if n := len(rt.Processes()); n != 0 {
+		t.Errorf("%d processes survive StopAll", n)
+	}
+}
+
+func TestSendToStoppingProcess(t *testing.T) {
+	rt := newRT(t)
+	p := spawnEcho(t, rt, "gone", 0)
+	p.Stop()
+	if err := p.Join(); err != nil {
+		t.Fatal(err)
+	}
+	// Sends to a stopped process fail rather than hang (its mailbox may
+	// be full and nobody drains it).
+	for i := 0; i < MailboxSize+8; i++ {
+		if err := rt.Send(1, p, "inc", nil, 8); err != nil {
+			return // expected path: eventually rejected
+		}
+	}
+	t.Error("sends to a stopped process should eventually fail")
+}
+
+func TestReplyToNonCall(t *testing.T) {
+	rt := newRT(t)
+	defer rt.StopAll()
+	errCh := make(chan error, 1)
+	p, err := rt.Spawn("strict", 0, func(ctx *Context) error {
+		msg, ok := ctx.Receive()
+		if !ok {
+			return nil
+		}
+		errCh <- ctx.Reply(msg, nil, 0, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(1, p, "plain", nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("Reply to a non-call should error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply-error received")
+	}
+}
+
+// TestManyProcessesParallelism: the POOL-X property the DBMS relies on —
+// hundreds of cheap processes spread over PEs, all making progress.
+func TestManyProcessesParallelism(t *testing.T) {
+	rt := newRT(t)
+	defer rt.StopAll()
+	const n = 200
+	procs := make([]*Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = spawnEcho(t, rt, fmt.Sprintf("p-%d", i), i%16)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i, p := range procs {
+		wg.Add(1)
+		go func(i int, p *Process) {
+			defer wg.Done()
+			got, err := rt.Call(i%16, p, "echo", i, 32)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got.(int) != i {
+				errs <- fmt.Errorf("process %d echoed %v", i, got)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

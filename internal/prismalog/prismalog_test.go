@@ -1,0 +1,399 @@
+package prismalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+const familyProgram = `
+% the classic family database
+parent(ann, bob).
+parent(ann, carol).
+parent(bob, dave).
+parent(carol, eve).
+parent(dave, fred).
+
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+`
+
+func TestParseProgram(t *testing.T) {
+	prog, err := Parse(familyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := 0
+	rules := 0
+	for _, r := range prog.Rules {
+		if r.IsFact() {
+			facts++
+		} else {
+			rules++
+		}
+	}
+	if facts != 5 || rules != 2 {
+		t.Errorf("facts=%d rules=%d", facts, rules)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`parent(ann bob).`,     // missing comma
+		`parent(ann, bob)`,     // missing period
+		`ancestor(X, Y) :- .`,  // empty body
+		`p(X).`,                // variable in fact
+		`q(X) :- r(Y).`,        // unsafe head var
+		`q(X) :- p(X), Y > 3.`, // unsafe comparison var
+		`?- `,                  // empty query
+		`p('unterminated).`,    // bad string
+		`p(&).`,                // bad char
+		`p(x) :- q(x), > 3.`,   // comparison missing lhs
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRuleStringRoundTrip(t *testing.T) {
+	prog, err := Parse(`ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y), X <> Y.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Rules[0].String()
+	for _, frag := range []string{"ancestor(X, Y)", ":-", "parent(X, Z)", "X <> Y"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func evalFamily(t *testing.T, semiNaive bool) map[string]*value.Relation {
+	t.Helper()
+	prog, err := Parse(familyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Eval(prog, MapEDB{}, Options{SemiNaive: semiNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAncestorFixpoint(t *testing.T) {
+	for _, semi := range []bool{true, false} {
+		out := evalFamily(t, semi)
+		anc := out["ancestor/2"]
+		if anc == nil {
+			t.Fatal("no ancestor relation")
+		}
+		// parent pairs (5) + grandparents (ann-dave, ann-eve, bob-fred) +
+		// great-grandparents (ann-fred) = 9.
+		if anc.Len() != 9 {
+			t.Errorf("semiNaive=%v: ancestor = %d pairs, want 9", semi, anc.Len())
+		}
+		found := false
+		for _, tp := range anc.Tuples {
+			if tp[0].Str() == "ann" && tp[1].Str() == "fred" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("semiNaive=%v: (ann, fred) missing", semi)
+		}
+	}
+}
+
+func TestSemiNaiveDoesLessWork(t *testing.T) {
+	// Long chain: naive rederives everything each round.
+	var sb strings.Builder
+	sb.WriteString("tc(X, Y) :- edge(X, Y).\n")
+	sb.WriteString("tc(X, Y) :- edge(X, Z), tc(Z, Y).\n")
+	edges := value.NewRelation(genericSchema(2, nil))
+	for i := int64(0); i < 30; i++ {
+		edges.Append(value.Ints(i, i+1))
+	}
+	prog, err := Parse(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edb := MapEDB{"edge": edges}
+	_, naiveStats, err := Eval(prog, edb, Options{SemiNaive: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, semiStats, err := Eval(prog, edb, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semiStats.TuplesDerived >= naiveStats.TuplesDerived {
+		t.Errorf("semi-naive derived %d tuples, naive %d; expected strictly less",
+			semiStats.TuplesDerived, naiveStats.TuplesDerived)
+	}
+}
+
+func TestEDBIntegration(t *testing.T) {
+	// ancestor over an EDB relation instead of program facts.
+	edges := value.NewRelation(genericSchema(2, nil))
+	edges.Append(
+		value.NewTuple(value.NewString("a"), value.NewString("b")),
+		value.NewTuple(value.NewString("b"), value.NewString("c")),
+	)
+	prog, err := Parse(`anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Eval(prog, MapEDB{"par": edges}, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["anc/2"].Len() != 3 {
+		t.Errorf("anc = %v", out["anc/2"].Tuples)
+	}
+	// Unknown predicate errors.
+	prog2, err := Parse(`q(X) :- nosuch(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Eval(prog2, MapEDB{}, Options{}); err == nil {
+		t.Error("unknown EDB predicate should error")
+	}
+	// Arity mismatch errors.
+	prog3, err := Parse(`q(X) :- par(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Eval(prog3, MapEDB{"par": edges}, Options{}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+}
+
+func TestQueryEvaluation(t *testing.T) {
+	prog, err := Parse(familyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`ancestor(ann, X)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := EvalQuery(prog, q, MapEDB{}, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ann's descendants: bob, carol, dave, eve, fred.
+	if out.Len() != 5 {
+		t.Errorf("descendants of ann = %v", out.Tuples)
+	}
+	if out.Schema.Column(0).Name != "X" {
+		t.Errorf("answer schema = %v", out.Schema)
+	}
+	// Ground query: true → one empty-ish tuple (single var bound).
+	q2, err := ParseQuery(`?- ancestor(ann, fred).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _, err := EvalQuery(prog, q2, MapEDB{}, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Len() != 1 {
+		t.Errorf("ground query answers = %d, want 1", out2.Len())
+	}
+	// False ground query: empty.
+	q3, err := ParseQuery(`ancestor(fred, ann)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out3, _, err := EvalQuery(prog, q3, MapEDB{}, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3.Len() != 0 {
+		t.Errorf("false query answers = %v", out3.Tuples)
+	}
+}
+
+func TestComparisonLiterals(t *testing.T) {
+	prog, err := Parse(`
+		num(1). num(2). num(3). num(4).
+		big(X) :- num(X), X > 2.
+		pairs(X, Y) :- num(X), num(Y), X < Y.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Eval(prog, MapEDB{}, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["big/1"].Len() != 2 {
+		t.Errorf("big = %v", out["big/1"].Tuples)
+	}
+	if out["pairs/2"].Len() != 6 {
+		t.Errorf("pairs = %v", out["pairs/2"].Tuples)
+	}
+}
+
+func TestRepeatedVariables(t *testing.T) {
+	prog, err := Parse(`
+		e(1, 1). e(1, 2). e(2, 2).
+		loop(X) :- e(X, X).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Eval(prog, MapEDB{}, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["loop/1"].Len() != 2 {
+		t.Errorf("loop = %v", out["loop/1"].Tuples)
+	}
+}
+
+func TestNonLinearRecursion(t *testing.T) {
+	// Same-generation: a classically non-linear recursive program.
+	prog, err := Parse(`
+		parent(a, b). parent(a, c). parent(b, d). parent(c, e).
+		sg(X, X) :- parent(X, Y).
+		sg(X, Y) :- parent(XP, X), sg(XP, YP), parent(YP, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, semi := range []bool{true, false} {
+		out, _, err := Eval(prog, MapEDB{}, Options{SemiNaive: semi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg := out["sg/2"]
+		// (b,c) are same generation (both children of a); (d,e) too.
+		if !containsPair(sg, "b", "c") {
+			t.Errorf("semiNaive=%v: (b,c) missing from %v", semi, sg.Tuples)
+		}
+		if !containsPair(sg, "d", "e") {
+			t.Errorf("semiNaive=%v: (d,e) missing from %v", semi, sg.Tuples)
+		}
+	}
+}
+
+func containsPair(r *value.Relation, a, b string) bool {
+	for _, t := range r.Tuples {
+		if t[0].Str() == a && t[1].Str() == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMutualRecursion(t *testing.T) {
+	prog, err := Parse(`
+		e(0, 1). e(1, 2). e(2, 3). e(3, 4).
+		even(0).
+		even(Y) :- odd(X), e(X, Y).
+		odd(Y) :- even(X), e(X, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Eval(prog, MapEDB{}, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["even/1"].Len() != 3 { // 0, 2, 4
+		t.Errorf("even = %v", out["even/1"].Tuples)
+	}
+	if out["odd/1"].Len() != 2 { // 1, 3
+		t.Errorf("odd = %v", out["odd/1"].Tuples)
+	}
+}
+
+func TestNaiveAndSemiNaiveAgree(t *testing.T) {
+	programs := []string{
+		familyProgram,
+		`e(1,2). e(2,3). e(3,1). tc(X,Y) :- e(X,Y). tc(X,Y) :- tc(X,Z), tc(Z,Y).`,
+		`p(1). p(2). q(X,Y) :- p(X), p(Y).`,
+	}
+	for _, src := range programs {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _, err := Eval(prog, MapEDB{}, Options{SemiNaive: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := Eval(prog, MapEDB{}, Options{SemiNaive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("different predicate sets: %d vs %d", len(a), len(b))
+		}
+		for k, ra := range a {
+			if rb := b[k]; rb == nil || !ra.SameSet(rb) {
+				t.Errorf("program %q: %s differs between naive and semi-naive", src, k)
+			}
+		}
+	}
+}
+
+func TestQueryWithComparison(t *testing.T) {
+	prog, err := Parse(familyProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(`ancestor(X, Y), X <> ann`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := EvalQuery(prog, q, MapEDB{}, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range out.Tuples {
+		if tp[0].Str() == "ann" {
+			t.Errorf("comparison filter failed: %v", tp)
+		}
+	}
+	if out.Len() != 4 { // bob-dave, bob-fred, carol-eve, dave-fred
+		t.Errorf("filtered ancestors = %v", out.Tuples)
+	}
+}
+
+func TestNumericAndQuotedConstants(t *testing.T) {
+	prog, err := Parse(`
+		m(1, 2.5, 'hello world').
+		pick(X, Y, Z) :- m(X, Y, Z).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Eval(prog, MapEDB{}, Options{SemiNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := out["pick/3"].Tuples[0]
+	if row[0].Int() != 1 || row[1].Float() != 2.5 || row[2].Str() != "hello world" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestTermAndQueryString(t *testing.T) {
+	q, err := ParseQuery(`ancestor(ann, X), X <> bob`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	if !strings.Contains(s, "?-") || !strings.Contains(s, "ancestor('ann', X)") {
+		t.Errorf("query string = %q", s)
+	}
+	if got := q.Vars(); len(got) != 1 || got[0] != "X" {
+		t.Errorf("query vars = %v", got)
+	}
+}

@@ -1,0 +1,304 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Config sets the physical parameters of the simulated network. The zero
+// values of the rate fields are replaced by the paper's numbers.
+type Config struct {
+	Topology Topology
+	// LinkBandwidthBps is the bandwidth of each link; the paper specifies
+	// 10 Mbit/s. Links are full-duplex: each direction is a channel.
+	LinkBandwidthBps float64
+	// PacketBits is the fixed packet size; the paper specifies 256 bits.
+	PacketBits int
+	// RoutingDelay is the per-hop processing overhead added on top of
+	// transmission time (switch latency).
+	RoutingDelay time.Duration
+}
+
+// Defaults from paper §3.2.
+const (
+	DefaultLinkBandwidthBps = 10e6 // 10 Mbit/s
+	DefaultPacketBits       = 256
+	DefaultRoutingDelay     = 5 * time.Microsecond
+)
+
+func (c *Config) fill() error {
+	if c.Topology == nil {
+		return fmt.Errorf("simnet: Config.Topology is required")
+	}
+	if c.LinkBandwidthBps == 0 {
+		c.LinkBandwidthBps = DefaultLinkBandwidthBps
+	}
+	if c.LinkBandwidthBps < 0 {
+		return fmt.Errorf("simnet: negative bandwidth")
+	}
+	if c.PacketBits == 0 {
+		c.PacketBits = DefaultPacketBits
+	}
+	if c.PacketBits < 0 {
+		return fmt.Errorf("simnet: negative packet size")
+	}
+	if c.RoutingDelay == 0 {
+		c.RoutingDelay = DefaultRoutingDelay
+	}
+	if c.RoutingDelay < 0 {
+		c.RoutingDelay = 0 // negative means "explicitly zero"
+	}
+	return nil
+}
+
+// Network is a store-and-forward packet network over a Topology. It
+// provides (a) a discrete-event simulator for synthetic traffic (E1) and
+// (b) an analytic transfer-cost model used by the database engine.
+type Network struct {
+	cfg      Config
+	n        int
+	xmitTime float64 // seconds per packet per link
+}
+
+// New builds a Network; the Config is validated and defaulted.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:      cfg,
+		n:        cfg.Topology.Nodes(),
+		xmitTime: float64(cfg.PacketBits) / cfg.LinkBandwidthBps,
+	}, nil
+}
+
+// Topology returns the network's topology.
+func (nw *Network) Topology() Topology { return nw.cfg.Topology }
+
+// PacketTime returns the transmission time of one packet on one link.
+func (nw *Network) PacketTime() time.Duration {
+	return time.Duration(nw.xmitTime * float64(time.Second))
+}
+
+// TransferTime returns the simulated time to ship a message of the given
+// byte size from src to dst, assuming pipelined store-and-forward over
+// uncontended links: hops*routingDelay + (hops + packets - 1)*xmit.
+// This is the cost the database engine charges for tuple shipping.
+func (nw *Network) TransferTime(src, dst int, bytes int) time.Duration {
+	if src == dst || bytes < 0 {
+		return 0
+	}
+	hops := nw.cfg.Topology.Dist(src, dst)
+	if hops <= 0 {
+		return 0
+	}
+	packets := (bytes*8 + nw.cfg.PacketBits - 1) / nw.cfg.PacketBits
+	if packets == 0 {
+		packets = 1
+	}
+	seconds := float64(hops+packets-1) * nw.xmitTime
+	return time.Duration(seconds*float64(time.Second)) + time.Duration(hops)*nw.cfg.RoutingDelay
+}
+
+// ---------- discrete-event traffic simulation ----------
+
+type packet struct {
+	src, dst int
+	created  float64
+	hops     int
+}
+
+type event struct {
+	at   float64
+	node int
+	pkt  *packet
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// TrafficResult reports one uniform-traffic simulation run.
+type TrafficResult struct {
+	Topology    string
+	OfferedRate float64 // packets/sec/PE injected
+	Duration    time.Duration
+	Offered     int     // packets injected during the window
+	Delivered   int     // packets delivered, including during the drain period
+	InWindow    int     // packets delivered within the injection window
+	InFlight    int     // packets still queued when the drain clock ran out
+	Throughput  float64 // in-window delivered packets/sec/PE (sustained)
+	AvgLatency  time.Duration
+	MaxLatency  time.Duration
+	AvgHops     float64
+	LinkUtil    float64 // mean busy fraction over all directed links
+	MaxLinkUtil float64
+}
+
+// Saturated reports whether the run shows congestion: sustained in-window
+// deliveries lag offers, or queueing pushed average latency far past the
+// uncongested baseline.
+func (r TrafficResult) Saturated() bool {
+	if r.Offered == 0 {
+		return false
+	}
+	lag := float64(r.InWindow) / float64(r.Offered)
+	return lag < 0.95 || r.AvgLatency > 2*time.Millisecond
+}
+
+// RunUniformTraffic injects Poisson traffic at `rate` packets/sec from
+// every PE to uniformly random other PEs for the given duration, routing
+// each packet hop by hop over exclusive links, and reports sustained
+// throughput and latency. Deterministic for a given seed.
+func (nw *Network) RunUniformTraffic(rate float64, duration time.Duration, seed int64) TrafficResult {
+	top := nw.cfg.Topology
+	n := nw.n
+	r := rand.New(rand.NewSource(seed))
+	dur := duration.Seconds()
+	res := TrafficResult{
+		Topology:    top.Name(),
+		OfferedRate: rate,
+		Duration:    duration,
+	}
+	if rate <= 0 || dur <= 0 {
+		return res
+	}
+
+	// Directed link state: linkFree[from*n+to] = earliest time the link
+	// (from→to) can start another transmission. Links are full duplex.
+	linkFree := make([]float64, n*n)
+	linkBusy := make([]float64, n*n)
+
+	var h eventHeap
+	// Pre-generate Poisson arrivals per PE.
+	for pe := 0; pe < n; pe++ {
+		t := 0.0
+		for {
+			t += r.ExpFloat64() / rate
+			if t >= dur {
+				break
+			}
+			dst := r.Intn(n - 1)
+			if dst >= pe {
+				dst++
+			}
+			h = append(h, event{at: t, node: pe, pkt: &packet{src: pe, dst: dst, created: t}})
+			res.Offered++
+		}
+	}
+	heap.Init(&h)
+
+	routing := nw.cfg.RoutingDelay.Seconds()
+	var sumLat, maxLat float64
+	var sumHops int
+	// Let the network drain for a grace period after injection stops, so
+	// near-saturation runs still account their tail.
+	deadline := dur * 2
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		if ev.at > deadline {
+			res.InFlight++
+			continue
+		}
+		p := ev.pkt
+		if ev.node == p.dst {
+			lat := ev.at - p.created
+			res.Delivered++
+			if ev.at <= dur {
+				res.InWindow++
+			}
+			sumLat += lat
+			if lat > maxLat {
+				maxLat = lat
+			}
+			sumHops += p.hops
+			continue
+		}
+		next := top.NextHop(ev.node, p.dst)
+		li := ev.node*n + next
+		start := ev.at
+		if linkFree[li] > start {
+			start = linkFree[li]
+		}
+		depart := start + nw.xmitTime
+		linkFree[li] = depart
+		linkBusy[li] += nw.xmitTime
+		p.hops++
+		heap.Push(&h, event{at: depart + routing, node: next, pkt: p})
+	}
+
+	if res.Delivered > 0 {
+		res.AvgLatency = time.Duration(sumLat / float64(res.Delivered) * float64(time.Second))
+		res.MaxLatency = time.Duration(maxLat * float64(time.Second))
+		res.AvgHops = float64(sumHops) / float64(res.Delivered)
+		res.Throughput = float64(res.InWindow) / dur / float64(n)
+	}
+
+	// Utilization over the injection window, only counting links that
+	// exist in the topology.
+	links := 0
+	var util, maxUtil float64
+	for from := 0; from < n; from++ {
+		for _, to := range top.Neighbors(from) {
+			links++
+			u := linkBusy[from*n+to] / dur
+			if u > 1 {
+				u = 1
+			}
+			util += u
+			if u > maxUtil {
+				maxUtil = u
+			}
+		}
+	}
+	if links > 0 {
+		res.LinkUtil = util / float64(links)
+	}
+	res.MaxLinkUtil = maxUtil
+	return res
+}
+
+// SaturationThroughput binary-searches the highest injection rate the
+// network sustains without saturating and returns that run's result.
+func (nw *Network) SaturationThroughput(duration time.Duration, seed int64) TrafficResult {
+	// Upper bound: every PE's links fully busy with minimal-hop traffic.
+	deg := float64(MaxDegree(nw.cfg.Topology))
+	avgHops := AvgDistance(nw.cfg.Topology)
+	upper := deg / (nw.xmitTime * avgHops) // capacity-bound packets/sec/PE
+	lo, hi := 0.0, upper*1.5
+	var best TrafficResult
+	for i := 0; i < 12; i++ {
+		mid := (lo + hi) / 2
+		res := nw.RunUniformTraffic(mid, duration, seed)
+		if res.Saturated() {
+			hi = mid
+		} else {
+			lo = mid
+			if res.Throughput > best.Throughput {
+				best = res
+			}
+		}
+	}
+	return best
+}
+
+// TheoreticalPeak returns the analytic per-PE throughput bound for
+// uniform traffic: degree / (xmitTime * avgHops). Each delivered packet
+// consumes avgHops link-transmissions, and each PE owns `degree`
+// outbound links.
+func (nw *Network) TheoreticalPeak() float64 {
+	deg := float64(MaxDegree(nw.cfg.Topology))
+	avgHops := AvgDistance(nw.cfg.Topology)
+	if avgHops == 0 {
+		return math.Inf(1)
+	}
+	return deg / (nw.xmitTime * avgHops)
+}

@@ -1,0 +1,189 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestNet(t *testing.T, top Topology) *Network {
+	t.Helper()
+	nw, err := New(Config{Topology: top})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestConfigDefaults(t *testing.T) {
+	top := mustMesh(t, 8, 8, true)
+	nw := newTestNet(t, top)
+	// 256 bits at 10 Mbit/s = 25.6 µs per packet per link.
+	want := 25600 * time.Nanosecond
+	if got := nw.PacketTime(); got != want {
+		t.Errorf("PacketTime = %v, want %v", got, want)
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing topology should error")
+	}
+	if _, err := New(Config{Topology: top, LinkBandwidthBps: -1}); err == nil {
+		t.Error("negative bandwidth should error")
+	}
+	if _, err := New(Config{Topology: top, PacketBits: -1}); err == nil {
+		t.Error("negative packet size should error")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	top := mustMesh(t, 8, 8, true)
+	nw := newTestNet(t, top)
+	if nw.TransferTime(3, 3, 1000) != 0 {
+		t.Error("same-PE transfer must cost nothing")
+	}
+	if nw.TransferTime(0, 1, -5) != 0 {
+		t.Error("negative size must cost nothing")
+	}
+	// One packet, one hop: xmit + routing delay.
+	oneHop := nw.TransferTime(0, 1, 256/8)
+	want := nw.PacketTime() + DefaultRoutingDelay
+	if oneHop != want {
+		t.Errorf("one-packet one-hop = %v, want %v", oneHop, want)
+	}
+	// Bigger messages cost more; farther nodes cost more.
+	if nw.TransferTime(0, 1, 10000) <= nw.TransferTime(0, 1, 100) {
+		t.Error("larger transfers must cost more")
+	}
+	far := 0
+	for i := 0; i < top.Nodes(); i++ {
+		if top.Dist(0, i) > top.Dist(0, far) {
+			far = i
+		}
+	}
+	if nw.TransferTime(0, far, 100) <= nw.TransferTime(0, 1, 100) {
+		t.Error("farther transfers must cost more")
+	}
+	// Pipelining: doubling the message size must NOT double the time for
+	// multi-hop paths (store-and-forward pipelining).
+	small := nw.TransferTime(0, far, 3200)
+	big := nw.TransferTime(0, far, 6400)
+	if big >= 2*small {
+		t.Errorf("pipelining lost: %v vs %v", small, big)
+	}
+}
+
+func TestUniformTrafficLowLoad(t *testing.T) {
+	nw := newTestNet(t, mustMesh(t, 8, 8, true))
+	res := nw.RunUniformTraffic(1000, 50*time.Millisecond, 1)
+	if res.Offered == 0 || res.Delivered == 0 {
+		t.Fatalf("no traffic simulated: %+v", res)
+	}
+	if res.Saturated() {
+		t.Errorf("1k pkts/s/PE must not saturate a torus: %+v", res)
+	}
+	// At low load every packet is delivered.
+	if res.Delivered != res.Offered {
+		t.Errorf("delivered %d of %d at low load", res.Delivered, res.Offered)
+	}
+	// Latency must be at least one packet time, at most a few dozen.
+	if res.AvgLatency < nw.PacketTime() {
+		t.Errorf("avg latency %v below one packet time", res.AvgLatency)
+	}
+	if res.AvgHops < 1 {
+		t.Errorf("avg hops %v < 1", res.AvgHops)
+	}
+	// Uniform torus traffic averages ~4 hops on 8x8.
+	if res.AvgHops < 3 || res.AvgHops > 5 {
+		t.Errorf("avg hops %.2f outside [3,5]", res.AvgHops)
+	}
+}
+
+func TestUniformTrafficDeterminism(t *testing.T) {
+	nw := newTestNet(t, mustChordal(t, 64, 8))
+	a := nw.RunUniformTraffic(5000, 20*time.Millisecond, 7)
+	b := nw.RunUniformTraffic(5000, 20*time.Millisecond, 7)
+	if a != b {
+		t.Errorf("same seed should reproduce identical results:\n%+v\n%+v", a, b)
+	}
+	c := nw.RunUniformTraffic(5000, 20*time.Millisecond, 8)
+	if a == c {
+		t.Errorf("different seeds should differ")
+	}
+}
+
+func TestSaturationDetection(t *testing.T) {
+	nw := newTestNet(t, mustRing(t, 64))
+	// A plain ring at 20k pkts/s/PE is far beyond capacity
+	// (2 links / (25.6µs * 16 avg hops) ≈ 4.9k).
+	res := nw.RunUniformTraffic(20000, 30*time.Millisecond, 3)
+	if !res.Saturated() {
+		t.Errorf("ring at 20k pkts/s/PE must saturate: %+v", res)
+	}
+	if res.LinkUtil <= 0 || res.MaxLinkUtil > 1 {
+		t.Errorf("bad utilization: %+v", res)
+	}
+}
+
+func TestZeroAndNegativeRates(t *testing.T) {
+	nw := newTestNet(t, mustMesh(t, 4, 4, true))
+	res := nw.RunUniformTraffic(0, time.Millisecond, 1)
+	if res.Offered != 0 || res.Delivered != 0 {
+		t.Errorf("zero rate should simulate nothing: %+v", res)
+	}
+	res = nw.RunUniformTraffic(-5, time.Millisecond, 1)
+	if res.Offered != 0 {
+		t.Errorf("negative rate should simulate nothing: %+v", res)
+	}
+}
+
+func TestTheoreticalPeak(t *testing.T) {
+	nwTorus := newTestNet(t, mustMesh(t, 8, 8, true))
+	nwRing := newTestNet(t, mustRing(t, 64))
+	if nwTorus.TheoreticalPeak() <= nwRing.TheoreticalPeak() {
+		t.Errorf("torus peak %.0f should exceed ring peak %.0f",
+			nwTorus.TheoreticalPeak(), nwRing.TheoreticalPeak())
+	}
+	// The paper's 20k pkts/s/PE claim must be within the torus's
+	// theoretical envelope.
+	if nwTorus.TheoreticalPeak() < 20000 {
+		t.Errorf("torus theoretical peak %.0f cannot support the paper's 20k claim",
+			nwTorus.TheoreticalPeak())
+	}
+}
+
+// TestPaperThroughputClaim is the E1 headline: a degree-4 64-PE network
+// with the paper's link and packet parameters sustains on the order of
+// 20,000 packets/sec/PE. We accept ≥15k as reproducing the claim's shape
+// (the paper says "up to 20.000").
+func TestPaperThroughputClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation search is slow")
+	}
+	for _, top := range []Topology{mustMesh(t, 8, 8, true), mustChordal(t, 64, BestChord(64))} {
+		nw := newTestNet(t, top)
+		best := nw.SaturationThroughput(30*time.Millisecond, 42)
+		if best.Throughput < 15000 {
+			t.Errorf("%s sustained only %.0f pkts/s/PE, want ≥ 15000 (paper: up to 20000)",
+				top.Name(), best.Throughput)
+		}
+		if best.Throughput > nw.TheoreticalPeak()*1.05 {
+			t.Errorf("%s sustained %.0f above theoretical peak %.0f",
+				top.Name(), best.Throughput, nw.TheoreticalPeak())
+		}
+	}
+}
+
+func TestSaturationMonotonicity(t *testing.T) {
+	// Offered rate up => delivered throughput up until saturation, then
+	// it stops improving much. Check weak monotonicity pre-saturation.
+	nw := newTestNet(t, mustMesh(t, 4, 4, true))
+	prev := 0.0
+	for _, rate := range []float64{1000, 2000, 4000, 8000} {
+		res := nw.RunUniformTraffic(rate, 20*time.Millisecond, 5)
+		if res.Saturated() {
+			break
+		}
+		if res.Throughput < prev*0.95 {
+			t.Errorf("throughput fell pre-saturation: %.0f after %.0f", res.Throughput, prev)
+		}
+		prev = res.Throughput
+	}
+}

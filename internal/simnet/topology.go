@@ -1,0 +1,300 @@
+// Package simnet simulates the PRISMA multi-computer's message-passing
+// network (paper §3.2): processing elements with four communication links
+// running at 10 Mbit/s each, connected in a mesh-like topology or a
+// variant of a chordal ring, exchanging 256-bit packets. The paper
+// reports that "various simulations show an average network throughput of
+// up to 20.000 packets (of 256 bits) per second for each processing
+// element simultaneously"; this package rebuilds that simulation
+// (experiment E1) and provides the transfer-cost model the database
+// engine charges for shipping tuples between PEs.
+package simnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology describes a static interconnection network and its routing.
+type Topology interface {
+	// Name identifies the topology for reports.
+	Name() string
+	// Nodes returns the number of processing elements.
+	Nodes() int
+	// Neighbors returns the directly connected nodes of n, in a stable
+	// order. Its length is the node degree (≤4 for PRISMA candidates).
+	Neighbors(n int) []int
+	// NextHop returns the neighbor of `from` on a shortest path to `to`.
+	// from == to is invalid.
+	NextHop(from, to int) int
+	// Dist returns the hop count of the shortest path from a to b.
+	Dist(a, b int) int
+}
+
+// routeTable holds BFS-computed shortest-path next hops and distances.
+// Ties are broken by neighbor order, which keeps routing deterministic.
+type routeTable struct {
+	n        int
+	adj      [][]int
+	nextHop  []int32 // [from*n+to]
+	dist     []int32 // [from*n+to]
+	maxDeg   int
+	diameter int
+}
+
+func newRouteTable(n int, adj [][]int) *routeTable {
+	rt := &routeTable{
+		n:       n,
+		adj:     adj,
+		nextHop: make([]int32, n*n),
+		dist:    make([]int32, n*n),
+	}
+	for _, ns := range adj {
+		if len(ns) > rt.maxDeg {
+			rt.maxDeg = len(ns)
+		}
+	}
+	// BFS from every destination, recording predecessors toward it. To
+	// fill nextHop[from][to] we BFS from `to` over the reversed graph;
+	// all our topologies are undirected, so the graph is its own reverse.
+	queue := make([]int, 0, n)
+	for to := 0; to < n; to++ {
+		base := func(from int) int { return from*n + to }
+		for from := 0; from < n; from++ {
+			rt.dist[base(from)] = -1
+			rt.nextHop[base(from)] = -1
+		}
+		rt.dist[base(to)] = 0
+		queue = queue[:0]
+		queue = append(queue, to)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			d := rt.dist[base(cur)]
+			if int(d) > rt.diameter {
+				rt.diameter = int(d)
+			}
+			for _, nb := range adj[cur] {
+				if rt.dist[base(nb)] != -1 {
+					continue
+				}
+				rt.dist[base(nb)] = d + 1
+				// From nb, the first hop toward `to` is cur.
+				rt.nextHop[base(nb)] = int32(cur)
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return rt
+}
+
+func (rt *routeTable) Nodes() int            { return rt.n }
+func (rt *routeTable) Neighbors(i int) []int { return rt.adj[i] }
+
+func (rt *routeTable) NextHop(from, to int) int {
+	return int(rt.nextHop[from*rt.n+to])
+}
+
+func (rt *routeTable) Dist(a, b int) int {
+	return int(rt.dist[a*rt.n+b])
+}
+
+// AvgDistance returns the mean shortest-path length over all ordered
+// pairs of distinct nodes — the expected hop count of uniform traffic.
+func AvgDistance(t Topology) float64 {
+	n := t.Nodes()
+	sum := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				sum += t.Dist(a, b)
+			}
+		}
+	}
+	return float64(sum) / float64(n*(n-1))
+}
+
+// Diameter returns the maximum shortest-path length.
+func Diameter(t Topology) int {
+	n := t.Nodes()
+	d := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if t.Dist(a, b) > d {
+				d = t.Dist(a, b)
+			}
+		}
+	}
+	return d
+}
+
+// MaxDegree returns the maximum node degree (PRISMA's PEs have 4 links).
+func MaxDegree(t Topology) int {
+	n := t.Nodes()
+	d := 0
+	for i := 0; i < n; i++ {
+		if len(t.Neighbors(i)) > d {
+			d = len(t.Neighbors(i))
+		}
+	}
+	return d
+}
+
+// Mesh is a rows×cols grid. With Wrap it becomes a torus ("mesh-like"
+// in the paper's terms) where every node has exactly degree 4.
+type Mesh struct {
+	*routeTable
+	rows, cols int
+	wrap       bool
+}
+
+// NewMesh builds a rows×cols mesh; wrap adds wraparound links (torus).
+func NewMesh(rows, cols int, wrap bool) (*Mesh, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("simnet: mesh needs at least 2 nodes, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	adj := make([][]int, n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			var ns []int
+			add := func(rr, cc int) {
+				if wrap {
+					rr = (rr + rows) % rows
+					cc = (cc + cols) % cols
+				} else if rr < 0 || rr >= rows || cc < 0 || cc >= cols {
+					return
+				}
+				nb := id(rr, cc)
+				if nb == id(r, c) {
+					return // degenerate wrap on 1-wide dimensions
+				}
+				for _, e := range ns {
+					if e == nb {
+						return
+					}
+				}
+				ns = append(ns, nb)
+			}
+			add(r-1, c)
+			add(r+1, c)
+			add(r, c-1)
+			add(r, c+1)
+			adj[id(r, c)] = ns
+		}
+	}
+	return &Mesh{routeTable: newRouteTable(n, adj), rows: rows, cols: cols, wrap: wrap}, nil
+}
+
+// Name implements Topology.
+func (m *Mesh) Name() string {
+	if m.wrap {
+		return fmt.Sprintf("torus-%dx%d", m.rows, m.cols)
+	}
+	return fmt.Sprintf("mesh-%dx%d", m.rows, m.cols)
+}
+
+// ChordalRing is a ring of n nodes where node i additionally connects to
+// i±chord — the degree-4 "variant of a chordal ring" the paper mentions.
+type ChordalRing struct {
+	*routeTable
+	chord int
+}
+
+// NewChordalRing builds a chordal ring; chord must be in [2, n/2].
+// A chord near sqrt(n) minimizes the diameter.
+func NewChordalRing(n, chord int) (*ChordalRing, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("simnet: chordal ring needs at least 3 nodes, got %d", n)
+	}
+	if chord < 2 || chord > n/2 {
+		return nil, fmt.Errorf("simnet: chord %d out of range [2,%d]", chord, n/2)
+	}
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		set := map[int]struct{}{}
+		var ns []int
+		for _, nb := range []int{(i + 1) % n, (i - 1 + n) % n, (i + chord) % n, (i - chord + n) % n} {
+			if nb == i {
+				continue
+			}
+			if _, dup := set[nb]; dup {
+				continue
+			}
+			set[nb] = struct{}{}
+			ns = append(ns, nb)
+		}
+		adj[i] = ns
+	}
+	return &ChordalRing{routeTable: newRouteTable(n, adj), chord: chord}, nil
+}
+
+// BestChord returns the chord length in [2, n/2] minimizing the average
+// distance — what a machine designer would pick.
+func BestChord(n int) int {
+	best, bestAvg := 2, math.Inf(1)
+	for c := 2; c <= n/2; c++ {
+		cr, err := NewChordalRing(n, c)
+		if err != nil {
+			continue
+		}
+		if avg := AvgDistance(cr); avg < bestAvg {
+			best, bestAvg = c, avg
+		}
+	}
+	return best
+}
+
+// Name implements Topology.
+func (c *ChordalRing) Name() string {
+	return fmt.Sprintf("chordal-ring-%d/%d", c.n, c.chord)
+}
+
+// Ring is a plain bidirectional ring (degree 2); a baseline that shows
+// why the paper's candidates need degree 4.
+type Ring struct {
+	*routeTable
+}
+
+// NewRing builds a bidirectional ring of n nodes.
+func NewRing(n int) (*Ring, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("simnet: ring needs at least 3 nodes, got %d", n)
+	}
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		adj[i] = []int{(i + 1) % n, (i - 1 + n) % n}
+	}
+	return &Ring{routeTable: newRouteTable(n, adj)}, nil
+}
+
+// Name implements Topology.
+func (r *Ring) Name() string { return fmt.Sprintf("ring-%d", r.n) }
+
+// Hypercube connects 2^dim nodes along dimension bits (degree = dim).
+// For 64 nodes the degree is 6 — more links than PRISMA's VLSI budget
+// allows, included as an upper-bound comparator.
+type Hypercube struct {
+	*routeTable
+	dim int
+}
+
+// NewHypercube builds a hypercube with 2^dim nodes.
+func NewHypercube(dim int) (*Hypercube, error) {
+	if dim < 1 || dim > 16 {
+		return nil, fmt.Errorf("simnet: hypercube dimension %d out of range", dim)
+	}
+	n := 1 << dim
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		ns := make([]int, dim)
+		for b := 0; b < dim; b++ {
+			ns[b] = i ^ (1 << b)
+		}
+		adj[i] = ns
+	}
+	return &Hypercube{routeTable: newRouteTable(n, adj), dim: dim}, nil
+}
+
+// Name implements Topology.
+func (h *Hypercube) Name() string { return fmt.Sprintf("hypercube-%d", h.dim) }

@@ -1,0 +1,282 @@
+package simnet
+
+import "testing"
+
+func TestMeshBasics(t *testing.T) {
+	m, err := NewMesh(8, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes() != 64 {
+		t.Fatalf("Nodes = %d", m.Nodes())
+	}
+	// Corner has 2 neighbors, edge 3, interior 4.
+	if d := len(m.Neighbors(0)); d != 2 {
+		t.Errorf("corner degree = %d, want 2", d)
+	}
+	if d := len(m.Neighbors(1)); d != 3 {
+		t.Errorf("edge degree = %d, want 3", d)
+	}
+	if d := len(m.Neighbors(9)); d != 4 {
+		t.Errorf("interior degree = %d, want 4", d)
+	}
+	// Distance across the diagonal of an 8x8 mesh is 14.
+	if d := m.Dist(0, 63); d != 14 {
+		t.Errorf("Dist(0,63) = %d, want 14", d)
+	}
+	if Diameter(m) != 14 {
+		t.Errorf("Diameter = %d, want 14", Diameter(m))
+	}
+}
+
+func TestTorusBasics(t *testing.T) {
+	m, err := NewMesh(8, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node in a torus has exactly 4 links: the paper's budget.
+	for i := 0; i < m.Nodes(); i++ {
+		if d := len(m.Neighbors(i)); d != 4 {
+			t.Fatalf("torus node %d degree = %d, want 4", i, d)
+		}
+	}
+	// Wraparound halves the diameter: 4+4 = 8.
+	if d := Diameter(m); d != 8 {
+		t.Errorf("torus diameter = %d, want 8", d)
+	}
+	if m.Name() != "torus-8x8" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestMeshErrors(t *testing.T) {
+	if _, err := NewMesh(0, 8, false); err == nil {
+		t.Error("0-row mesh should error")
+	}
+	if _, err := NewMesh(1, 1, true); err == nil {
+		t.Error("1x1 mesh should error")
+	}
+}
+
+func TestSmallWrapNoDuplicateLinks(t *testing.T) {
+	// A 2-wide wrapped dimension must not create duplicate or self links.
+	m, err := NewMesh(2, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Nodes(); i++ {
+		seen := map[int]bool{}
+		for _, nb := range m.Neighbors(i) {
+			if nb == i {
+				t.Fatalf("node %d has a self link", i)
+			}
+			if seen[nb] {
+				t.Fatalf("node %d has duplicate link to %d", i, nb)
+			}
+			seen[nb] = true
+		}
+	}
+}
+
+func TestChordalRing(t *testing.T) {
+	c, err := NewChordalRing(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if d := len(c.Neighbors(i)); d != 4 {
+			t.Fatalf("chordal ring node %d degree = %d, want 4", i, d)
+		}
+	}
+	// Going 3 chords + up to 4 ring steps reaches any node: diameter must
+	// be well under the plain ring's 32.
+	if d := Diameter(c); d >= 16 {
+		t.Errorf("chordal ring diameter = %d, want < 16", d)
+	}
+	if _, err := NewChordalRing(2, 2); err == nil {
+		t.Error("tiny ring should error")
+	}
+	if _, err := NewChordalRing(64, 1); err == nil {
+		t.Error("chord 1 should error")
+	}
+	if _, err := NewChordalRing(64, 33); err == nil {
+		t.Error("chord > n/2 should error")
+	}
+}
+
+func TestBestChordBeatsWorst(t *testing.T) {
+	best := BestChord(64)
+	cBest, err := NewChordalRing(64, best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cWorst, err := NewChordalRing(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AvgDistance(cBest) > AvgDistance(cWorst) {
+		t.Errorf("BestChord(64)=%d avg %.2f worse than chord 2 avg %.2f",
+			best, AvgDistance(cBest), AvgDistance(cWorst))
+	}
+}
+
+func TestRing(t *testing.T) {
+	r, err := NewRing(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diameter(r); d != 32 {
+		t.Errorf("ring diameter = %d, want 32", d)
+	}
+	if MaxDegree(r) != 2 {
+		t.Errorf("ring degree = %d, want 2", MaxDegree(r))
+	}
+	if _, err := NewRing(2); err == nil {
+		t.Error("2-node ring should error")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	h, err := NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Nodes() != 64 {
+		t.Fatalf("Nodes = %d", h.Nodes())
+	}
+	if d := Diameter(h); d != 6 {
+		t.Errorf("hypercube diameter = %d, want 6", d)
+	}
+	if MaxDegree(h) != 6 {
+		t.Errorf("hypercube degree = %d, want 6", MaxDegree(h))
+	}
+	if _, err := NewHypercube(0); err == nil {
+		t.Error("dimension 0 should error")
+	}
+	if _, err := NewHypercube(20); err == nil {
+		t.Error("dimension 20 should error")
+	}
+}
+
+// TestRoutingConvergesEverywhere is the key routing invariant: following
+// NextHop from any node must reach any destination in exactly Dist hops.
+func TestRoutingConvergesEverywhere(t *testing.T) {
+	tops := []Topology{
+		mustMesh(t, 8, 8, false),
+		mustMesh(t, 8, 8, true),
+		mustChordal(t, 64, 8),
+		mustRing(t, 16),
+		mustCube(t, 4),
+	}
+	for _, top := range tops {
+		n := top.Nodes()
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if from == to {
+					continue
+				}
+				cur, hops := from, 0
+				for cur != to {
+					nh := top.NextHop(cur, to)
+					if nh < 0 || nh >= n {
+						t.Fatalf("%s: NextHop(%d,%d) = %d", top.Name(), cur, to, nh)
+					}
+					cur = nh
+					hops++
+					if hops > n {
+						t.Fatalf("%s: routing loop from %d to %d", top.Name(), from, to)
+					}
+				}
+				if hops != top.Dist(from, to) {
+					t.Fatalf("%s: route %d->%d took %d hops, Dist says %d",
+						top.Name(), from, to, hops, top.Dist(from, to))
+				}
+			}
+		}
+	}
+}
+
+// TestNextHopIsNeighbor: every next hop is an actual link.
+func TestNextHopIsNeighbor(t *testing.T) {
+	top := mustChordal(t, 32, 5)
+	for from := 0; from < 32; from++ {
+		nbs := map[int]bool{}
+		for _, nb := range top.Neighbors(from) {
+			nbs[nb] = true
+		}
+		for to := 0; to < 32; to++ {
+			if to == from {
+				continue
+			}
+			if !nbs[top.NextHop(from, to)] {
+				t.Fatalf("NextHop(%d,%d) = %d is not a neighbor", from, to, top.NextHop(from, to))
+			}
+		}
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	// All topologies here are undirected: Dist must be symmetric.
+	for _, top := range []Topology{mustMesh(t, 4, 5, false), mustChordal(t, 20, 4)} {
+		n := top.Nodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if top.Dist(a, b) != top.Dist(b, a) {
+					t.Fatalf("%s: Dist(%d,%d) != Dist(%d,%d)", top.Name(), a, b, b, a)
+				}
+			}
+		}
+	}
+}
+
+func TestAvgDistanceOrdering(t *testing.T) {
+	// Richer topologies must have shorter average paths on 64 nodes.
+	ring := mustRing(t, 64)
+	chordal := mustChordal(t, 64, BestChord(64))
+	torus := mustMesh(t, 8, 8, true)
+	cube := mustCube(t, 6)
+	if !(AvgDistance(cube) < AvgDistance(torus) && AvgDistance(torus) < AvgDistance(ring)) {
+		t.Errorf("avg distances out of order: cube %.2f torus %.2f ring %.2f",
+			AvgDistance(cube), AvgDistance(torus), AvgDistance(ring))
+	}
+	if AvgDistance(chordal) >= AvgDistance(ring) {
+		t.Errorf("chordal ring %.2f should beat plain ring %.2f",
+			AvgDistance(chordal), AvgDistance(ring))
+	}
+}
+
+func mustMesh(t *testing.T, r, c int, wrap bool) *Mesh {
+	t.Helper()
+	m, err := NewMesh(r, c, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustChordal(t *testing.T, n, chord int) *ChordalRing {
+	t.Helper()
+	c, err := NewChordalRing(n, chord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	r, err := NewRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustCube(t *testing.T, d int) *Hypercube {
+	t.Helper()
+	h, err := NewHypercube(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}

@@ -1,0 +1,864 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/fragment"
+	"repro/internal/value"
+)
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokOp, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errf("expected %s, found %q", want, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(tokKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(tokKeyword, "DROP"):
+		return p.parseDrop()
+	case p.accept(tokKeyword, "BEGIN"):
+		return &Begin{}, nil
+	case p.accept(tokKeyword, "COMMIT"):
+		return &Commit{}, nil
+	case p.accept(tokKeyword, "ABORT"), p.accept(tokKeyword, "ROLLBACK"):
+		return &Rollback{}, nil
+	}
+	return nil, p.errf("expected a statement, found %q", p.cur().text)
+}
+
+// ---------- DDL ----------
+
+func (p *parser) parseCreate() (Stmt, error) {
+	p.next() // CREATE
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.accept(tokKeyword, "PRIMARY") {
+			if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokOp, "("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col)
+				if !p.accept(tokOp, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ := p.cur().text
+			if !p.accept(tokIdent, "") && !p.accept(tokKeyword, "") {
+				return nil, p.errf("expected a type for column %s", col)
+			}
+			kind, err := value.ParseKind(typ)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			ct.Cols = append(ct.Cols, value.Column{Name: col, Kind: kind})
+		}
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "FRAGMENT") {
+		fc, err := p.parseFragClause()
+		if err != nil {
+			return nil, err
+		}
+		ct.Frag = fc
+	}
+	return ct, nil
+}
+
+func (p *parser) parseFragClause() (*FragClause, error) {
+	if _, err := p.expect(tokKeyword, "BY"); err != nil {
+		return nil, err
+	}
+	fc := &FragClause{N: 1}
+	switch {
+	case p.accept(tokKeyword, "HASH"):
+		fc.Strategy = fragment.Hash
+		col, err := p.parenIdent()
+		if err != nil {
+			return nil, err
+		}
+		fc.Column = col
+	case p.accept(tokKeyword, "RANGE"):
+		fc.Strategy = fragment.Range
+		col, err := p.parenIdent()
+		if err != nil {
+			return nil, err
+		}
+		fc.Column = col
+		if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			fc.Bounds = append(fc.Bounds, v)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+	case p.accept(tokKeyword, "ROUND"):
+		if _, err := p.expect(tokKeyword, "ROBIN"); err != nil {
+			return nil, err
+		}
+		fc.Strategy = fragment.RoundRobin
+	default:
+		return nil, p.errf("expected HASH, RANGE or ROUND ROBIN")
+	}
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	nTok, err := p.expect(tokInt, "")
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(nTok.text)
+	if err != nil || n < 1 {
+		return nil, p.errf("bad fragment count %q", nTok.text)
+	}
+	fc.N = n
+	if _, err := p.expect(tokKeyword, "FRAGMENTS"); err != nil {
+		return nil, err
+	}
+	if fc.Strategy == fragment.Range && len(fc.Bounds) != n-1 {
+		return nil, p.errf("RANGE with %d fragments needs %d bounds, got %d", n, n-1, len(fc.Bounds))
+	}
+	return fc, nil
+}
+
+func (p *parser) parseDrop() (Stmt, error) {
+	p.next() // DROP
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
+}
+
+// ---------- DML ----------
+
+func (p *parser) parseInsert() (Stmt, error) {
+	p.next() // INSERT
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.accept(tokOp, "(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, col)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		var row []expr.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	up := &Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, SetClause{Col: col, Expr: e})
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = e
+	}
+	return up, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	p.next() // DELETE
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	return del, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	p.next() // SELECT
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.accept(tokKeyword, "DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, fi)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	for p.accept(tokKeyword, "INNER") || p.at(tokKeyword, "JOIN") {
+		if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+			return nil, err
+		}
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Table: fi.Table, Alias: fi.Alias, On: on})
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.qualifiedIdent()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, col)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.qualifiedIdent()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		nTok, err := p.expect(tokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(nTok.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad limit %q", nTok.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokOp, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// Aggregate?
+	if p.cur().kind == tokIdent {
+		if _, isAgg := aggNames[strings.ToUpper(p.cur().text)]; isAgg &&
+			p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "(" {
+			fn := strings.ToUpper(p.next().text)
+			p.next() // (
+			item := SelectItem{Agg: &AggItem{Func: fn}}
+			if p.accept(tokOp, "*") {
+				item.Agg.Star = true
+			} else {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Agg.Arg = arg
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			if as, err := p.parseAlias(); err != nil {
+				return SelectItem{}, err
+			} else {
+				item.As = as
+			}
+			return item, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if as, err := p.parseAlias(); err != nil {
+		return SelectItem{}, err
+	} else {
+		item.As = as
+	}
+	return item, nil
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parseAlias() (string, error) {
+	if p.accept(tokKeyword, "AS") {
+		return p.ident()
+	}
+	if p.cur().kind == tokIdent {
+		return p.next().text, nil
+	}
+	return "", nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	table, err := p.ident()
+	if err != nil {
+		return FromItem{}, err
+	}
+	fi := FromItem{Table: table}
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.Alias = alias
+	} else if p.cur().kind == tokIdent {
+		fi.Alias = p.next().text
+	}
+	return fi, nil
+}
+
+// ---------- identifiers and literals ----------
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind == tokIdent {
+		return p.next().text, nil
+	}
+	return "", p.errf("expected an identifier, found %q", p.cur().text)
+}
+
+// qualifiedIdent parses ident or ident.ident.
+func (p *parser) qualifiedIdent() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.accept(tokOp, ".") {
+		suffix, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return name + "." + suffix, nil
+	}
+	return name, nil
+}
+
+func (p *parser) parenIdent() (string, error) {
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return "", err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func (p *parser) literal() (value.Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return value.Null, p.errf("bad integer %q", t.text)
+		}
+		return value.NewInt(n), nil
+	case t.kind == tokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return value.Null, p.errf("bad float %q", t.text)
+		}
+		return value.NewFloat(f), nil
+	case t.kind == tokString:
+		p.next()
+		return value.NewString(t.text), nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return value.NewBool(true), nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return value.NewBool(false), nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return value.Null, nil
+	case t.kind == tokOp && t.text == "-":
+		p.next()
+		v, err := p.literal()
+		if err != nil {
+			return value.Null, err
+		}
+		neg, err := value.Neg(v)
+		if err != nil {
+			return value.Null, p.errf("%v", err)
+		}
+		return neg, nil
+	}
+	return value.Null, p.errf("expected a literal, found %q", t.text)
+}
+
+// ---------- expressions (precedence climbing) ----------
+
+// parseExpr parses OR-level expressions.
+func (p *parser) parseExpr() (expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.NewOr(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.NewAnd(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		sub, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(sub), nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.EQ, "<>": expr.NE, "<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE,
+}
+
+func (p *parser) parseComparison() (expr.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL.
+	if p.accept(tokKeyword, "IS") {
+		negate := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return expr.NewIsNull(left, negate), nil
+	}
+	// [NOT] LIKE / IN.
+	negate := false
+	if p.at(tokKeyword, "NOT") &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokKeyword &&
+		(p.toks[p.pos+1].text == "LIKE" || p.toks[p.pos+1].text == "IN") {
+		p.next()
+		negate = true
+	}
+	if p.accept(tokKeyword, "LIKE") {
+		pat := p.cur()
+		if pat.kind != tokString {
+			return nil, p.errf("LIKE needs a string pattern")
+		}
+		p.next()
+		return expr.NewLike(left, pat.text, negate), nil
+	}
+	if p.accept(tokKeyword, "IN") {
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		var list []value.Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return expr.NewIn(left, list, negate), nil
+	}
+	if negate {
+		return nil, p.errf("dangling NOT")
+	}
+	if p.cur().kind == tokOp {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewCmp(op, left, right), nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (expr.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "+"):
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.NewArith(expr.Add, left, right)
+		case p.accept(tokOp, "-"):
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.NewArith(expr.Sub, left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "*"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.NewArith(expr.Mul, left, right)
+		case p.accept(tokOp, "/"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.NewArith(expr.Div, left, right)
+		case p.accept(tokOp, "%"):
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.NewArith(expr.Mod, left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.accept(tokOp, "-") {
+		sub, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negated literals.
+		if c, ok := sub.(*expr.Const); ok {
+			v, err := value.Neg(c.V)
+			if err == nil {
+				return expr.NewConst(v), nil
+			}
+		}
+		return expr.NewNeg(sub), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt, t.kind == tokFloat, t.kind == tokString,
+		t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE" || t.text == "NULL"):
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewConst(v), nil
+
+	case t.kind == tokOp && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.kind == tokIdent:
+		name := p.next().text
+		// Function call?
+		if p.at(tokOp, "(") {
+			p.next()
+			var args []expr.Expr
+			if !p.at(tokOp, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(tokOp, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return expr.NewCall(name, args...), nil
+		}
+		// Qualified column?
+		if p.accept(tokOp, ".") {
+			suffix, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewCol(name + "." + suffix), nil
+		}
+		return expr.NewCol(name), nil
+	}
+	return nil, p.errf("expected an expression, found %q", t.text)
+}

@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"math/rand"
+
+	"repro/internal/value"
+)
+
+// OrderedIndex is a skip list over (key columns, row id), supporting
+// ordered range scans — the "various storage structures" a customized
+// OFM can be equipped with when its relation definition calls for range
+// predicates (paper §2.5). Like HashIndex it is maintained under the
+// owning store's lock.
+type OrderedIndex struct {
+	cols []int
+	head *skipNode
+	rng  *rand.Rand
+	size int
+	lvl  int
+}
+
+const maxLevel = 24
+
+type skipNode struct {
+	key  value.Tuple // the indexed column values
+	id   RowID
+	next []*skipNode
+}
+
+func newOrderedIndex(cols []int) *OrderedIndex {
+	return &OrderedIndex{
+		cols: append([]int(nil), cols...),
+		head: &skipNode{next: make([]*skipNode, maxLevel)},
+		rng:  rand.New(rand.NewSource(0x5eed)),
+		lvl:  1,
+	}
+}
+
+// Cols returns the indexed column positions.
+func (ix *OrderedIndex) Cols() []int { return append([]int(nil), ix.cols...) }
+
+// Len returns the number of entries.
+func (ix *OrderedIndex) Len() int { return ix.size }
+
+// cmp orders (key, id) pairs: key lexicographically, then row id.
+func cmpEntry(aKey value.Tuple, aID RowID, bKey value.Tuple, bID RowID) int {
+	if c := value.CompareTuples(aKey, bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aID < bID:
+		return -1
+	case aID > bID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (ix *OrderedIndex) keyOf(t value.Tuple) value.Tuple {
+	k := make(value.Tuple, len(ix.cols))
+	for i, c := range ix.cols {
+		k[i] = t[c]
+	}
+	return k
+}
+
+func (ix *OrderedIndex) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && ix.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+func (ix *OrderedIndex) add(id RowID, t value.Tuple) {
+	key := ix.keyOf(t)
+	var update [maxLevel]*skipNode
+	x := ix.head
+	for i := ix.lvl - 1; i >= 0; i-- {
+		for x.next[i] != nil && cmpEntry(x.next[i].key, x.next[i].id, key, id) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	lvl := ix.randomLevel()
+	if lvl > ix.lvl {
+		for i := ix.lvl; i < lvl; i++ {
+			update[i] = ix.head
+		}
+		ix.lvl = lvl
+	}
+	node := &skipNode{key: key, id: id, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	ix.size++
+}
+
+func (ix *OrderedIndex) remove(id RowID, t value.Tuple) {
+	key := ix.keyOf(t)
+	var update [maxLevel]*skipNode
+	x := ix.head
+	for i := ix.lvl - 1; i >= 0; i-- {
+		for x.next[i] != nil && cmpEntry(x.next[i].key, x.next[i].id, key, id) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	target := x.next[0]
+	if target == nil || cmpEntry(target.key, target.id, key, id) != 0 {
+		return
+	}
+	for i := 0; i < ix.lvl; i++ {
+		if update[i].next[i] == target {
+			update[i].next[i] = target.next[i]
+		}
+	}
+	for ix.lvl > 1 && ix.head.next[ix.lvl-1] == nil {
+		ix.lvl--
+	}
+	ix.size--
+}
+
+func (ix *OrderedIndex) clear() {
+	ix.head = &skipNode{next: make([]*skipNode, maxLevel)}
+	ix.lvl = 1
+	ix.size = 0
+}
+
+// Range calls fn for every entry with lo <= key <= hi in key order,
+// until fn returns false. Nil lo means unbounded below; nil hi above.
+// Bounds are prefixes: a single-value bound against a two-column index
+// compares on the first column only.
+func (ix *OrderedIndex) Range(lo, hi value.Tuple, fn func(RowID, value.Tuple) bool) {
+	x := ix.head
+	if lo != nil {
+		for i := ix.lvl - 1; i >= 0; i-- {
+			for x.next[i] != nil && value.CompareTuples(x.next[i].key[:min(len(x.next[i].key), len(lo))], lo) < 0 {
+				x = x.next[i]
+			}
+		}
+	}
+	for n := x.next[0]; n != nil; n = n.next[0] {
+		if hi != nil && value.CompareTuples(n.key[:min(len(n.key), len(hi))], hi) > 0 {
+			return
+		}
+		if !fn(n.id, n.key) {
+			return
+		}
+	}
+}
+
+// Min returns the smallest entry.
+func (ix *OrderedIndex) Min() (RowID, value.Tuple, bool) {
+	n := ix.head.next[0]
+	if n == nil {
+		return -1, nil, false
+	}
+	return n.id, n.key, true
+}
+
+// Max returns the largest entry (linear in the bottom level beyond the
+// last tower; O(log n) expected via top-level descent).
+func (ix *OrderedIndex) Max() (RowID, value.Tuple, bool) {
+	x := ix.head
+	for i := ix.lvl - 1; i >= 0; i-- {
+		for x.next[i] != nil {
+			x = x.next[i]
+		}
+	}
+	if x == ix.head {
+		return -1, nil, false
+	}
+	return x.id, x.key, true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

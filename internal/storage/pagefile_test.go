@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestPageFileRoundTrip(t *testing.T) {
+	pf, err := NewPageFile(empSchema(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []value.Tuple
+	for i := 0; i < 100; i++ {
+		tp := emp(int64(i), "name-of-employee", float64(i))
+		want = append(want, tp)
+		if err := pf.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pf.Len() != 100 {
+		t.Errorf("Len = %d", pf.Len())
+	}
+	if pf.PageCount() < 2 {
+		t.Errorf("100 tuples should span multiple 256-byte pages, got %d", pf.PageCount())
+	}
+	var got []value.Tuple
+	pages := 0
+	err = pf.ScanPages(func(int) { pages++ }, func(tp value.Tuple) bool {
+		got = append(got, tp)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages != pf.PageCount() {
+		t.Errorf("scan visited %d pages, PageCount says %d", pages, pf.PageCount())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !value.EqualTuples(got[i], want[i]) {
+			t.Fatalf("tuple %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPageFileEarlyStop(t *testing.T) {
+	pf, err := NewPageFile(empSchema(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.PageSize() != DefaultPageSize {
+		t.Errorf("default page size = %d", pf.PageSize())
+	}
+	if err := pf.AppendAll([]value.Tuple{emp(1, "a", 1), emp(2, "b", 2), emp(3, "c", 3)}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := pf.ScanPages(nil, func(value.Tuple) bool { n++; return n < 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestPageFileValidation(t *testing.T) {
+	if _, err := NewPageFile(empSchema(), 16); err == nil {
+		t.Error("tiny page size should error")
+	}
+	pf, err := NewPageFile(empSchema(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Append(value.Ints(1)); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	big := emp(1, strings.Repeat("x", 100), 1)
+	if err := pf.Append(big); err == nil {
+		t.Error("oversized tuple should error")
+	}
+}
+
+func TestPageFileBytesGrowth(t *testing.T) {
+	pf, err := NewPageFile(empSchema(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Bytes() != 0 || pf.PageCount() != 0 {
+		t.Error("fresh page file should be empty")
+	}
+	if err := pf.Append(emp(1, "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	b1 := pf.Bytes()
+	if b1 <= 0 {
+		t.Error("Bytes should grow")
+	}
+	if err := pf.Append(emp(2, "b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Bytes() <= b1 {
+		t.Error("Bytes should keep growing")
+	}
+	if pf.PageCount() != 1 {
+		t.Errorf("small data should fit one page, got %d", pf.PageCount())
+	}
+}

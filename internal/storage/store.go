@@ -1,0 +1,482 @@
+// Package storage provides the main-memory storage structures a
+// One-Fragment Manager builds on (paper §2.5: "(various) storage
+// structures", "markings and cursor maintenance"): an in-memory heap of
+// tuples addressed by row id, hash and ordered (skip-list) secondary
+// indexes, marking sets, stable cursors, and an encoded page file that
+// models disk-resident data for the main-memory-vs-disk experiment.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// RowID addresses a tuple within one Store. Ids are never reused: a slot
+// freed by Delete carries a bumped generation, so stale ids (e.g. held by
+// an open Cursor) miss instead of aliasing a newer tuple. The low 40 bits
+// are the slot index, the high bits the generation.
+type RowID int64
+
+const rowIndexBits = 40
+
+func makeRowID(slot int, gen int64) RowID {
+	return RowID(gen<<rowIndexBits | int64(slot))
+}
+
+func (id RowID) slot() int  { return int(int64(id) & (1<<rowIndexBits - 1)) }
+func (id RowID) gen() int64 { return int64(id) >> rowIndexBits }
+
+// MemChangeFunc observes the store's approximate memory footprint deltas;
+// the OFM wires it to its processing element's 16 MB budget.
+type MemChangeFunc func(delta int64)
+
+type slot struct {
+	tuple value.Tuple // nil = tombstone
+	gen   int64
+}
+
+// Store is a main-memory multiset of tuples with secondary indexes.
+// All methods are safe for concurrent use.
+type Store struct {
+	schema *value.Schema
+
+	mu      sync.RWMutex
+	rows    []slot
+	free    []int // reusable tombstone slot indexes
+	count   int
+	memSize int64
+	onMem   MemChangeFunc
+
+	hashIdx    map[string]*HashIndex
+	orderedIdx map[string]*OrderedIndex
+	markings   map[string]map[RowID]struct{}
+}
+
+// NewStore creates an empty store for the given schema.
+func NewStore(schema *value.Schema) *Store {
+	return &Store{
+		schema:     schema,
+		hashIdx:    map[string]*HashIndex{},
+		orderedIdx: map[string]*OrderedIndex{},
+		markings:   map[string]map[RowID]struct{}{},
+	}
+}
+
+// OnMemChange registers the memory accounting hook (nil to disable).
+func (s *Store) OnMemChange(fn MemChangeFunc) {
+	s.mu.Lock()
+	s.onMem = fn
+	s.mu.Unlock()
+}
+
+// Schema returns the store's tuple schema.
+func (s *Store) Schema() *value.Schema { return s.schema }
+
+// Len returns the number of live tuples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// MemSize returns the approximate in-memory footprint in bytes.
+func (s *Store) MemSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.memSize
+}
+
+// Conform validates t against schema, widening ints into float columns
+// in place. It is the type check every ingest path shares.
+func Conform(schema *value.Schema, t value.Tuple) error {
+	if len(t) != schema.Len() {
+		return fmt.Errorf("storage: tuple arity %d does not match schema %s", len(t), schema)
+	}
+	for i, v := range t {
+		want := schema.Column(i).Kind
+		if v.IsNull() || v.Kind() == want {
+			continue
+		}
+		// Ints are accepted into float columns (widening).
+		if want == value.KindFloat && v.Kind() == value.KindInt {
+			t[i] = value.NewFloat(v.Float())
+			continue
+		}
+		return fmt.Errorf("storage: column %s got %s", schema.Column(i).Name, v.Kind())
+	}
+	return nil
+}
+
+// Insert adds a tuple and returns its row id.
+func (s *Store) Insert(t value.Tuple) (RowID, error) {
+	if err := Conform(s.schema, t); err != nil {
+		return -1, err
+	}
+	s.mu.Lock()
+	var id RowID
+	if n := len(s.free); n > 0 {
+		si := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.rows[si].tuple = t
+		id = makeRowID(si, s.rows[si].gen)
+	} else {
+		id = makeRowID(len(s.rows), 0)
+		s.rows = append(s.rows, slot{tuple: t})
+	}
+	s.count++
+	delta := int64(t.Size())
+	s.memSize += delta
+	for _, idx := range s.hashIdx {
+		idx.add(id, t)
+	}
+	for _, idx := range s.orderedIdx {
+		idx.add(id, t)
+	}
+	onMem := s.onMem
+	s.mu.Unlock()
+	if onMem != nil {
+		onMem(delta)
+	}
+	return id, nil
+}
+
+// InsertBatch adds many tuples (one lock acquisition).
+func (s *Store) InsertBatch(ts []value.Tuple) ([]RowID, error) {
+	ids := make([]RowID, 0, len(ts))
+	for _, t := range ts {
+		id, err := s.Insert(t)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// live returns the slot index of a valid live id, or -1. Caller holds a lock.
+func (s *Store) live(id RowID) int {
+	si := id.slot()
+	if id < 0 || si >= len(s.rows) || s.rows[si].tuple == nil || s.rows[si].gen != id.gen() {
+		return -1
+	}
+	return si
+}
+
+// Get returns the tuple at id.
+func (s *Store) Get(id RowID) (value.Tuple, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	si := s.live(id)
+	if si < 0 {
+		return nil, false
+	}
+	return s.rows[si].tuple, true
+}
+
+// Delete removes the tuple at id.
+func (s *Store) Delete(id RowID) bool {
+	s.mu.Lock()
+	si := s.live(id)
+	if si < 0 {
+		s.mu.Unlock()
+		return false
+	}
+	t := s.rows[si].tuple
+	s.rows[si].tuple = nil
+	s.rows[si].gen++ // invalidate outstanding ids for this slot
+	s.free = append(s.free, si)
+	s.count--
+	delta := -int64(t.Size())
+	s.memSize += delta
+	for _, idx := range s.hashIdx {
+		idx.remove(id, t)
+	}
+	for _, idx := range s.orderedIdx {
+		idx.remove(id, t)
+	}
+	for _, m := range s.markings {
+		delete(m, id)
+	}
+	onMem := s.onMem
+	s.mu.Unlock()
+	if onMem != nil {
+		onMem(delta)
+	}
+	return true
+}
+
+// Update replaces the tuple at id.
+func (s *Store) Update(id RowID, t value.Tuple) error {
+	if err := Conform(s.schema, t); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	si := s.live(id)
+	if si < 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("storage: row %d does not exist", id)
+	}
+	old := s.rows[si].tuple
+	s.rows[si].tuple = t
+	delta := int64(t.Size()) - int64(old.Size())
+	s.memSize += delta
+	for _, idx := range s.hashIdx {
+		idx.remove(id, old)
+		idx.add(id, t)
+	}
+	for _, idx := range s.orderedIdx {
+		idx.remove(id, old)
+		idx.add(id, t)
+	}
+	onMem := s.onMem
+	s.mu.Unlock()
+	if onMem != nil {
+		onMem(delta)
+	}
+	return nil
+}
+
+// Scan calls fn for every live tuple until fn returns false. The lock is
+// held for the duration; fn must not mutate the store (use a Cursor for
+// interleaved mutation).
+func (s *Store) Scan(fn func(RowID, value.Tuple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.rows {
+		t := s.rows[i].tuple
+		if t == nil {
+			continue
+		}
+		if !fn(makeRowID(i, s.rows[i].gen), t) {
+			return
+		}
+	}
+}
+
+// Snapshot returns all live tuples (shared, treat as immutable).
+func (s *Store) Snapshot() []value.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]value.Tuple, 0, s.count)
+	for i := range s.rows {
+		if t := s.rows[i].tuple; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Clear removes everything, keeping indexes defined but empty.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	delta := -s.memSize
+	s.rows = nil
+	s.free = nil
+	s.count = 0
+	s.memSize = 0
+	for _, idx := range s.hashIdx {
+		idx.clear()
+	}
+	for _, idx := range s.orderedIdx {
+		idx.clear()
+	}
+	s.markings = map[string]map[RowID]struct{}{}
+	onMem := s.onMem
+	s.mu.Unlock()
+	if onMem != nil {
+		onMem(delta)
+	}
+}
+
+// ---------- indexes ----------
+
+// CreateHashIndex builds a hash index named name on the given columns,
+// indexing existing rows. Equality lookups use it.
+func (s *Store) CreateHashIndex(name string, cols []int) (*HashIndex, error) {
+	if err := s.checkCols(cols); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.hashIdx[name]; dup {
+		return nil, fmt.Errorf("storage: hash index %q exists", name)
+	}
+	if _, dup := s.orderedIdx[name]; dup {
+		return nil, fmt.Errorf("storage: index %q exists", name)
+	}
+	idx := newHashIndex(cols)
+	for i := range s.rows {
+		if t := s.rows[i].tuple; t != nil {
+			idx.add(makeRowID(i, s.rows[i].gen), t)
+		}
+	}
+	s.hashIdx[name] = idx
+	return idx, nil
+}
+
+// CreateOrderedIndex builds a skip-list index named name on the given
+// columns. Range scans use it.
+func (s *Store) CreateOrderedIndex(name string, cols []int) (*OrderedIndex, error) {
+	if err := s.checkCols(cols); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.orderedIdx[name]; dup {
+		return nil, fmt.Errorf("storage: ordered index %q exists", name)
+	}
+	if _, dup := s.hashIdx[name]; dup {
+		return nil, fmt.Errorf("storage: index %q exists", name)
+	}
+	idx := newOrderedIndex(cols)
+	for i := range s.rows {
+		if t := s.rows[i].tuple; t != nil {
+			idx.add(makeRowID(i, s.rows[i].gen), t)
+		}
+	}
+	s.orderedIdx[name] = idx
+	return idx, nil
+}
+
+func (s *Store) checkCols(cols []int) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("storage: index needs at least one column")
+	}
+	for _, c := range cols {
+		if c < 0 || c >= s.schema.Len() {
+			return fmt.Errorf("storage: index column %d out of range for %s", c, s.schema)
+		}
+	}
+	return nil
+}
+
+// HashIndexOn returns a hash index covering exactly cols, if one exists.
+func (s *Store) HashIndexOn(cols []int) (*HashIndex, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, idx := range s.hashIdx {
+		if equalInts(idx.cols, cols) {
+			return idx, true
+		}
+	}
+	return nil, false
+}
+
+// OrderedIndexOn returns an ordered index whose leading column is col.
+func (s *Store) OrderedIndexOn(col int) (*OrderedIndex, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, idx := range s.orderedIdx {
+		if idx.cols[0] == col {
+			return idx, true
+		}
+	}
+	return nil, false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------- markings (paper §2.5) ----------
+
+// Mark adds row ids to the named marking set.
+func (s *Store) Mark(name string, ids ...RowID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.markings[name]
+	if m == nil {
+		m = map[RowID]struct{}{}
+		s.markings[name] = m
+	}
+	for _, id := range ids {
+		if s.live(id) >= 0 {
+			m[id] = struct{}{}
+		}
+	}
+}
+
+// Unmark removes row ids from the named marking (all ids if none given).
+func (s *Store) Unmark(name string, ids ...RowID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(ids) == 0 {
+		delete(s.markings, name)
+		return
+	}
+	if m := s.markings[name]; m != nil {
+		for _, id := range ids {
+			delete(m, id)
+		}
+	}
+}
+
+// Marked reports whether a row carries the named marking.
+func (s *Store) Marked(name string, id RowID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.markings[name][id]
+	return ok
+}
+
+// MarkedRows returns the live tuples carrying the named marking.
+func (s *Store) MarkedRows(name string) []value.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.markings[name]
+	out := make([]value.Tuple, 0, len(m))
+	for id := range m {
+		if si := s.live(id); si >= 0 {
+			out = append(out, s.rows[si].tuple)
+		}
+	}
+	return out
+}
+
+// ---------- cursors (paper §2.5) ----------
+
+// Cursor iterates the rows that existed when it was opened, tolerating
+// concurrent mutation: deleted rows are skipped, inserts are not seen.
+type Cursor struct {
+	s   *Store
+	ids []RowID
+	pos int
+}
+
+// OpenCursor captures the current row-id set for stable iteration.
+func (s *Store) OpenCursor() *Cursor {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]RowID, 0, s.count)
+	for i := range s.rows {
+		if s.rows[i].tuple != nil {
+			ids = append(ids, makeRowID(i, s.rows[i].gen))
+		}
+	}
+	return &Cursor{s: s, ids: ids}
+}
+
+// Next returns the next surviving tuple; ok is false at the end.
+func (c *Cursor) Next() (RowID, value.Tuple, bool) {
+	for c.pos < len(c.ids) {
+		id := c.ids[c.pos]
+		c.pos++
+		if t, ok := c.s.Get(id); ok {
+			return id, t, true
+		}
+	}
+	return -1, nil, false
+}
+
+// Remaining returns how many candidate ids are left (upper bound).
+func (c *Cursor) Remaining() int { return len(c.ids) - c.pos }

@@ -1,0 +1,255 @@
+// Package txn provides the Global Data Handler's transaction machinery
+// (paper §2.2: "the transaction manager, the concurrency control unit"):
+// a strict two-phase-locking lock manager with waits-for deadlock
+// detection, transaction lifecycle management, and a two-phase-commit
+// coordinator that drives the One-Fragment Managers as participants.
+//
+// Lock granularity is the fragment: the paper notes queries proceed "in
+// parallel, except for accesses to the same copy of base fragments of
+// the database" — fragments are exactly the unit of conflict.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ID identifies a transaction.
+type ID uint64
+
+// LockMode is the strength of a lock.
+type LockMode uint8
+
+// Lock modes.
+const (
+	Shared LockMode = iota
+	Exclusive
+)
+
+func (m LockMode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// ErrDeadlock is returned when granting a lock would create a cycle in
+// the waits-for graph; the requesting transaction should abort.
+var ErrDeadlock = errors.New("txn: deadlock detected")
+
+// ErrAborted is returned for operations on an aborted transaction.
+var ErrAborted = errors.New("txn: transaction aborted")
+
+type waiter struct {
+	tx      ID
+	mode    LockMode
+	granted chan error
+}
+
+type lockState struct {
+	holders map[ID]LockMode
+	queue   []*waiter
+}
+
+// LockManager grants fragment-granularity locks under strict 2PL: locks
+// accumulate during the transaction and are released together at end.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+	held  map[ID]map[string]LockMode
+	waits map[ID]map[ID]struct{} // edge tx -> txs it waits for
+}
+
+// NewLockManager creates an empty lock manager.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		locks: map[string]*lockState{},
+		held:  map[ID]map[string]LockMode{},
+		waits: map[ID]map[ID]struct{}{},
+	}
+}
+
+// compatible reports whether a request can be granted alongside holders.
+func compatible(st *lockState, tx ID, mode LockMode) bool {
+	for holder, hmode := range st.holders {
+		if holder == tx {
+			continue // self-conflict handled as upgrade
+		}
+		if mode == Exclusive || hmode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire blocks until tx holds the resource in the given mode, or
+// returns ErrDeadlock if waiting would create a waits-for cycle. A
+// shared lock held by tx upgrades to exclusive when requested.
+func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
+	lm.mu.Lock()
+	st := lm.locks[resource]
+	if st == nil {
+		st = &lockState{holders: map[ID]LockMode{}}
+		lm.locks[resource] = st
+	}
+	if cur, mine := st.holders[tx]; mine && (cur == Exclusive || cur == mode) {
+		lm.mu.Unlock()
+		return nil // already strong enough
+	}
+	if compatible(st, tx, mode) {
+		lm.grant(st, tx, resource, mode)
+		lm.mu.Unlock()
+		return nil
+	}
+	// Must wait: record waits-for edges and check for a cycle.
+	blockers := map[ID]struct{}{}
+	for holder := range st.holders {
+		if holder != tx {
+			blockers[holder] = struct{}{}
+		}
+	}
+	// Queued waiters ahead of us also block us (FIFO fairness).
+	for _, w := range st.queue {
+		if w.tx != tx {
+			blockers[w.tx] = struct{}{}
+		}
+	}
+	lm.waits[tx] = blockers
+	if lm.wouldDeadlock(tx) {
+		delete(lm.waits, tx)
+		lm.mu.Unlock()
+		return fmt.Errorf("%w: %d requesting %s on %q", ErrDeadlock, tx, mode, resource)
+	}
+	w := &waiter{tx: tx, mode: mode, granted: make(chan error, 1)}
+	st.queue = append(st.queue, w)
+	lm.mu.Unlock()
+
+	return <-w.granted
+}
+
+// grant records the lock, upgrading S to X but never downgrading.
+// Caller holds lm.mu.
+func (lm *LockManager) grant(st *lockState, tx ID, resource string, mode LockMode) {
+	if cur, mine := st.holders[tx]; !mine || (mode == Exclusive && cur == Shared) {
+		st.holders[tx] = mode
+	}
+	h := lm.held[tx]
+	if h == nil {
+		h = map[string]LockMode{}
+		lm.held[tx] = h
+	}
+	if cur, ok := h[resource]; !ok || (mode == Exclusive && cur == Shared) {
+		h[resource] = mode
+	}
+	delete(lm.waits, tx)
+}
+
+// wouldDeadlock reports whether tx participates in a waits-for cycle.
+// Caller holds lm.mu.
+func (lm *LockManager) wouldDeadlock(tx ID) bool {
+	// DFS from tx through the waits-for graph looking for a path back.
+	seen := map[ID]struct{}{}
+	var stack []ID
+	for b := range lm.waits[tx] {
+		stack = append(stack, b)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == tx {
+			return true
+		}
+		if _, dup := seen[cur]; dup {
+			continue
+		}
+		seen[cur] = struct{}{}
+		for b := range lm.waits[cur] {
+			stack = append(stack, b)
+		}
+	}
+	return false
+}
+
+// ReleaseAll frees every lock tx holds and cancels its queued waits
+// (strict 2PL end-of-transaction release).
+func (lm *LockManager) ReleaseAll(tx ID) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	delete(lm.waits, tx)
+	for resource := range lm.held[tx] {
+		st := lm.locks[resource]
+		if st == nil {
+			continue
+		}
+		delete(st.holders, tx)
+		lm.pump(st, resource)
+		if len(st.holders) == 0 && len(st.queue) == 0 {
+			delete(lm.locks, resource)
+		}
+	}
+	delete(lm.held, tx)
+	// Remove tx from queues it might still sit in (abort while waiting),
+	// and drop waits-for edges pointing at tx.
+	for resource, st := range lm.locks {
+		filtered := st.queue[:0]
+		for _, w := range st.queue {
+			if w.tx == tx {
+				w.granted <- ErrAborted
+				continue
+			}
+			filtered = append(filtered, w)
+		}
+		st.queue = filtered
+		lm.pump(st, resource)
+	}
+	for _, blockers := range lm.waits {
+		delete(blockers, tx)
+	}
+}
+
+// pump grants queued requests that are now compatible, preserving FIFO
+// order with shared batching. Caller holds lm.mu.
+func (lm *LockManager) pump(st *lockState, resource string) {
+	for len(st.queue) > 0 {
+		w := st.queue[0]
+		if !compatible(st, w.tx, w.mode) {
+			// Upgrade special case: sole holder waiting to upgrade.
+			if cur, mine := st.holders[w.tx]; mine && cur == Shared && w.mode == Exclusive && len(st.holders) == 1 {
+				// fall through to grant
+			} else {
+				return
+			}
+		}
+		st.queue = st.queue[1:]
+		lm.grant(st, w.tx, resource, w.mode)
+		w.granted <- nil
+		if w.mode == Exclusive {
+			return
+		}
+	}
+}
+
+// HeldBy returns the resources tx currently holds with their modes.
+func (lm *LockManager) HeldBy(tx ID) map[string]LockMode {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	out := map[string]LockMode{}
+	for r, m := range lm.held[tx] {
+		out[r] = m
+	}
+	return out
+}
+
+// Holders returns the transactions holding the resource.
+func (lm *LockManager) Holders(resource string) map[ID]LockMode {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	out := map[ID]LockMode{}
+	if st := lm.locks[resource]; st != nil {
+		for tx, m := range st.holders {
+			out[tx] = m
+		}
+	}
+	return out
+}

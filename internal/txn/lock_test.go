@@ -1,0 +1,248 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	holders := lm.Holders("f")
+	if len(holders) != 2 {
+		t.Errorf("holders = %v", holders)
+	}
+}
+
+func TestExclusiveBlocks(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- lm.Acquire(2, "f", Shared) }()
+	select {
+	case <-acquired:
+		t.Fatal("S granted while X held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("lock never granted after release")
+	}
+}
+
+func TestReacquireIsIdempotent(t *testing.T) {
+	lm := NewLockManager()
+	for i := 0; i < 3; i++ {
+		if err := lm.Acquire(1, "f", Shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lm.Acquire(1, "f", Exclusive); err != nil {
+		t.Fatal(err) // sole-holder upgrade
+	}
+	if err := lm.Acquire(1, "f", Shared); err != nil {
+		t.Fatal(err) // X already covers S
+	}
+	if got := lm.HeldBy(1)["f"]; got != Exclusive {
+		t.Errorf("mode after upgrade = %v", got)
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	upgraded := make(chan error, 1)
+	go func() { upgraded <- lm.Acquire(1, "f", Exclusive) }()
+	select {
+	case <-upgraded:
+		t.Fatal("upgrade granted while another reader holds S")
+	case <-time.After(50 * time.Millisecond):
+	}
+	lm.ReleaseAll(2)
+	select {
+	case err := <-upgraded:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("upgrade never granted")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// 1 waits for b (held by 2).
+	firstWait := make(chan error, 1)
+	go func() { firstWait <- lm.Acquire(1, "b", Exclusive) }()
+	time.Sleep(50 * time.Millisecond)
+	// 2 requests a (held by 1): cycle — must be rejected immediately.
+	err := lm.Acquire(2, "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	// Victim releases; waiter 1 proceeds.
+	lm.ReleaseAll(2)
+	select {
+	case err := <-firstWait:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("survivor never granted")
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	lm := NewLockManager()
+	for i := ID(1); i <= 3; i++ {
+		if err := lm.Acquire(i, string(rune('a'+i-1)), Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1→b, 2→c block; 3→a closes the cycle.
+	go lm.Acquire(1, "b", Exclusive)
+	time.Sleep(30 * time.Millisecond)
+	go lm.Acquire(2, "c", Exclusive)
+	time.Sleep(30 * time.Millisecond)
+	err := lm.Acquire(3, "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected 3-way deadlock, got %v", err)
+	}
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(2)
+	lm.ReleaseAll(3)
+}
+
+func TestReleaseAllCancelsWaiters(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- lm.Acquire(2, "f", Exclusive) }()
+	time.Sleep(30 * time.Millisecond)
+	// Txn 2 aborts while waiting: its queued request must be cancelled.
+	lm.ReleaseAll(2)
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("cancelled waiter got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled waiter still blocked")
+	}
+	// And the lock is still held by 1.
+	if _, ok := lm.Holders("f")[1]; !ok {
+		t.Error("holder lost")
+	}
+}
+
+func TestFIFOWithSharedBatching(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "f", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan ID, 3)
+	var wg sync.WaitGroup
+	enqueue := func(tx ID, mode LockMode) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := lm.Acquire(tx, "f", mode); err == nil {
+				order <- tx
+			}
+		}()
+		time.Sleep(30 * time.Millisecond) // deterministic queue order
+	}
+	enqueue(2, Shared)
+	enqueue(3, Shared)
+	enqueue(4, Exclusive)
+	lm.ReleaseAll(1)
+	// 2 and 3 (shared batch) should be granted; 4 still waits.
+	deadline := time.After(time.Second)
+	got := map[ID]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case tx := <-order:
+			got[tx] = true
+		case <-deadline:
+			t.Fatal("shared batch not granted")
+		}
+	}
+	if !got[2] || !got[3] {
+		t.Fatalf("granted %v, want {2,3}", got)
+	}
+	select {
+	case tx := <-order:
+		t.Fatalf("tx %d granted too early", tx)
+	case <-time.After(50 * time.Millisecond):
+	}
+	lm.ReleaseAll(2)
+	lm.ReleaseAll(3)
+	select {
+	case tx := <-order:
+		if tx != 4 {
+			t.Fatalf("expected 4, got %d", tx)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("exclusive waiter never granted")
+	}
+	wg.Wait()
+}
+
+func TestManyConcurrentLockers(t *testing.T) {
+	lm := NewLockManager()
+	var wg sync.WaitGroup
+	var counter int64
+	var cmu sync.Mutex
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(tx ID) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := lm.Acquire(tx, "shared-resource", Exclusive); err != nil {
+					continue // deadlock impossible here, but be safe
+				}
+				cmu.Lock()
+				counter++
+				cmu.Unlock()
+				lm.ReleaseAll(tx)
+			}
+		}(ID(i + 1))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("lock manager livelocked")
+	}
+	if counter != 32*20 {
+		t.Errorf("critical section entered %d times, want %d", counter, 640)
+	}
+}

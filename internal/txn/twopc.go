@@ -1,0 +1,70 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Participant is a two-phase-commit participant — in PRISMA, a
+// One-Fragment Manager holding updates for the transaction. Prepare must
+// make the transaction's effects durable-on-vote (flush redo to stable
+// storage) before voting yes.
+type Participant interface {
+	// Name identifies the participant (stable per OFM).
+	Name() string
+	// Prepare flushes and votes: a nil return is a yes vote.
+	Prepare(tx ID) error
+	// Commit finalizes after a unanimous yes. It must not fail.
+	Commit(tx ID) error
+	// Abort rolls back; called on any no vote or on coordinator abort.
+	Abort(tx ID) error
+}
+
+// runTwoPhaseCommit drives the protocol: parallel prepare, then parallel
+// commit on unanimous yes, or parallel abort on any no.
+func runTwoPhaseCommit(tx ID, parts []Participant) error {
+	if len(parts) == 0 {
+		return nil
+	}
+	// Phase 1: prepare in parallel (the paper's coarse-grain parallelism
+	// applies to the commit protocol as well — each participant flushes
+	// its own log).
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p Participant) {
+			defer wg.Done()
+			errs[i] = p.Prepare(tx)
+		}(i, p)
+	}
+	wg.Wait()
+	var veto error
+	for i, err := range errs {
+		if err != nil {
+			veto = fmt.Errorf("2pc: participant %s voted no: %w", parts[i].Name(), err)
+			break
+		}
+	}
+	// Phase 2.
+	if veto != nil {
+		for _, p := range parts {
+			wg.Add(1)
+			go func(p Participant) {
+				defer wg.Done()
+				p.Abort(tx)
+			}(p)
+		}
+		wg.Wait()
+		return veto
+	}
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p Participant) {
+			defer wg.Done()
+			p.Commit(tx)
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}

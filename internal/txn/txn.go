@@ -1,0 +1,215 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// State is a transaction's lifecycle state.
+type State uint8
+
+// Transaction states.
+const (
+	Active State = iota
+	Preparing
+	Committed
+	Aborted
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Preparing:
+		return "preparing"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	}
+	return "?"
+}
+
+// Txn is one transaction's control block.
+type Txn struct {
+	id  ID
+	mgr *Manager
+
+	mu           sync.Mutex
+	state        State
+	undo         []func() // volatile undo actions, run in reverse on abort
+	participants []Participant
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() ID { return t.id }
+
+// State returns the current lifecycle state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Lock acquires a fragment lock under strict 2PL. On deadlock the
+// transaction is aborted and ErrDeadlock returned.
+func (t *Txn) Lock(resource string, mode LockMode) error {
+	if st := t.State(); st != Active {
+		return fmt.Errorf("txn %d: lock in state %s", t.id, st)
+	}
+	if err := t.mgr.locks.Acquire(t.id, resource, mode); err != nil {
+		t.Abort()
+		return err
+	}
+	return nil
+}
+
+// OnAbort registers an undo action (run in reverse order on abort) —
+// how OFMs roll back volatile main-memory changes.
+func (t *Txn) OnAbort(fn func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.undo = append(t.undo, fn)
+}
+
+// Enlist registers a two-phase-commit participant; duplicates (by Name)
+// collapse.
+func (t *Txn) Enlist(p Participant) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, q := range t.participants {
+		if q.Name() == p.Name() {
+			return
+		}
+	}
+	t.participants = append(t.participants, p)
+}
+
+// Participants returns the enlisted participants.
+func (t *Txn) Participants() []Participant {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Participant(nil), t.participants...)
+}
+
+// Commit runs two-phase commit over the enlisted participants and
+// releases all locks. With no participants it is a trivial local commit.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.state != Active {
+		st := t.state
+		t.mu.Unlock()
+		return fmt.Errorf("txn %d: commit in state %s", t.id, st)
+	}
+	t.state = Preparing
+	parts := append([]Participant(nil), t.participants...)
+	t.mu.Unlock()
+
+	if err := runTwoPhaseCommit(t.id, parts); err != nil {
+		// Phase 2 already aborted the participants; only roll back local
+		// state here.
+		t.rollback(false)
+		return fmt.Errorf("txn %d: %w", t.id, err)
+	}
+	t.mu.Lock()
+	t.state = Committed
+	t.undo = nil
+	t.mu.Unlock()
+	t.mgr.finish(t)
+	return nil
+}
+
+// Abort rolls the transaction back: participants abort, undo actions run
+// in reverse, locks release. Aborting twice is a no-op.
+func (t *Txn) Abort() {
+	t.mu.Lock()
+	if t.state == Committed || t.state == Aborted {
+		t.mu.Unlock()
+		return
+	}
+	t.state = Aborted
+	t.mu.Unlock()
+	t.rollback(true)
+}
+
+// rollback reverses the transaction; abortParticipants is false when the
+// two-phase-commit protocol has already sent aborts.
+func (t *Txn) rollback(abortParticipants bool) {
+	t.mu.Lock()
+	parts := append([]Participant(nil), t.participants...)
+	undo := t.undo
+	t.undo = nil
+	t.state = Aborted
+	t.mu.Unlock()
+	if abortParticipants {
+		for _, p := range parts {
+			p.Abort(t.id)
+		}
+	}
+	for i := len(undo) - 1; i >= 0; i-- {
+		undo[i]()
+	}
+	t.mgr.finish(t)
+}
+
+// Manager creates transactions and owns the lock manager. The paper runs
+// one transaction-manager instance per query; Manager is cheap enough to
+// share or instantiate per session.
+type Manager struct {
+	locks  *LockManager
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	active map[ID]*Txn
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// NewManager creates a transaction manager with a fresh lock space.
+func NewManager() *Manager {
+	return &Manager{locks: NewLockManager(), active: map[ID]*Txn{}}
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	t := &Txn{id: ID(m.nextID.Add(1)), mgr: m, state: Active}
+	m.mu.Lock()
+	m.active[t.id] = t
+	m.mu.Unlock()
+	return t
+}
+
+// finish releases locks and bookkeeping once a txn reaches a final state.
+func (m *Manager) finish(t *Txn) {
+	m.locks.ReleaseAll(t.id)
+	m.mu.Lock()
+	_, was := m.active[t.id]
+	delete(m.active, t.id)
+	m.mu.Unlock()
+	if was {
+		if t.State() == Committed {
+			m.commits.Add(1)
+		} else {
+			m.aborts.Add(1)
+		}
+	}
+}
+
+// Locks exposes the lock manager (OFMs lock through the owning txn, but
+// tests and tools can inspect).
+func (m *Manager) Locks() *LockManager { return m.locks }
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Commits returns the number of committed transactions.
+func (m *Manager) Commits() int64 { return m.commits.Load() }
+
+// Aborts returns the number of aborted transactions.
+func (m *Manager) Aborts() int64 { return m.aborts.Load() }

@@ -1,0 +1,173 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encoding of values and tuples. The format is used (a) to ship
+// tuples across the simulated message-passing network, (b) to write WAL
+// records to stable storage and (c) as canonical hash/grouping keys. It is
+// self-describing per value: a one-byte kind tag followed by the payload.
+
+// AppendValue appends the binary encoding of v to buf and returns it.
+func AppendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool:
+		b := byte(0)
+		if v.num != 0 {
+			b = 1
+		}
+		buf = append(buf, b)
+	case KindInt, KindFloat:
+		buf = binary.BigEndian.AppendUint64(buf, v.num)
+	case KindString:
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.str)))
+		buf = append(buf, v.str...)
+	}
+	return buf
+}
+
+// DecodeValue decodes one value from buf, returning it and the number of
+// bytes consumed.
+func DecodeValue(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Null, 0, fmt.Errorf("value: decode on empty buffer")
+	}
+	k := Kind(buf[0])
+	switch k {
+	case KindNull:
+		return Null, 1, nil
+	case KindBool:
+		if len(buf) < 2 {
+			return Null, 0, fmt.Errorf("value: truncated bool")
+		}
+		return NewBool(buf[1] != 0), 2, nil
+	case KindInt:
+		if len(buf) < 9 {
+			return Null, 0, fmt.Errorf("value: truncated int")
+		}
+		return NewInt(int64(binary.BigEndian.Uint64(buf[1:9]))), 9, nil
+	case KindFloat:
+		if len(buf) < 9 {
+			return Null, 0, fmt.Errorf("value: truncated float")
+		}
+		return NewFloat(math.Float64frombits(binary.BigEndian.Uint64(buf[1:9]))), 9, nil
+	case KindString:
+		if len(buf) < 5 {
+			return Null, 0, fmt.Errorf("value: truncated string header")
+		}
+		n := int(binary.BigEndian.Uint32(buf[1:5]))
+		if len(buf) < 5+n {
+			return Null, 0, fmt.Errorf("value: truncated string body (want %d bytes)", n)
+		}
+		return NewString(string(buf[5 : 5+n])), 5 + n, nil
+	default:
+		return Null, 0, fmt.Errorf("value: bad kind tag %d", buf[0])
+	}
+}
+
+// AppendTuple appends the binary encoding of t (a uint16 arity followed by
+// each value) to buf and returns it.
+func AppendTuple(buf []byte, t Tuple) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(t)))
+	for _, v := range t {
+		buf = AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeTuple decodes one tuple from buf, returning it and the number of
+// bytes consumed.
+func DecodeTuple(buf []byte) (Tuple, int, error) {
+	if len(buf) < 2 {
+		return nil, 0, fmt.Errorf("value: truncated tuple header")
+	}
+	arity := int(binary.BigEndian.Uint16(buf))
+	off := 2
+	t := make(Tuple, arity)
+	for i := 0; i < arity; i++ {
+		v, n, err := DecodeValue(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("value: tuple field %d: %w", i, err)
+		}
+		t[i] = v
+		off += n
+	}
+	return t, off, nil
+}
+
+// EncodeTuples encodes a batch of tuples: a uint32 count then each tuple.
+func EncodeTuples(ts []Tuple) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(ts)))
+	for _, t := range ts {
+		buf = AppendTuple(buf, t)
+	}
+	return buf
+}
+
+// DecodeTuples decodes a batch written by EncodeTuples.
+func DecodeTuples(buf []byte) ([]Tuple, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("value: truncated batch header")
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	off := 4
+	ts := make([]Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		t, used, err := DecodeTuple(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("value: batch tuple %d: %w", i, err)
+		}
+		ts = append(ts, t)
+		off += used
+	}
+	return ts, nil
+}
+
+// Hash64 returns a 64-bit FNV-1a hash of v's canonical encoding. Numeric
+// cross-kind equality is respected: an int and a float that compare equal
+// hash identically.
+func Hash64(v Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	k := v.kind
+	num := v.num
+	// Canonicalize: a float with integral value hashes as the int.
+	if k == KindFloat {
+		f := math.Float64frombits(num)
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			k = KindInt
+			num = uint64(int64(f))
+		}
+	}
+	mix(byte(k))
+	switch k {
+	case KindBool, KindInt, KindFloat:
+		for i := 0; i < 8; i++ {
+			mix(byte(num >> (8 * i)))
+		}
+	case KindString:
+		for i := 0; i < len(v.str); i++ {
+			mix(v.str[i])
+		}
+	}
+	return h
+}
+
+// HashTuple hashes the given columns of t, for partitioning and hash joins.
+func HashTuple(t Tuple, idxs []int) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, ix := range idxs {
+		h = (h ^ Hash64(t[ix])) * prime64
+	}
+	return h
+}

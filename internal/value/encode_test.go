@@ -1,0 +1,140 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null,
+		NewBool(true), NewBool(false),
+		NewInt(0), NewInt(1), NewInt(-1), NewInt(1<<62 - 1), NewInt(-(1 << 62)),
+		NewFloat(0), NewFloat(3.14159), NewFloat(-2.5e300),
+		NewString(""), NewString("hello"), NewString("unicode: héllo"),
+	}
+	for _, v := range vals {
+		buf := AppendValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode %v consumed %d of %d bytes", v, n, len(buf))
+		}
+		if got.Kind() != v.Kind() || Compare(got, v) != 0 {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		v := randomValue(r)
+		got, _, err := DecodeValue(AppendValue(nil, v))
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if got.Kind() != v.Kind() || Compare(got, v) != 0 {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(6)
+		tp := make(Tuple, n)
+		for j := range tp {
+			tp[j] = randomValue(r)
+		}
+		got, used, err := DecodeTuple(AppendTuple(nil, tp))
+		if err != nil {
+			t.Fatalf("decode %v: %v", tp, err)
+		}
+		if used != len(AppendTuple(nil, tp)) {
+			t.Errorf("partial consume on %v", tp)
+		}
+		if !EqualTuples(got, tp) {
+			t.Fatalf("round trip %v -> %v", tp, got)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	ts := make([]Tuple, 100)
+	for i := range ts {
+		ts[i] = NewTuple(randomValue(r), randomValue(r))
+	}
+	got, err := DecodeTuples(EncodeTuples(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("decoded %d tuples, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if !EqualTuples(got[i], ts[i]) {
+			t.Fatalf("tuple %d mismatch: %v vs %v", i, got[i], ts[i])
+		}
+	}
+	// Empty batch round trips too.
+	got, err = DecodeTuples(EncodeTuples(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty batch round trip: %v, %v", got, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("empty buffer should error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindInt), 1, 2}); err == nil {
+		t.Error("truncated int should error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindFloat)}); err == nil {
+		t.Error("truncated float should error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindBool)}); err == nil {
+		t.Error("truncated bool should error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindString), 0, 0}); err == nil {
+		t.Error("truncated string header should error")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindString), 0, 0, 0, 9, 'a'}); err == nil {
+		t.Error("truncated string body should error")
+	}
+	if _, _, err := DecodeValue([]byte{200}); err == nil {
+		t.Error("bad kind tag should error")
+	}
+	if _, _, err := DecodeTuple([]byte{0}); err == nil {
+		t.Error("truncated tuple header should error")
+	}
+	if _, _, err := DecodeTuple([]byte{0, 2, byte(KindInt)}); err == nil {
+		t.Error("truncated tuple body should error")
+	}
+	if _, err := DecodeTuples([]byte{0}); err == nil {
+		t.Error("truncated batch header should error")
+	}
+	if _, err := DecodeTuples([]byte{0, 0, 0, 1}); err == nil {
+		t.Error("truncated batch body should error")
+	}
+}
+
+func TestHashTupleConsistency(t *testing.T) {
+	a := NewTuple(NewInt(7), NewString("x"), NewFloat(2.5))
+	b := NewTuple(NewInt(7), NewString("y"), NewFloat(2.5))
+	if HashTuple(a, []int{0, 2}) != HashTuple(b, []int{0, 2}) {
+		t.Error("hash on shared columns should match")
+	}
+	// Cross-kind numeric equality hashes identically (hash-partitioning
+	// correctness for joins between int and float keys).
+	c := NewTuple(NewFloat(7))
+	d := NewTuple(NewInt(7))
+	if HashTuple(c, []int{0}) != HashTuple(d, []int{0}) {
+		t.Error("int 7 and float 7.0 must hash-partition identically")
+	}
+}

@@ -1,0 +1,184 @@
+package value
+
+import (
+	"sort"
+	"strings"
+)
+
+// Relation is an in-memory multiset of tuples with a schema. It is the
+// unit of data exchanged between the engine layers: query results,
+// intermediate results and fragment snapshots are all Relations.
+type Relation struct {
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(s *Schema) *Relation { return &Relation{Schema: s} }
+
+// Append adds tuples to the relation.
+func (r *Relation) Append(ts ...Tuple) { r.Tuples = append(r.Tuples, ts...) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Schema: r.Schema, Tuples: make([]Tuple, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// Sort orders the relation lexicographically in place (canonical form for
+// comparisons in tests and set semantics).
+func (r *Relation) Sort() {
+	sort.Slice(r.Tuples, func(i, j int) bool {
+		return CompareTuples(r.Tuples[i], r.Tuples[j]) < 0
+	})
+}
+
+// SortOn orders the relation on the given columns in place; desc[i]
+// reverses the i-th sort column. desc may be nil (all ascending).
+func (r *Relation) SortOn(idxs []int, desc []bool) {
+	sort.SliceStable(r.Tuples, func(i, j int) bool {
+		a, b := r.Tuples[i], r.Tuples[j]
+		for k, ix := range idxs {
+			c := Compare(a[ix], b[ix])
+			if c == 0 {
+				continue
+			}
+			if desc != nil && k < len(desc) && desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// Distinct removes duplicate tuples in place, preserving first-seen order.
+func (r *Relation) Distinct() {
+	seen := make(map[string]struct{}, len(r.Tuples))
+	out := r.Tuples[:0]
+	for _, t := range r.Tuples {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, t)
+	}
+	r.Tuples = out
+}
+
+// Contains reports whether the relation holds a tuple equal to t.
+func (r *Relation) Contains(t Tuple) bool {
+	for _, u := range r.Tuples {
+		if EqualTuples(t, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// SameSet reports whether r and other contain the same set of tuples
+// (duplicates collapsed). Used heavily in tests to compare plans.
+func (r *Relation) SameSet(other *Relation) bool {
+	a := map[string]struct{}{}
+	for _, t := range r.Tuples {
+		a[t.Key()] = struct{}{}
+	}
+	b := map[string]struct{}{}
+	for _, t := range other.Tuples {
+		b[t.Key()] = struct{}{}
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SameBag reports whether r and other contain the same multiset of tuples.
+func (r *Relation) SameBag(other *Relation) bool {
+	if len(r.Tuples) != len(other.Tuples) {
+		return false
+	}
+	counts := map[string]int{}
+	for _, t := range r.Tuples {
+		counts[t.Key()]++
+	}
+	for _, t := range other.Tuples {
+		k := t.Key()
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the approximate in-memory footprint in bytes.
+func (r *Relation) Size() int {
+	n := 0
+	for _, t := range r.Tuples {
+		n += t.Size()
+	}
+	return n
+}
+
+// String renders the relation as an aligned text table (used by the shell
+// and examples).
+func (r *Relation) String() string {
+	cols := r.Schema.Columns()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(r.Tuples))
+	for ti, t := range r.Tuples {
+		row := make([]string, len(cols))
+		for i := range cols {
+			if i < len(t) {
+				row[i] = t[i].String()
+			}
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		cells[ti] = row
+	}
+	var b strings.Builder
+	writeRow := func(fields []string) {
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(f)
+			for p := len(f); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	writeRow(names)
+	rules := make([]string, len(cols))
+	for i := range cols {
+		rules[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rules)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}

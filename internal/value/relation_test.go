@@ -1,0 +1,120 @@
+package value
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkRel(t *testing.T) *Relation {
+	t.Helper()
+	r := NewRelation(MustSchema("id", "INT", "name", "VARCHAR"))
+	r.Append(
+		NewTuple(NewInt(2), NewString("bob")),
+		NewTuple(NewInt(1), NewString("ann")),
+		NewTuple(NewInt(3), NewString("cat")),
+		NewTuple(NewInt(1), NewString("ann")),
+	)
+	return r
+}
+
+func TestRelationSortDistinct(t *testing.T) {
+	r := mkRel(t)
+	r.Sort()
+	if r.Tuples[0][0].Int() != 1 || r.Tuples[3][0].Int() != 3 {
+		t.Errorf("Sort order wrong: %v", r.Tuples)
+	}
+	r.Distinct()
+	if r.Len() != 3 {
+		t.Errorf("Distinct left %d tuples, want 3", r.Len())
+	}
+}
+
+func TestSortOnDesc(t *testing.T) {
+	r := mkRel(t)
+	r.SortOn([]int{0}, []bool{true})
+	if r.Tuples[0][0].Int() != 3 {
+		t.Errorf("descending sort got %v first", r.Tuples[0])
+	}
+	// Stable on ties: the two (1, ann) rows stay adjacent.
+	last := r.Tuples[len(r.Tuples)-1]
+	if last[0].Int() != 1 {
+		t.Errorf("descending sort got %v last", last)
+	}
+}
+
+func TestSortOnMultiKey(t *testing.T) {
+	r := NewRelation(MustSchema("a", "INT", "b", "INT"))
+	r.Append(Ints(1, 2), Ints(2, 1), Ints(1, 1), Ints(2, 2))
+	r.SortOn([]int{0, 1}, nil)
+	want := []Tuple{Ints(1, 1), Ints(1, 2), Ints(2, 1), Ints(2, 2)}
+	for i := range want {
+		if !EqualTuples(r.Tuples[i], want[i]) {
+			t.Fatalf("row %d = %v, want %v", i, r.Tuples[i], want[i])
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := mkRel(t)
+	if !r.Contains(NewTuple(NewInt(2), NewString("bob"))) {
+		t.Error("Contains missed an existing tuple")
+	}
+	if r.Contains(NewTuple(NewInt(9), NewString("zed"))) {
+		t.Error("Contains found a missing tuple")
+	}
+}
+
+func TestSameSetSameBag(t *testing.T) {
+	a := mkRel(t)
+	b := mkRel(t)
+	if !a.SameSet(b) || !a.SameBag(b) {
+		t.Error("identical relations must compare equal")
+	}
+	b.Distinct()
+	if !a.SameSet(b) {
+		t.Error("SameSet ignores duplicates")
+	}
+	if a.SameBag(b) {
+		t.Error("SameBag must notice duplicate count change")
+	}
+	c := NewRelation(a.Schema)
+	c.Append(NewTuple(NewInt(9), NewString("zed")))
+	if a.SameSet(c) || a.SameBag(c) {
+		t.Error("different contents must not compare equal")
+	}
+	// Same length, different multiset.
+	d := NewRelation(a.Schema)
+	d.Append(a.Tuples[0], a.Tuples[0], a.Tuples[0], a.Tuples[0])
+	if a.SameBag(d) {
+		t.Error("same length but different multiplicities must differ")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := mkRel(t)
+	b := a.Clone()
+	b.Tuples[0][0] = NewInt(42)
+	if a.Tuples[0][0].Int() == 42 {
+		t.Error("Clone must deep-copy tuples")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := NewRelation(MustSchema("id", "INT", "name", "VARCHAR"))
+	r.Append(NewTuple(NewInt(1), NewString("ann")))
+	s := r.String()
+	if !strings.Contains(s, "id") || !strings.Contains(s, "ann") {
+		t.Errorf("String() = %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("expected header, rule and one row; got %d lines", len(lines))
+	}
+}
+
+func TestRelationSize(t *testing.T) {
+	r := mkRel(t)
+	if r.Size() <= 0 {
+		t.Error("relation size must be positive")
+	}
+}

@@ -1,0 +1,167 @@
+package value
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column is one attribute of a relation schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes the attributes of a relation or tuple stream. A Schema
+// is immutable after construction; operators derive new schemas rather
+// than mutating existing ones.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. Duplicate column names are
+// allowed (they arise from joins); lookup by name finds the first.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{cols: append([]Column(nil), cols...), byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.byName[c.Name]; !dup {
+			s.byName[c.Name] = i
+		}
+	}
+	return s
+}
+
+// MustSchema builds a schema from alternating name, kind-name pairs, e.g.
+// MustSchema("id", "INTEGER", "name", "VARCHAR"). It panics on bad input
+// and exists for tests and examples.
+func MustSchema(pairs ...string) *Schema {
+	if len(pairs)%2 != 0 {
+		panic("value: MustSchema needs name/type pairs")
+	}
+	cols := make([]Column, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		k, err := ParseKind(pairs[i+1])
+		if err != nil {
+			panic(err)
+		}
+		cols = append(cols, Column{Name: pairs[i], Kind: k})
+	}
+	return NewSchema(cols...)
+}
+
+// ParseKind maps a SQL type name onto a Kind.
+func ParseKind(name string) (Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return KindInt, nil
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		return KindFloat, nil
+	case "VARCHAR", "CHAR", "TEXT", "STRING":
+		return KindString, nil
+	default:
+		return KindNull, fmt.Errorf("value: unknown type %q", name)
+	}
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Index returns the position of the named column, or -1. Names match
+// case-insensitively, and "rel.col" qualified names match their suffix.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	lower := strings.ToLower(name)
+	for i, c := range s.cols {
+		if strings.ToLower(c.Name) == lower {
+			return i
+		}
+	}
+	// Qualified lookup: match "r.c" against column "c" or column "r.c".
+	if dot := strings.LastIndexByte(lower, '.'); dot >= 0 {
+		suffix := lower[dot+1:]
+		for i, c := range s.cols {
+			if strings.ToLower(c.Name) == suffix {
+				return i
+			}
+		}
+	}
+	// Or an unqualified name against a qualified column.
+	for i, c := range s.cols {
+		cl := strings.ToLower(c.Name)
+		if dot := strings.LastIndexByte(cl, '.'); dot >= 0 && cl[dot+1:] == lower {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns the schema of the given column positions.
+func (s *Schema) Project(idxs []int) *Schema {
+	cols := make([]Column, len(idxs))
+	for i, ix := range idxs {
+		cols[i] = s.cols[ix]
+	}
+	return NewSchema(cols...)
+}
+
+// Concat returns the schema of s followed by t (join output).
+func (s *Schema) Concat(t *Schema) *Schema {
+	cols := make([]Column, 0, len(s.cols)+len(t.cols))
+	cols = append(cols, s.cols...)
+	cols = append(cols, t.cols...)
+	return NewSchema(cols...)
+}
+
+// Rename returns a schema with every column prefixed "prefix.name",
+// stripping any existing qualifier first.
+func (s *Schema) Rename(prefix string) *Schema {
+	cols := make([]Column, len(s.cols))
+	for i, c := range s.cols {
+		base := c.Name
+		if dot := strings.LastIndexByte(base, '.'); dot >= 0 {
+			base = base[dot+1:]
+		}
+		cols[i] = Column{Name: prefix + "." + base, Kind: c.Kind}
+	}
+	return NewSchema(cols...)
+}
+
+// EqualSchema reports whether two schemas have identical column kinds
+// (names are ignored: union compatibility is positional in PRISMA).
+func EqualSchema(a, b *Schema) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.cols {
+		if a.cols[i].Kind != b.cols[i].Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

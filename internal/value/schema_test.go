@@ -1,0 +1,131 @@
+package value
+
+import "testing"
+
+func TestNewSchemaAndLookup(t *testing.T) {
+	s := NewSchema(Column{"id", KindInt}, Column{"name", KindString}, Column{"score", KindFloat})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.Column(1).Name != "name" || s.Column(1).Kind != KindString {
+		t.Errorf("Column(1) = %+v", s.Column(1))
+	}
+	if ix := s.Index("score"); ix != 2 {
+		t.Errorf("Index(score) = %d, want 2", ix)
+	}
+	if ix := s.Index("SCORE"); ix != 2 {
+		t.Errorf("case-insensitive Index(SCORE) = %d, want 2", ix)
+	}
+	if ix := s.Index("missing"); ix != -1 {
+		t.Errorf("Index(missing) = %d, want -1", ix)
+	}
+}
+
+func TestMustSchema(t *testing.T) {
+	s := MustSchema("id", "INT", "name", "VARCHAR")
+	if s.Len() != 2 || s.Column(0).Kind != KindInt || s.Column(1).Kind != KindString {
+		t.Fatalf("MustSchema built %v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema with odd args should panic")
+		}
+	}()
+	MustSchema("lonely")
+}
+
+func TestMustSchemaBadType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema with bad type should panic")
+		}
+	}()
+	MustSchema("x", "BLOB")
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"int": KindInt, "INTEGER": KindInt, "BIGINT": KindInt,
+		"float": KindFloat, "REAL": KindFloat, "double": KindFloat,
+		"varchar": KindString, "TEXT": KindString, " string ": KindString,
+		"bool": KindBool, "BOOLEAN": KindBool,
+	}
+	for name, want := range cases {
+		k, err := ParseKind(name)
+		if err != nil || k != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", name, k, err, want)
+		}
+	}
+	if _, err := ParseKind("nonsense"); err == nil {
+		t.Error("ParseKind(nonsense) should error")
+	}
+}
+
+func TestQualifiedLookup(t *testing.T) {
+	s := NewSchema(Column{"emp.id", KindInt}, Column{"dept.id", KindInt}, Column{"name", KindString})
+	if ix := s.Index("emp.id"); ix != 0 {
+		t.Errorf("Index(emp.id) = %d, want 0", ix)
+	}
+	if ix := s.Index("dept.id"); ix != 1 {
+		t.Errorf("Index(dept.id) = %d, want 1", ix)
+	}
+	// Unqualified "id" matches the first qualified column holding id.
+	if ix := s.Index("id"); ix != 0 {
+		t.Errorf("Index(id) = %d, want 0", ix)
+	}
+	// Qualified name against unqualified column.
+	s2 := NewSchema(Column{"id", KindInt})
+	if ix := s2.Index("emp.id"); ix != 0 {
+		t.Errorf("Index(emp.id) over plain schema = %d, want 0", ix)
+	}
+}
+
+func TestSchemaProjectConcatRename(t *testing.T) {
+	s := MustSchema("a", "INT", "b", "VARCHAR", "c", "FLOAT")
+	p := s.Project([]int{2, 0})
+	if p.Len() != 2 || p.Column(0).Name != "c" || p.Column(1).Name != "a" {
+		t.Errorf("Project gave %v", p)
+	}
+	u := MustSchema("d", "INT")
+	cat := s.Concat(u)
+	if cat.Len() != 4 || cat.Column(3).Name != "d" {
+		t.Errorf("Concat gave %v", cat)
+	}
+	r := s.Rename("t")
+	if r.Column(0).Name != "t.a" {
+		t.Errorf("Rename gave %v", r)
+	}
+	// Renaming an already-qualified schema replaces the qualifier.
+	rr := r.Rename("u")
+	if rr.Column(0).Name != "u.a" {
+		t.Errorf("second Rename gave %v", rr)
+	}
+}
+
+func TestEqualSchema(t *testing.T) {
+	a := MustSchema("x", "INT", "y", "VARCHAR")
+	b := MustSchema("p", "INT", "q", "VARCHAR")
+	c := MustSchema("p", "INT", "q", "INT")
+	d := MustSchema("p", "INT")
+	if !EqualSchema(a, b) {
+		t.Error("same kinds should be union-compatible regardless of names")
+	}
+	if EqualSchema(a, c) || EqualSchema(a, d) {
+		t.Error("kind or arity mismatch must not be compatible")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema("id", "INT", "name", "VARCHAR")
+	want := "(id INTEGER, name VARCHAR)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDuplicateColumnNames(t *testing.T) {
+	s := NewSchema(Column{"x", KindInt}, Column{"x", KindString})
+	if ix := s.Index("x"); ix != 0 {
+		t.Errorf("duplicate name lookup should find first; got %d", ix)
+	}
+}

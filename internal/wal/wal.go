@@ -1,0 +1,248 @@
+// Package wal implements write-ahead redo logging and restart recovery
+// on the multi-computer's stable storage (paper §3.2: disk-attached PEs
+// "implement stable storage and automatic recovery upon system failures.
+// This approach leads to a simplification in the design of the database
+// management system").
+//
+// The design exploits that simplification: OFM updates are deferred —
+// buffered in the transaction's write set and applied to the main-memory
+// store only after commit. The log therefore carries redo records only
+// (no undo): at 2PC prepare the participant appends its write set plus a
+// prepare marker; the commit marker makes the transaction durable.
+// Recovery loads the last checkpoint and replays exactly the
+// transactions whose commit marker made it to the log.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// RecType tags a log record.
+type RecType uint8
+
+// Log record types.
+const (
+	RecInsert RecType = iota + 1
+	RecDelete
+	RecPrepare
+	RecCommit
+	RecAbort
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecInsert:
+		return "insert"
+	case RecDelete:
+		return "delete"
+	case RecPrepare:
+		return "prepare"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	}
+	return "?"
+}
+
+// Record is one redo log entry. Updates are logged as delete+insert.
+type Record struct {
+	Type  RecType
+	Txn   txn.ID
+	Tuple value.Tuple // payload for insert/delete; nil for markers
+}
+
+// appendRecord encodes: [type:1][txn:8][hasTuple:1][tuple...].
+func appendRecord(buf []byte, r Record) []byte {
+	buf = append(buf, byte(r.Type))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Txn))
+	if r.Tuple == nil {
+		buf = append(buf, 0)
+		return buf
+	}
+	buf = append(buf, 1)
+	return value.AppendTuple(buf, r.Tuple)
+}
+
+func decodeRecord(buf []byte) (Record, int, error) {
+	if len(buf) < 10 {
+		return Record{}, 0, fmt.Errorf("wal: truncated record header")
+	}
+	r := Record{Type: RecType(buf[0]), Txn: txn.ID(binary.BigEndian.Uint64(buf[1:9]))}
+	if r.Type < RecInsert || r.Type > RecAbort {
+		return Record{}, 0, fmt.Errorf("wal: bad record type %d", buf[0])
+	}
+	off := 9
+	hasTuple := buf[off]
+	off++
+	if hasTuple == 0 {
+		return r, off, nil
+	}
+	t, n, err := value.DecodeTuple(buf[off:])
+	if err != nil {
+		return Record{}, 0, fmt.Errorf("wal: record payload: %w", err)
+	}
+	r.Tuple = t
+	return r, off + n, nil
+}
+
+// Log is one OFM's write-ahead log plus checkpoint on a stable store.
+type Log struct {
+	store *machine.StableStore
+	name  string // log segment; checkpoint lives at name+".ckpt"
+
+	mu      sync.Mutex
+	records int
+	bytes   int64
+}
+
+// Open attaches a log to a segment of a stable store. Existing contents
+// (from before a crash) are preserved.
+func Open(store *machine.StableStore, name string) (*Log, error) {
+	if store == nil {
+		return nil, fmt.Errorf("wal: nil stable store")
+	}
+	if name == "" {
+		return nil, fmt.Errorf("wal: empty log name")
+	}
+	l := &Log{store: store, name: name}
+	l.bytes = store.Size(name)
+	return l, nil
+}
+
+// Name returns the log's segment name.
+func (l *Log) Name() string { return l.name }
+
+// Append durably appends records as one write (one disk force).
+func (l *Log) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	if _, err := l.store.Append(l.name, buf); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.records += len(recs)
+	l.bytes += int64(len(buf))
+	l.mu.Unlock()
+	return nil
+}
+
+// Records returns how many records this Log instance has appended.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Bytes returns the log segment's current size.
+func (l *Log) Bytes() int64 {
+	return l.store.Size(l.name)
+}
+
+// Scan decodes the whole log segment.
+func (l *Log) Scan() ([]Record, error) {
+	data := l.store.ReadAll(l.name)
+	var out []Record
+	off := 0
+	for off < len(data) {
+		r, n, err := decodeRecord(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wal: scan at offset %d: %w", off, err)
+		}
+		out = append(out, r)
+		off += n
+	}
+	return out, nil
+}
+
+// Checkpoint atomically replaces the checkpoint with the given snapshot
+// and truncates the log. Transactions committed before the checkpoint
+// are folded into the snapshot; the log restarts empty.
+func (l *Log) Checkpoint(snapshot []value.Tuple) error {
+	l.store.Replace(l.name+".ckpt", value.EncodeTuples(snapshot))
+	l.store.Truncate(l.name)
+	l.mu.Lock()
+	l.records = 0
+	l.bytes = 0
+	l.mu.Unlock()
+	return nil
+}
+
+// LoadCheckpoint returns the last checkpoint's snapshot (nil if none).
+func (l *Log) LoadCheckpoint() ([]value.Tuple, error) {
+	data := l.store.ReadAll(l.name + ".ckpt")
+	if len(data) == 0 {
+		return nil, nil
+	}
+	return value.DecodeTuples(data)
+}
+
+// RecoveryResult is the outcome of a restart.
+type RecoveryResult struct {
+	// Snapshot is the checkpoint image (nil if none was taken).
+	Snapshot []value.Tuple
+	// Redo lists the post-checkpoint mutations of committed transactions,
+	// in log order.
+	Redo []Record
+	// Committed, InDoubt and AbortedTxns classify the transactions seen.
+	Committed   []txn.ID
+	InDoubt     []txn.ID // prepared but neither committed nor aborted
+	AbortedTxns []txn.ID
+}
+
+// Recover reads the checkpoint and log and computes the redo list: the
+// insert/delete records of every transaction with a commit marker.
+// Prepared-but-unresolved transactions are reported in doubt (their
+// effects are NOT redone; the presumed-abort convention).
+func (l *Log) Recover() (*RecoveryResult, error) {
+	snap, err := l.LoadCheckpoint()
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	recs, err := l.Scan()
+	if err != nil {
+		return nil, err
+	}
+	committed := map[txn.ID]bool{}
+	prepared := map[txn.ID]bool{}
+	aborted := map[txn.ID]bool{}
+	for _, r := range recs {
+		switch r.Type {
+		case RecPrepare:
+			prepared[r.Txn] = true
+		case RecCommit:
+			committed[r.Txn] = true
+		case RecAbort:
+			aborted[r.Txn] = true
+		}
+	}
+	res := &RecoveryResult{Snapshot: snap}
+	for _, r := range recs {
+		if (r.Type == RecInsert || r.Type == RecDelete) && committed[r.Txn] {
+			res.Redo = append(res.Redo, r)
+		}
+	}
+	for id := range committed {
+		res.Committed = append(res.Committed, id)
+	}
+	for id := range prepared {
+		if !committed[id] && !aborted[id] {
+			res.InDoubt = append(res.InDoubt, id)
+		}
+	}
+	for id := range aborted {
+		res.AbortedTxns = append(res.AbortedTxns, id)
+	}
+	return res, nil
+}
