@@ -1,10 +1,11 @@
 package prisma
 
-// One benchmark per experiment of the reproduction suite (DESIGN.md §4).
-// Each wraps the corresponding experiment in quick mode so `go test
-// -bench=.` regenerates every table; `cmd/prisma-bench` prints the full
-// versions. Benchmarks log their tables once so benchmark output doubles
-// as the experiment record.
+// One benchmark per experiment of the reproduction suite (documented on
+// the experiment functions in internal/experiments and in the README's
+// "Experiment suite" section). Each wraps the corresponding experiment
+// in quick mode so `go test -bench=.` regenerates every table;
+// `cmd/prisma-bench` prints the full versions. Benchmarks log their
+// tables once so benchmark output doubles as the experiment record.
 
 import (
 	"fmt"
@@ -77,6 +78,12 @@ func BenchmarkE9OptimizerAblation(b *testing.B) {
 // BenchmarkE10Allocation — §3.2: central resource management.
 func BenchmarkE10Allocation(b *testing.B) {
 	runExperiment(b, experiments.E10Allocation)
+}
+
+// BenchmarkE11ConcurrentClients — §2.2: multi-user service through the
+// TCP front-end (statements/sec and latency percentiles over the wire).
+func BenchmarkE11ConcurrentClients(b *testing.B) {
+	runExperiment(b, experiments.E11ConcurrentClients)
 }
 
 // ---------- micro-benchmarks on the public API ----------

@@ -1,5 +1,7 @@
 // Command prisma-bench regenerates the reproduction's experiment tables
-// E1–E10 (see DESIGN.md §4 and EXPERIMENTS.md).
+// E1–E11. Each experiment is documented on its function in
+// internal/experiments (the README's "Experiment suite" section lists
+// them); the root bench_test.go wraps each one as a Go benchmark.
 //
 // Usage:
 //
@@ -36,6 +38,7 @@ func main() {
 		{"E8", experiments.E8RecoveryOverhead},
 		{"E9", experiments.E9OptimizerAblation},
 		{"E10", experiments.E10Allocation},
+		{"E11", experiments.E11ConcurrentClients},
 	}
 	want := map[string]bool{}
 	if *only != "" {

@@ -1,0 +1,67 @@
+// Command prisma-serve runs the PRISMA database machine behind a TCP
+// front-end. Each connection gets its own session (and coordinator PE);
+// statements are SQL by default, and the bundled Go client library
+// (internal/client) speaks the same wire protocol programmatically.
+//
+// Usage:
+//
+//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64]
+//
+// Stop with SIGINT/SIGTERM; the server drains connections (aborting
+// open transactions) before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	pes := flag.Int("pes", 64, "number of processing elements")
+	maxConns := flag.Int("max-conns", 64, "maximum concurrent connections")
+	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
+	flag.Parse()
+
+	eng, err := core.New(core.Config{NumPEs: *pes})
+	if err != nil {
+		log.Fatalf("prisma-serve: engine: %v", err)
+	}
+	defer eng.Close()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := server.New(server.Config{Engine: eng, MaxConns: *maxConns, Logf: logf})
+	if err != nil {
+		log.Fatalf("prisma-serve: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("prisma-serve: listen: %v", err)
+	}
+	fmt.Printf("prisma-serve: %d-PE machine listening on %s\n", *pes, l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("prisma-serve: %s, shutting down\n", s)
+		srv.Close()
+	}()
+
+	if err := srv.Serve(l); err != server.ErrServerClosed {
+		log.Fatalf("prisma-serve: %v", err)
+	}
+	fmt.Println("prisma-serve: bye")
+}

@@ -1,0 +1,199 @@
+// Package client is the Go client library for the PRISMA network
+// front-end (cmd/prisma-serve). It speaks the internal/wire protocol:
+// Dial performs the handshake, then Exec/Query/Datalog each send one
+// statement frame and read one Result or Error frame back.
+//
+// A Client multiplexes nothing: one statement is in flight at a time,
+// guarded by an internal mutex, so a Client is safe for concurrent use
+// but concurrent callers serialize. For parallel load (as experiment E11
+// generates), open one Client per goroutine — server sessions are cheap,
+// mirroring the paper's per-query component instances.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Options tunes a connection.
+type Options struct {
+	// DialTimeout bounds the TCP connect (default 5s).
+	DialTimeout time.Duration
+	// MaxFrame bounds response frames (default wire.DefaultMaxFrame).
+	MaxFrame int
+}
+
+// ServerError is a statement error reported by the server. The
+// connection remains usable after one.
+type ServerError struct{ Msg string }
+
+// Error implements error.
+func (e *ServerError) Error() string { return e.Msg }
+
+// Client is one connection to a PRISMA server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	max    int
+	broken error // sticky protocol/transport failure
+}
+
+// Dial connects to a PRISMA server and performs the handshake.
+func Dial(addr string, opts ...Options) (*Client, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = wire.DefaultMaxFrame
+	}
+	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		max:  o.MaxFrame,
+	}
+	if err := wire.WriteFrame(c.bw, wire.TypeHello, wire.EncodeHello()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(c.br, c.max)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch typ {
+	case wire.TypeHelloOK:
+		if len(payload) < 1 {
+			conn.Close()
+			return nil, fmt.Errorf("client: empty HelloOK payload")
+		}
+		if int(payload[0]) != wire.Version {
+			conn.Close()
+			return nil, fmt.Errorf("client: server speaks protocol version %d (want %d)", payload[0], wire.Version)
+		}
+	case wire.TypeError:
+		conn.Close()
+		return nil, &ServerError{Msg: string(payload)}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("client: unexpected handshake frame type 0x%02x", typ)
+	}
+	return c, nil
+}
+
+// Close releases the connection. The server aborts any open transaction.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken == nil {
+		c.broken = errors.New("client: closed")
+	}
+	return c.conn.Close()
+}
+
+// roundTrip sends one statement frame and reads its reply.
+func (c *Client) roundTrip(typ byte, stmt string) (*wire.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, c.broken
+	}
+	fail := func(err error) (*wire.Result, error) {
+		c.broken = err
+		c.conn.Close()
+		return nil, err
+	}
+	if err := wire.WriteFrame(c.bw, typ, []byte(stmt)); err != nil {
+		return fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	rtyp, payload, err := wire.ReadFrame(c.br, c.max)
+	if err != nil {
+		return fail(err)
+	}
+	switch rtyp {
+	case wire.TypeResult:
+		res, err := wire.DecodeResult(payload)
+		if err != nil {
+			return fail(err)
+		}
+		return res, nil
+	case wire.TypeError:
+		// A statement-level failure: the session (and any transaction
+		// the server kept open) is still live.
+		return nil, &ServerError{Msg: string(payload)}
+	default:
+		return fail(fmt.Errorf("client: unexpected frame type 0x%02x", rtyp))
+	}
+}
+
+// Exec executes one SQL statement and returns its full result.
+func (c *Client) Exec(sql string) (*wire.Result, error) {
+	return c.roundTrip(wire.TypeExec, sql)
+}
+
+// Query executes a SELECT (or other relation-producing statement) and
+// returns the relation.
+func (c *Client) Query(sql string) (*value.Relation, error) {
+	res, err := c.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if res.Rel == nil {
+		return nil, fmt.Errorf("client: statement produced no relation")
+	}
+	return res.Rel, nil
+}
+
+// Datalog answers a PRISMAlog query such as "ancestor('ann', X)".
+func (c *Client) Datalog(query string) (*value.Relation, error) {
+	res, err := c.roundTrip(wire.TypeDatalog, query)
+	if err != nil {
+		return nil, err
+	}
+	if res.Rel == nil {
+		return nil, fmt.Errorf("client: datalog query produced no relation")
+	}
+	return res.Rel, nil
+}
+
+// Begin opens an explicit transaction on the server session.
+func (c *Client) Begin() error {
+	_, err := c.Exec("BEGIN")
+	return err
+}
+
+// Commit commits the open transaction.
+func (c *Client) Commit() error {
+	_, err := c.Exec("COMMIT")
+	return err
+}
+
+// Rollback aborts the open transaction.
+func (c *Client) Rollback() error {
+	_, err := c.Exec("ROLLBACK")
+	return err
+}

@@ -75,6 +75,9 @@ func (e *Engine) execInsert(s *Session, ins *sqlparse.Insert) (int, error) {
 			continue
 		}
 		if err := tx.Lock(f.ofm.Name(), txn.Exclusive); err != nil {
+			if autocommit {
+				tx.Abort()
+			}
 			return 0, err
 		}
 		tx.Enlist(&ofmParticipant{eng: e, frag: f, coordPE: s.pe})
@@ -114,6 +117,9 @@ func (e *Engine) execDelete(s *Session, del *sqlparse.Delete) (int, error) {
 	for _, fi := range frags {
 		f := t.frags[fi]
 		if err := tx.Lock(f.ofm.Name(), txn.Exclusive); err != nil {
+			if autocommit {
+				tx.Abort()
+			}
 			return 0, err
 		}
 		tx.Enlist(&ofmParticipant{eng: e, frag: f, coordPE: s.pe})
@@ -171,6 +177,9 @@ func (e *Engine) execUpdate(s *Session, up *sqlparse.Update) (int, error) {
 	for _, fi := range frags {
 		f := t.frags[fi]
 		if err := tx.Lock(f.ofm.Name(), txn.Exclusive); err != nil {
+			if autocommit {
+				tx.Abort()
+			}
 			return 0, err
 		}
 		tx.Enlist(&ofmParticipant{eng: e, frag: f, coordPE: s.pe})

@@ -74,12 +74,11 @@ type Engine struct {
 	tcAlgo    algebra.TCAlgorithm
 	semiNaive bool
 
-	mu      sync.Mutex
-	tables  map[string]*table
-	stores  map[int]*machine.StableStore // disk PE -> stable store
-	rules   []prismalog.Rule             // registered PRISMAlog views
-	nextPE  int                          // round-robin session coordinator
-	nextTxT int
+	mu     sync.Mutex
+	tables map[string]*table
+	stores map[int]*machine.StableStore // disk PE -> stable store
+	rules  []prismalog.Rule             // registered PRISMAlog views
+	nextPE int                          // round-robin session coordinator
 }
 
 // New builds an engine over a (possibly default) machine.

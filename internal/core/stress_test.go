@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/txn"
+)
+
+// TestConcurrentSessionsStress drives one engine from many sessions at
+// once with mixed DDL/DML/SELECT/explicit-transaction traffic. Run under
+// `go test -race` it is the multi-session safety net for the network
+// front-end: every statement kind a server connection can issue is
+// exercised concurrently. Deadlock aborts are expected (the lock manager
+// kills waits-for cycles); any other error fails the test.
+func TestConcurrentSessionsStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	eng, err := New(Config{NumPEs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	setup := eng.NewSession()
+	if _, err := setup.Exec(`CREATE TABLE acct (id INT, region VARCHAR, balance INT, PRIMARY KEY (id))
+		FRAGMENT BY HASH(id) INTO 8 FRAGMENTS`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := setup.Exec(fmt.Sprintf(`INSERT INTO acct VALUES (%d, 'r%d', 1000)`, i, i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.RegisterRules(`rich(X) :- acct(X, R, B), B > 500.`); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 16
+		iters   = 40
+	)
+	// tolerable reports errors that are expected under contention.
+	tolerable := func(err error) bool {
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, txn.ErrAborted) {
+			return true
+		}
+		msg := err.Error()
+		// A session whose transaction was deadlock-aborted must ROLLBACK
+		// before continuing; racing CREATE/DROP of per-worker tables can
+		// briefly observe either state.
+		return strings.Contains(msg, "deadlock") ||
+			strings.Contains(msg, "ROLLBACK to continue") ||
+			strings.Contains(msg, "already exists") ||
+			strings.Contains(msg, "does not exist")
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			s := eng.NewSession()
+			defer s.Close()
+			scratch := fmt.Sprintf("scratch_%d", w)
+			report := func(err error) {
+				if !tolerable(err) {
+					errc <- fmt.Errorf("worker %d: %w", w, err)
+				}
+				if err != nil && s.InTransaction() {
+					s.Exec("ROLLBACK")
+				}
+			}
+			for i := 0; i < iters; i++ {
+				id := r.Intn(64)
+				switch r.Intn(10) {
+				case 0: // DDL churn on a private table
+					_, err := s.Exec(fmt.Sprintf(`CREATE TABLE %s (k INT, v INT) FRAGMENT BY HASH(k) INTO 2 FRAGMENTS`, scratch))
+					report(err)
+					if err == nil {
+						_, err = s.Exec(fmt.Sprintf(`INSERT INTO %s VALUES (1, 2), (3, 4)`, scratch))
+						report(err)
+						_, err = s.Exec(fmt.Sprintf(`DROP TABLE %s`, scratch))
+						report(err)
+					}
+				case 1, 2: // point read
+					_, err := s.Query(fmt.Sprintf(`SELECT * FROM acct WHERE id = %d`, id))
+					report(err)
+				case 3: // analytics
+					_, err := s.Query(`SELECT region, COUNT(*) AS n, SUM(balance) AS total FROM acct GROUP BY region`)
+					report(err)
+				case 4, 5: // autocommit update
+					_, err := s.Exec(fmt.Sprintf(`UPDATE acct SET balance = balance + %d WHERE id = %d`, r.Intn(20)-10, id))
+					report(err)
+				case 6: // insert + delete of a private key range
+					key := 1000 + w*1000 + i
+					_, err := s.Exec(fmt.Sprintf(`INSERT INTO acct VALUES (%d, 'tmp', 1)`, key))
+					report(err)
+					_, err = s.Exec(fmt.Sprintf(`DELETE FROM acct WHERE id = %d`, key))
+					report(err)
+				case 7, 8: // explicit transaction: transfer between two accounts
+					a, b := r.Intn(64), r.Intn(64)
+					if _, err := s.Exec("BEGIN"); err != nil {
+						report(err)
+						continue
+					}
+					_, err := s.Exec(fmt.Sprintf(`UPDATE acct SET balance = balance - 5 WHERE id = %d`, a))
+					if err == nil {
+						_, err = s.Exec(fmt.Sprintf(`UPDATE acct SET balance = balance + 5 WHERE id = %d`, b))
+					}
+					if err != nil {
+						report(err)
+						continue
+					}
+					stmt := "COMMIT"
+					if r.Intn(4) == 0 {
+						stmt = "ROLLBACK"
+					}
+					_, err = s.Exec(stmt)
+					report2(errc, w, err)
+				case 9: // recursive-free datalog view
+					_, err := eng.DatalogQuery(s, `rich(X)`)
+					report(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Every autocommit and explicit transaction must have terminated:
+	// leaked Active transactions pin fragment locks forever.
+	if n := eng.Txns().ActiveCount(); n != 0 {
+		t.Errorf("after stress: %d transactions still active", n)
+	}
+
+	// The engine must still serve a clean session.
+	final := eng.NewSession()
+	defer final.Close()
+	rel, err := final.Query(`SELECT COUNT(*) AS n FROM acct`)
+	if err != nil {
+		t.Fatalf("post-stress query: %v", err)
+	}
+	if rel.Len() != 1 {
+		t.Fatalf("post-stress count returned %d rows", rel.Len())
+	}
+}
+
+// report2 filters commit/rollback outcomes for the error channel;
+// commit may legitimately fail if a participant aborted.
+func report2(errc chan<- error, w int, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, txn.ErrAborted) ||
+		strings.Contains(err.Error(), "deadlock") || strings.Contains(err.Error(), "abort") {
+		return
+	}
+	errc <- fmt.Errorf("worker %d: %w", w, err)
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/fragment"
+	"repro/internal/server"
+	"repro/internal/value"
+)
+
+// E11ConcurrentClients measures the network front-end: N client
+// goroutines connect to prisma-serve's server over a real TCP socket and
+// run a mixed OLTP/analytics workload (point SELECTs, single-row
+// UPDATEs, INSERT+DELETE pairs, GROUP BY scans and explicit
+// BEGIN..COMMIT transfers). The paper's architecture is multi-user —
+// each query gets its own coordinator instance, "possibly running at its
+// own processor" (§2.2) — and this experiment is the throughput baseline
+// for it: statements/sec plus p50/p99 client-observed latency per client
+// count. Unlike E6 it pays the full wire cost: framing, relation
+// encoding and TCP round trips.
+func E11ConcurrentClients(quick bool) (*Table, error) {
+	rows := 4000
+	stmtsPer := 200
+	clients := []int{1, 4, 16}
+	numPEs := 64
+	if quick {
+		rows = 1000
+		stmtsPer = 60
+		numPEs = 16
+	}
+
+	eng, err := core.New(core.Config{NumPEs: numPEs})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	schema := value.MustSchema("id", "INT", "region", "VARCHAR", "balance", "INT")
+	if err := eng.CreateTable("acct", schema,
+		&fragment.Scheme{Strategy: fragment.Hash, Column: 0, N: 8}, []int{0}); err != nil {
+		return nil, err
+	}
+	regions := []string{"eu", "us", "apac", "latam"}
+	tuples := make([]value.Tuple, rows)
+	for i := range tuples {
+		tuples[i] = value.NewTuple(
+			value.NewInt(int64(i)),
+			value.NewString(regions[i%len(regions)]),
+			value.NewInt(1000),
+		)
+	}
+	if err := eng.LoadTable("acct", tuples); err != nil {
+		return nil, err
+	}
+
+	srv, err := server.New(server.Config{Engine: eng, MaxConns: 64})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan struct{})
+	go func() { srv.Serve(l); close(serveDone) }()
+	defer func() { srv.Close(); <-serveDone }()
+	addr := l.Addr().String()
+
+	t := &Table{
+		ID: "E11",
+		Title: fmt.Sprintf("concurrent clients over TCP, %d-row relation over 8 fragments (%d PEs)",
+			rows, numPEs),
+		Header: []string{"clients", "statements", "wall time", "stmts/sec", "p50 latency", "p99 latency"},
+		Notes: []string{
+			"mixed workload per statement: 50% point SELECT, 20% UPDATE, 10% INSERT+DELETE, 10% GROUP BY, 10% BEGIN/transfer/COMMIT",
+			"latency is client-observed round-trip over the wire protocol (length-prefixed frames, encoded relations)",
+		},
+	}
+
+	for _, nc := range clients {
+		lats := make([][]time.Duration, nc)
+		var wg sync.WaitGroup
+		errCh := make(chan error, nc)
+		start := time.Now()
+		for c := 0; c < nc; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				ls, err := runE11Client(addr, c, nc, rows, stmtsPer)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d/%d: %w", c, nc, err)
+					return
+				}
+				lats[c] = ls
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+		var all []time.Duration
+		for _, ls := range lats {
+			all = append(all, ls...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		total := len(all)
+		t.AddRow(
+			nc,
+			total,
+			wall.Round(time.Millisecond).String(),
+			float64(total)/wall.Seconds(),
+			percentile(all, 0.50).Round(time.Microsecond).String(),
+			percentile(all, 0.99).Round(time.Microsecond).String(),
+		)
+	}
+	return t, nil
+}
+
+// runE11Client opens one connection and runs the statement mix,
+// returning the per-statement round-trip latencies. A statement is one
+// logical unit: the explicit-transaction case counts its BEGIN, two
+// UPDATEs and COMMIT as one.
+func runE11Client(addr string, id, nc, rows, stmts int) ([]time.Duration, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	r := rand.New(rand.NewSource(int64(id)*7919 + int64(nc)))
+	lats := make([]time.Duration, 0, stmts)
+	// Each client owns a disjoint key slab for INSERT/DELETE churn so the
+	// workload never depends on cross-client ordering.
+	scratchBase := rows + (id+1)*1_000_000
+	for i := 0; i < stmts; i++ {
+		k := r.Intn(rows)
+		start := time.Now()
+		switch p := r.Intn(10); {
+		case p < 5: // point SELECT on the primary key
+			_, err = c.Query(fmt.Sprintf(`SELECT * FROM acct WHERE id = %d`, k))
+		case p < 7: // single-row UPDATE
+			_, err = c.Exec(fmt.Sprintf(`UPDATE acct SET balance = balance + %d WHERE id = %d`, r.Intn(20)-10, k))
+		case p < 8: // INSERT then DELETE of a private key
+			key := scratchBase + i
+			if _, err = c.Exec(fmt.Sprintf(`INSERT INTO acct VALUES (%d, 'tmp', 1)`, key)); err == nil {
+				_, err = c.Exec(fmt.Sprintf(`DELETE FROM acct WHERE id = %d`, key))
+			}
+		case p < 9: // analytics scan
+			_, err = c.Query(`SELECT region, COUNT(*) AS n, SUM(balance) AS total FROM acct GROUP BY region`)
+		default: // explicit transaction: transfer between two accounts
+			a, b := r.Intn(rows), r.Intn(rows)
+			if err = c.Begin(); err == nil {
+				if _, err = c.Exec(fmt.Sprintf(`UPDATE acct SET balance = balance - 1 WHERE id = %d`, a)); err == nil {
+					_, err = c.Exec(fmt.Sprintf(`UPDATE acct SET balance = balance + 1 WHERE id = %d`, b))
+				}
+				if err == nil {
+					err = c.Commit()
+				} else if isContention(err) {
+					// Deadlock victim: roll back and carry on — aborts are
+					// part of a concurrent workload, not a failure.
+					c.Rollback()
+					err = nil
+				}
+			}
+		}
+		if err != nil {
+			if isContention(err) {
+				err = nil
+				continue
+			}
+			return nil, err
+		}
+		lats = append(lats, time.Since(start))
+	}
+	return lats, nil
+}
+
+// isContention reports deadlock-victim errors, which a concurrent
+// workload must tolerate.
+func isContention(err error) bool {
+	if err == nil {
+		return false
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "deadlock") || strings.Contains(msg, "abort")
+}
+
+// percentile reads the p-quantile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	ix := int(p * float64(len(sorted)-1))
+	return sorted[ix]
+}

@@ -1,9 +1,10 @@
 // Package experiments implements the reproduction's experiment suite
-// E1–E10 (see DESIGN.md §4). The paper is a project overview without
-// numbered tables or figures; each experiment regenerates one of its
-// quantitative or architectural claims. cmd/prisma-bench prints every
-// table; the root bench_test.go wraps each experiment as a testing.B
-// benchmark.
+// E1–E11. The paper is a project overview without numbered tables or
+// figures; each experiment regenerates one of its quantitative or
+// architectural claims (the doc comment on each experiment function
+// names the claim, and the README's "Experiment suite" section lists
+// them all). cmd/prisma-bench prints every table; the root
+// bench_test.go wraps each experiment as a testing.B benchmark.
 package experiments
 
 import (

@@ -19,6 +19,7 @@ func runAll(t *testing.T) []*Table {
 		E8RecoveryOverhead,
 		E9OptimizerAblation,
 		E10Allocation,
+		E11ConcurrentClients,
 	}
 	var out []*Table
 	for _, fn := range fns {
@@ -36,7 +37,7 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 		t.Skip("experiments are slow")
 	}
 	tables := runAll(t)
-	if len(tables) != 10 {
+	if len(tables) != 11 {
 		t.Fatalf("%d experiments", len(tables))
 	}
 	for _, tb := range tables {

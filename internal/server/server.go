@@ -1,0 +1,292 @@
+// Package server is the PRISMA network front-end: it serves the wire
+// protocol of internal/wire over TCP, giving each connection its own
+// core.Session. The paper's architecture is explicitly multi-user — "for
+// each query a new instance [of the GDH components] is created, possibly
+// running at its own processor" (§2.2) — and a session's coordinator PE
+// plays that role here: statements from different connections execute
+// concurrently against one engine, serialized only by fragment locks.
+//
+// Per-connection transaction state (BEGIN .. COMMIT/ROLLBACK) survives
+// across statements; a connection that drops mid-transaction has its
+// transaction aborted by the session close.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Config assembles a server.
+type Config struct {
+	// Engine is the database engine to serve (required).
+	Engine *core.Engine
+	// MaxConns caps concurrently served connections (default 64).
+	// Connections beyond the cap are refused with an Error frame.
+	MaxConns int
+	// MaxFrame bounds request and response frames (default
+	// wire.DefaultMaxFrame).
+	MaxFrame int
+	// Logf receives connection-level diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server accepts connections and serves statements against one engine.
+type Server struct {
+	eng      *core.Engine
+	maxConns int
+	maxFrame int
+	logf     func(string, ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// New builds a server over an engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.Engine is required")
+	}
+	maxConns := cfg.MaxConns
+	if maxConns <= 0 {
+		maxConns = 64
+	}
+	maxFrame := cfg.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrame
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		eng:      cfg.Engine,
+		maxConns: maxConns,
+		maxFrame: maxFrame,
+		logf:     logf,
+		conns:    map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Serve accepts connections on l until Close. It always returns a
+// non-nil error; after a graceful Close that error is ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if !s.track(conn) {
+			// Over the connection limit (or closing): refuse politely.
+			bw := bufio.NewWriter(conn)
+			wire.WriteFrame(bw, wire.TypeError, []byte("server: connection limit reached"))
+			bw.Flush()
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close stops accepting, closes every live connection and waits for
+// their handlers (which abort any open transactions) to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ConnCount reports the number of connections currently being served.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// track admits a connection unless the server is closing or full.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.conns) >= s.maxConns {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// serveConn runs one connection: handshake, then a statement loop. Any
+// protocol violation closes the connection; statement errors are
+// reported in Error frames and the loop continues.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	fail := func(msg string) {
+		wire.WriteFrame(bw, wire.TypeError, []byte(msg))
+		bw.Flush()
+	}
+
+	typ, payload, err := wire.ReadFrame(br, s.maxFrame)
+	if err != nil {
+		s.logf("server: %s: handshake read: %v", conn.RemoteAddr(), err)
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			fail(err.Error())
+		}
+		return
+	}
+	if typ != wire.TypeHello {
+		fail("server: expected Hello frame")
+		return
+	}
+	ver, err := wire.DecodeHello(payload)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if ver != wire.Version {
+		fail(fmt.Sprintf("server: unsupported protocol version %d (want %d)", ver, wire.Version))
+		return
+	}
+	var ok []byte
+	ok = append(ok, wire.Version)
+	banner := "prisma-serve"
+	ok = append(ok, byte(len(banner)>>8), byte(len(banner)))
+	ok = append(ok, banner...)
+	if err := wire.WriteFrame(bw, wire.TypeHelloOK, ok); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	sess := s.eng.NewSession()
+	defer sess.Close() // aborts an open transaction on disconnect
+
+	for {
+		typ, payload, err := wire.ReadFrame(br, s.maxFrame)
+		if err != nil {
+			// EOF and reset are normal disconnects; an oversized frame
+			// gets an explanation before the close.
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				fail(err.Error())
+			}
+			return
+		}
+		var res *core.Result
+		var execErr error
+		switch typ {
+		case wire.TypeExec:
+			res, execErr = sess.Exec(string(payload))
+		case wire.TypeDatalog:
+			r, err := s.eng.DatalogQuery(sess, string(payload))
+			if err != nil {
+				execErr = err
+			} else {
+				res = &core.Result{Rel: r}
+			}
+		case wire.TypeHello:
+			fail("server: duplicate Hello")
+			return
+		default:
+			fail(fmt.Sprintf("server: unknown frame type 0x%02x", typ))
+			return
+		}
+		if execErr != nil {
+			if werr := wire.WriteFrame(bw, wire.TypeError, []byte(execErr.Error())); werr != nil {
+				return
+			}
+			if bw.Flush() != nil {
+				return
+			}
+			continue
+		}
+		wres := &wire.Result{
+			Rel:      res.Rel,
+			Affected: res.Affected,
+			Msg:      res.Msg,
+			Plan:     res.Plan,
+			SimTime:  res.SimTime,
+			WallTime: res.WallTime,
+		}
+		buf := wire.EncodeResult(wres)
+		if len(buf)+1 > s.maxFrame {
+			// The result itself exceeds the frame limit; tell the client
+			// rather than shipping a frame it must refuse.
+			if werr := wire.WriteFrame(bw, wire.TypeError,
+				[]byte(fmt.Sprintf("server: result of %d bytes exceeds frame limit %d", len(buf), s.maxFrame))); werr != nil {
+				return
+			}
+			if bw.Flush() != nil {
+				return
+			}
+			continue
+		}
+		if err := wire.WriteFrame(bw, wire.TypeResult, buf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}

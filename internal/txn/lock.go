@@ -97,7 +97,15 @@ func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
 		lm.mu.Unlock()
 		return nil // already strong enough
 	}
-	if compatible(st, tx, mode) {
+	// An S→X upgrade of an existing hold may bypass the queue (it can
+	// never be granted behind a queued X waiter while tx holds S); any
+	// other request must queue behind earlier waiters even when it is
+	// compatible with the current holders. Letting a shared request barge
+	// past a queued exclusive waiter would create a holder the waiter's
+	// waits-for edges never recorded — an undetectable deadlock.
+	_, held := st.holders[tx]
+	upgrade := held && mode == Exclusive
+	if compatible(st, tx, mode) && (upgrade || len(st.queue) == 0) {
 		lm.grant(st, tx, resource, mode)
 		lm.mu.Unlock()
 		return nil
@@ -109,10 +117,13 @@ func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
 			blockers[holder] = struct{}{}
 		}
 	}
-	// Queued waiters ahead of us also block us (FIFO fairness).
-	for _, w := range st.queue {
-		if w.tx != tx {
-			blockers[w.tx] = struct{}{}
+	if !upgrade {
+		// Queued waiters ahead of us also block us (FIFO fairness);
+		// upgraders wait at the queue front, blocked only by holders.
+		for _, w := range st.queue {
+			if w.tx != tx {
+				blockers[w.tx] = struct{}{}
+			}
 		}
 	}
 	lm.waits[tx] = blockers
@@ -122,7 +133,14 @@ func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
 		return fmt.Errorf("%w: %d requesting %s on %q", ErrDeadlock, tx, mode, resource)
 	}
 	w := &waiter{tx: tx, mode: mode, granted: make(chan error, 1)}
-	st.queue = append(st.queue, w)
+	if upgrade {
+		// Upgraders park at the front: they are granted the moment the
+		// other shared holders drain, and nothing behind them can run
+		// while tx still holds S anyway.
+		st.queue = append([]*waiter{w}, st.queue...)
+	} else {
+		st.queue = append(st.queue, w)
+	}
 	lm.mu.Unlock()
 
 	return <-w.granted

@@ -246,3 +246,98 @@ func TestManyConcurrentLockers(t *testing.T) {
 		t.Errorf("critical section entered %d times, want %d", counter, 640)
 	}
 }
+
+// TestSharedDoesNotBargePastQueuedExclusive pins the no-barging queue
+// discipline: a shared request arriving while an exclusive request is
+// queued must wait behind it. Barging would admit a holder the queued
+// waiter's waits-for edges never recorded, making deadlocks through it
+// undetectable (the hang found by core's concurrent-session stress test).
+func TestSharedDoesNotBargePastQueuedExclusive(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	xGranted := make(chan error, 1)
+	go func() { xGranted <- lm.Acquire(2, "f", Exclusive) }()
+	waitForQueued(t, lm, "f", 1)
+
+	sGranted := make(chan error, 1)
+	go func() { sGranted <- lm.Acquire(3, "f", Shared) }()
+	select {
+	case <-sGranted:
+		t.Fatal("S granted past a queued X waiter")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	lm.ReleaseAll(1)
+	if err := <-xGranted; err != nil {
+		t.Fatal(err)
+	}
+	// The late S request is still behind the exclusive holder.
+	select {
+	case <-sGranted:
+		t.Fatal("S granted while X held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	lm.ReleaseAll(2)
+	if err := <-sGranted; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpgradeBypassesQueue pins the converse: an S→X upgrade must NOT
+// wait behind a queued exclusive request (which cannot be granted while
+// the upgrader still holds S) — it parks at the queue front instead.
+func TestUpgradeBypassesQueue(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(1, "f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "f", Shared); err != nil {
+		t.Fatal(err)
+	}
+	xGranted := make(chan error, 1)
+	go func() { xGranted <- lm.Acquire(3, "f", Exclusive) }()
+	waitForQueued(t, lm, "f", 1)
+
+	upGranted := make(chan error, 1)
+	go func() { upGranted <- lm.Acquire(1, "f", Exclusive) }()
+	select {
+	case err := <-upGranted:
+		t.Fatalf("upgrade granted while another S held (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	lm.ReleaseAll(2)
+	if err := <-upGranted; err != nil {
+		t.Fatalf("upgrade after S drain: %v", err)
+	}
+	select {
+	case <-xGranted:
+		t.Fatal("X granted while upgraded X held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	if err := <-xGranted; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitForQueued spins until n waiters are queued on resource.
+func waitForQueued(t *testing.T, lm *LockManager, resource string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		lm.mu.Lock()
+		queued := 0
+		if st := lm.locks[resource]; st != nil {
+			queued = len(st.queue)
+		}
+		lm.mu.Unlock()
+		if queued >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("never saw %d queued waiters on %q", n, resource)
+}

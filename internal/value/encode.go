@@ -171,3 +171,89 @@ func HashTuple(t Tuple, idxs []int) uint64 {
 	}
 	return h
 }
+
+// ---------- schema / relation wire encoding ----------
+
+// AppendSchema appends the binary encoding of s to buf: a uint16 column
+// count, then per column a kind byte and a length-prefixed name. It is
+// used by the client/server wire protocol to ship result relations.
+func AppendSchema(buf []byte, s *Schema) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(s.Len()))
+	for i := 0; i < s.Len(); i++ {
+		c := s.Column(i)
+		buf = append(buf, byte(c.Kind))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(c.Name)))
+		buf = append(buf, c.Name...)
+	}
+	return buf
+}
+
+// DecodeSchema decodes a schema from buf, returning it and the number of
+// bytes consumed.
+func DecodeSchema(buf []byte) (*Schema, int, error) {
+	if len(buf) < 2 {
+		return nil, 0, fmt.Errorf("value: truncated schema header")
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	off := 2
+	cols := make([]Column, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < off+3 {
+			return nil, 0, fmt.Errorf("value: truncated schema column %d", i)
+		}
+		k := Kind(buf[off])
+		if k > KindString {
+			return nil, 0, fmt.Errorf("value: schema column %d has bad kind tag %d", i, buf[off])
+		}
+		nameLen := int(binary.BigEndian.Uint16(buf[off+1 : off+3]))
+		off += 3
+		if len(buf) < off+nameLen {
+			return nil, 0, fmt.Errorf("value: truncated schema column %d name", i)
+		}
+		cols = append(cols, Column{Name: string(buf[off : off+nameLen]), Kind: k})
+		off += nameLen
+	}
+	return NewSchema(cols...), off, nil
+}
+
+// AppendRelation appends the encoding of a relation (schema, then tuple
+// batch) to buf and returns it.
+func AppendRelation(buf []byte, r *Relation) []byte {
+	buf = AppendSchema(buf, r.Schema)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Tuples)))
+	for _, t := range r.Tuples {
+		buf = AppendTuple(buf, t)
+	}
+	return buf
+}
+
+// EncodeRelation encodes a relation for the wire protocol.
+func EncodeRelation(r *Relation) []byte { return AppendRelation(nil, r) }
+
+// DecodeRelation decodes a relation from buf, returning it and the number
+// of bytes consumed.
+func DecodeRelation(buf []byte) (*Relation, int, error) {
+	s, off, err := DecodeSchema(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(buf) < off+4 {
+		return nil, 0, fmt.Errorf("value: truncated relation tuple count")
+	}
+	n := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	rel := NewRelation(s)
+	rel.Tuples = make([]Tuple, 0, min(n, 1<<16))
+	for i := 0; i < n; i++ {
+		t, used, err := DecodeTuple(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("value: relation tuple %d: %w", i, err)
+		}
+		if len(t) != s.Len() {
+			return nil, 0, fmt.Errorf("value: relation tuple %d has arity %d, schema has %d", i, len(t), s.Len())
+		}
+		rel.Tuples = append(rel.Tuples, t)
+		off += used
+	}
+	return rel, off, nil
+}

@@ -1,0 +1,78 @@
+package value
+
+import "testing"
+
+func TestSchemaEncodeRoundTrip(t *testing.T) {
+	cases := []*Schema{
+		NewSchema(),
+		MustSchema("id", "INTEGER"),
+		MustSchema("id", "INTEGER", "name", "VARCHAR", "ok", "BOOLEAN", "score", "FLOAT"),
+		NewSchema(Column{Name: "", Kind: KindNull}, Column{Name: "dup", Kind: KindInt}, Column{Name: "dup", Kind: KindString}),
+	}
+	for i, in := range cases {
+		buf := AppendSchema(nil, in)
+		out, n, err := DecodeSchema(buf)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("case %d: consumed %d of %d bytes", i, n, len(buf))
+		}
+		if !EqualSchema(in, out) {
+			t.Fatalf("case %d: %v != %v", i, in, out)
+		}
+	}
+}
+
+func TestRelationEncodeRoundTrip(t *testing.T) {
+	rel := NewRelation(MustSchema("id", "INTEGER", "dept", "VARCHAR"))
+	rel.Append(
+		NewTuple(NewInt(1), NewString("eng")),
+		NewTuple(NewInt(2), Null),
+		NewTuple(NewInt(-7), NewString("")),
+	)
+	buf := EncodeRelation(rel)
+	out, n, err := DecodeRelation(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !EqualSchema(rel.Schema, out.Schema) || out.Len() != rel.Len() || !out.SameSet(rel) {
+		t.Fatalf("round trip mismatch: %v", out)
+	}
+
+	// Empty relation.
+	empty := NewRelation(MustSchema("x", "FLOAT"))
+	out, _, err = DecodeRelation(EncodeRelation(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty relation decoded %d tuples", out.Len())
+	}
+}
+
+func TestRelationDecodeMalformed(t *testing.T) {
+	rel := NewRelation(MustSchema("id", "INTEGER"))
+	rel.Append(NewTuple(NewInt(1)))
+	full := EncodeRelation(rel)
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeRelation(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Arity mismatch: a 2-column tuple under a 1-column schema.
+	wide := NewRelation(rel.Schema)
+	wide.Tuples = []Tuple{NewTuple(NewInt(1), NewInt(2))}
+	if _, _, err := DecodeRelation(EncodeRelation(wide)); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	// Bad schema kind tag.
+	bad := append([]byte{}, full...)
+	bad[2] = 0x7f // first column's kind byte
+	if _, _, err := DecodeRelation(bad); err == nil {
+		t.Fatal("bad schema kind accepted")
+	}
+}

@@ -1,0 +1,206 @@
+// Package wire is the client/server wire protocol of the PRISMA
+// front-end: length-prefixed frames carrying SQL / PRISMAlog statements
+// toward the server and encoded value.Relation results back. It is the
+// only protocol knowledge shared by internal/server and internal/client,
+// and deliberately depends on nothing but the value encoding.
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32  payload length (including the type byte)
+//	byte    frame type
+//	[]byte  payload
+//
+// A connection opens with a Hello frame ("PRSM" magic + version byte);
+// the server answers HelloOK or Error. After the handshake the client
+// sends Exec / Datalog frames, each answered by exactly one Result or
+// Error frame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/value"
+)
+
+// Magic opens every Hello frame.
+const Magic = "PRSM"
+
+// Version is the protocol version spoken by this build.
+const Version = 1
+
+// DefaultMaxFrame bounds a frame's payload (type byte + body). Statements
+// and results beyond this are refused rather than buffered.
+const DefaultMaxFrame = 8 << 20
+
+// Frame types. Client-to-server types have the high bit clear,
+// server-to-client types have it set.
+const (
+	// TypeHello is the client handshake: Magic then a version byte.
+	TypeHello byte = 0x01
+	// TypeExec carries one SQL statement as UTF-8 text.
+	TypeExec byte = 0x02
+	// TypeDatalog carries one PRISMAlog query as UTF-8 text.
+	TypeDatalog byte = 0x03
+
+	// TypeHelloOK acknowledges the handshake: a version byte then a
+	// length-prefixed server banner.
+	TypeHelloOK byte = 0x81
+	// TypeResult carries an encoded Result.
+	TypeResult byte = 0x82
+	// TypeError carries an error message as UTF-8 text. Statement errors
+	// leave the connection usable; handshake and protocol errors are
+	// followed by a close.
+	TypeError byte = 0x83
+)
+
+// ErrFrameTooLarge reports a frame whose declared payload exceeds the
+// reader's limit.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r, refusing payloads larger than max
+// (DefaultMaxFrame when max <= 0) before allocating anything.
+func ReadFrame(r io.Reader, max int) (byte, []byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:4]))
+	if n < 1 {
+		return 0, nil, fmt.Errorf("wire: frame with zero-length payload")
+	}
+	if n > max {
+		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: truncated frame body: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// EncodeHello builds the Hello payload.
+func EncodeHello() []byte {
+	return append([]byte(Magic), Version)
+}
+
+// DecodeHello validates a Hello payload, returning the client version.
+func DecodeHello(payload []byte) (int, error) {
+	if len(payload) != len(Magic)+1 || string(payload[:len(Magic)]) != Magic {
+		return 0, fmt.Errorf("wire: bad handshake magic")
+	}
+	return int(payload[len(Magic)]), nil
+}
+
+// Result is one statement's outcome on the wire; it mirrors core.Result
+// without importing the engine.
+type Result struct {
+	// Rel holds query output (SELECT / PRISMAlog); nil for DDL/DML.
+	Rel *value.Relation
+	// Affected counts rows touched by DML.
+	Affected int
+	// Msg describes DDL and transaction-control outcomes.
+	Msg string
+	// Plan is the optimized logical plan of a SELECT.
+	Plan string
+	// SimTime is the simulated 1988-machine response time.
+	SimTime time.Duration
+	// WallTime is the server's real execution time.
+	WallTime time.Duration
+}
+
+const resultHasRel byte = 1 << 0
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func decodeString(buf []byte) (string, int, error) {
+	if len(buf) < 4 {
+		return "", 0, fmt.Errorf("wire: truncated string header")
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	if len(buf) < 4+n {
+		return "", 0, fmt.Errorf("wire: truncated string body (want %d bytes)", n)
+	}
+	return string(buf[4 : 4+n]), 4 + n, nil
+}
+
+// EncodeResult encodes r for a Result frame.
+func EncodeResult(r *Result) []byte {
+	var flags byte
+	if r.Rel != nil {
+		flags |= resultHasRel
+	}
+	buf := []byte{flags}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(r.Affected)))
+	buf = appendString(buf, r.Msg)
+	buf = appendString(buf, r.Plan)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.SimTime.Nanoseconds()))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.WallTime.Nanoseconds()))
+	if r.Rel != nil {
+		buf = value.AppendRelation(buf, r.Rel)
+	}
+	return buf
+}
+
+// DecodeResult decodes a Result frame payload.
+func DecodeResult(buf []byte) (*Result, error) {
+	if len(buf) < 9 {
+		return nil, fmt.Errorf("wire: truncated result header")
+	}
+	flags := buf[0]
+	r := &Result{Affected: int(int64(binary.BigEndian.Uint64(buf[1:9])))}
+	off := 9
+	var n int
+	var err error
+	if r.Msg, n, err = decodeString(buf[off:]); err != nil {
+		return nil, err
+	}
+	off += n
+	if r.Plan, n, err = decodeString(buf[off:]); err != nil {
+		return nil, err
+	}
+	off += n
+	if len(buf) < off+16 {
+		return nil, fmt.Errorf("wire: truncated result timings")
+	}
+	r.SimTime = time.Duration(int64(binary.BigEndian.Uint64(buf[off:])))
+	r.WallTime = time.Duration(int64(binary.BigEndian.Uint64(buf[off+8:])))
+	off += 16
+	if flags&resultHasRel != 0 {
+		rel, used, err := value.DecodeRelation(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += used
+		r.Rel = rel
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after result", len(buf)-off)
+	}
+	return r, nil
+}

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("SELECT 1"), bytes.Repeat([]byte{0xab}, 4096)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type = %#x", i, typ)
+		}
+		if !bytes.Equal(got, p) && len(got)+len(p) > 0 {
+			t.Fatalf("frame %d: payload mismatch (%d vs %d bytes)", i, len(got), len(p))
+		}
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeExec, bytes.Repeat([]byte{'x'}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadFrame(&buf, 50)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameRejectsDeclaredGiantWithoutAllocating(t *testing.T) {
+	// A malicious header declaring 2 GiB must be refused from the 5
+	// header bytes alone.
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, 2<<30)
+	hdr[4] = TypeExec
+	_, _, err := ReadFrame(bytes.NewReader(hdr), DefaultMaxFrame)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameZeroLength(t *testing.T) {
+	hdr := make([]byte, 5)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:5]), 0)
+	if err == nil || !strings.Contains(err.Error(), "zero-length") {
+		t.Fatalf("err = %v, want zero-length payload error", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeExec, []byte("SELECT * FROM emp")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]), 0)
+		if err == nil {
+			t.Fatalf("cut at %d bytes: no error", cut)
+		}
+		if cut > 5 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d bytes: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	ver, err := DecodeHello(EncodeHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != Version {
+		t.Fatalf("version = %d", ver)
+	}
+	bad := [][]byte{nil, []byte("PRSM"), []byte("XXXX\x01"), []byte("PRSM\x01\x00")}
+	for _, p := range bad {
+		if _, err := DecodeHello(p); err == nil {
+			t.Fatalf("DecodeHello(%q) accepted", p)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	rel := value.NewRelation(value.MustSchema("id", "INTEGER", "name", "VARCHAR", "score", "FLOAT"))
+	rel.Append(
+		value.NewTuple(value.NewInt(1), value.NewString("ann"), value.NewFloat(0.5)),
+		value.NewTuple(value.NewInt(2), value.NewString(""), value.Null),
+	)
+	cases := []*Result{
+		{Msg: "table emp created"},
+		{Affected: -3},
+		{Affected: 42, SimTime: 17 * time.Millisecond, WallTime: time.Microsecond},
+		{Rel: rel, Plan: "Project(id)\n  Scan(emp)"},
+	}
+	for i, in := range cases {
+		out, err := DecodeResult(EncodeResult(in))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if out.Affected != in.Affected || out.Msg != in.Msg || out.Plan != in.Plan ||
+			out.SimTime != in.SimTime || out.WallTime != in.WallTime {
+			t.Fatalf("case %d: got %+v want %+v", i, out, in)
+		}
+		if (out.Rel == nil) != (in.Rel == nil) {
+			t.Fatalf("case %d: rel presence mismatch", i)
+		}
+		if in.Rel != nil {
+			if !value.EqualSchema(out.Rel.Schema, in.Rel.Schema) {
+				t.Fatalf("case %d: schema %v != %v", i, out.Rel.Schema, in.Rel.Schema)
+			}
+			if !out.Rel.SameSet(in.Rel) || out.Rel.Len() != in.Rel.Len() {
+				t.Fatalf("case %d: tuples differ", i)
+			}
+		}
+	}
+}
+
+// TestDecodeResultMalformed feeds every truncation of a valid encoding
+// plus corrupted bodies; decoding must error, never panic.
+func TestDecodeResultMalformed(t *testing.T) {
+	rel := value.NewRelation(value.MustSchema("id", "INTEGER"))
+	rel.Append(value.NewTuple(value.NewInt(7)))
+	full := EncodeResult(&Result{Rel: rel, Msg: "ok", Plan: "Scan"})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeResult(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage after a complete result.
+	if _, err := DecodeResult(append(append([]byte{}, full...), 0xff)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	// A tuple value with an invalid kind tag. The last tuple encodes as
+	// uint16 arity, a kind byte, then the 8-byte int payload — the kind
+	// byte sits 9 bytes from the end.
+	bad := append([]byte{}, full...)
+	bad[len(bad)-9] = 0x7f
+	if _, err := DecodeResult(bad); err == nil {
+		t.Fatal("corrupted tuple accepted")
+	}
+}
