@@ -86,6 +86,13 @@ func BenchmarkE11ConcurrentClients(b *testing.B) {
 	runExperiment(b, experiments.E11ConcurrentClients)
 }
 
+// BenchmarkE12PreparedPointQuery — §2.2: compile-once/execute-many
+// prepared statements and the index-probe fast path vs per-statement
+// re-optimization.
+func BenchmarkE12PreparedPointQuery(b *testing.B) {
+	runExperiment(b, experiments.E12PreparedPointQuery)
+}
+
 // ---------- micro-benchmarks on the public API ----------
 
 // benchDB builds a loaded database once per benchmark.
@@ -119,6 +126,22 @@ func BenchmarkPointQuery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sql := `SELECT * FROM emp WHERE id = ` + strconv.Itoa(i%10000)
 		if _, err := s.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedPointQuery measures the prepared point-query fast
+// path: parse/optimize amortized at Prepare, execution via index probe.
+func BenchmarkPreparedPointQuery(b *testing.B) {
+	_, s := benchDB(b, 16)
+	ps, err := s.Prepare(`SELECT * FROM emp WHERE id = ?`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.QueryPrepared(ps, NewInt(int64(i%10000))); err != nil {
 			b.Fatal(err)
 		}
 	}

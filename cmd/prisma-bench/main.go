@@ -1,14 +1,19 @@
 // Command prisma-bench regenerates the reproduction's experiment tables
-// E1–E11. Each experiment is documented on its function in
+// E1–E12. Each experiment is documented on its function in
 // internal/experiments (the README's "Experiment suite" section lists
 // them); the root bench_test.go wraps each one as a Go benchmark.
 //
 // Usage:
 //
-//	prisma-bench [-quick] [-only E4,E5]
+//	prisma-bench [-quick] [-only E4,E5] [-json]
+//
+// With -json the tables are emitted as a JSON array (one object per
+// experiment) instead of aligned text — the CI workflow archives the
+// E11/E12 output this way so every run leaves a comparable perf record.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +23,20 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonTable is the machine-readable form of one experiment table.
+type jsonTable struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	TookMS int64      `json:"took_ms"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run smaller workloads")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of aligned text")
 	flag.Parse()
 
 	type exp struct {
@@ -39,6 +55,7 @@ func main() {
 		{"E9", experiments.E9OptimizerAblation},
 		{"E10", experiments.E10Allocation},
 		{"E11", experiments.E11ConcurrentClients},
+		{"E12", experiments.E12PreparedPointQuery},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -46,7 +63,10 @@ func main() {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	fmt.Printf("PRISMA database machine reproduction — experiment suite (quick=%v)\n\n", *quick)
+	if !*asJSON {
+		fmt.Printf("PRISMA database machine reproduction — experiment suite (quick=%v)\n\n", *quick)
+	}
+	out := []jsonTable{} // encodes as [] (never null) when empty
 	failed := false
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {
@@ -54,13 +74,33 @@ func main() {
 		}
 		start := time.Now()
 		tb, err := e.fn(*quick)
+		took := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			failed = true
 			continue
 		}
+		if *asJSON {
+			out = append(out, jsonTable{
+				ID:     tb.ID,
+				Title:  tb.Title,
+				Header: tb.Header,
+				Rows:   tb.Rows,
+				Notes:  tb.Notes,
+				TookMS: took.Milliseconds(),
+			})
+			continue
+		}
 		fmt.Println(tb)
-		fmt.Printf("(%s took %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s took %s)\n\n", e.id, took.Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "encode: %v\n", err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

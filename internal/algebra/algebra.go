@@ -39,7 +39,7 @@ func (s *Stats) Add(other Stats) {
 // Select filters r with a compiled predicate (the OFM fast path).
 func Select(r *value.Relation, pred *expr.Predicate) (*value.Relation, Stats, error) {
 	out := value.NewRelation(r.Schema)
-	kept, err := pred.FilterInto(nil, r.Tuples)
+	kept, err := pred.FilterInto(filterDst(r.Len()), r.Tuples)
 	if err != nil {
 		return nil, Stats{}, fmt.Errorf("algebra: select: %w", err)
 	}
@@ -47,11 +47,27 @@ func Select(r *value.Relation, pred *expr.Predicate) (*value.Relation, Stats, er
 	return out, Stats{TuplesRead: r.Len(), TuplesEmitted: len(kept)}, nil
 }
 
+// filterDst sizes a selection's output slice from the input cardinality:
+// small inputs keep full capacity (point queries emit most of what they
+// read), large ones start at a fraction and grow only for low-selectivity
+// predicates.
+func filterDst(in int) []value.Tuple {
+	if in == 0 {
+		return nil
+	}
+	capHint := in
+	if in > 1024 {
+		capHint = in / 4
+	}
+	return make([]value.Tuple, 0, capHint)
+}
+
 // SelectInterpreted filters r by interpreting e tuple-at-a-time — the
 // baseline the paper's expression compiler is measured against (E4).
 // e must already be bound against r.Schema.
 func SelectInterpreted(r *value.Relation, e expr.Expr) (*value.Relation, Stats, error) {
 	out := value.NewRelation(r.Schema)
+	out.Tuples = filterDst(r.Len())
 	for _, t := range r.Tuples {
 		v, err := e.Eval(t)
 		if err != nil {

@@ -71,6 +71,81 @@ func HashJoin(l, r *value.Relation, lcols, rcols []int) (*value.Relation, Stats,
 	return out, stats, nil
 }
 
+// HashTable is a pre-built hash-join build side, reusable across probe
+// calls with the same key columns — the broadcast join hashes its small
+// input once and probes it with every fragment of the big one, instead
+// of re-hashing the build side per fragment.
+type HashTable struct {
+	schema  *value.Schema
+	cols    []int
+	buckets map[string][]value.Tuple
+	rows    int
+}
+
+// BuildHashTable hashes build's key columns once. Stats carries the
+// hash count so the caller can charge the owning PE a single time.
+func BuildHashTable(build *value.Relation, cols []int) (*HashTable, Stats, error) {
+	for _, c := range cols {
+		if c < 0 || c >= build.Schema.Len() {
+			return nil, Stats{}, fmt.Errorf("algebra: build key %d out of range for %s", c, build.Schema)
+		}
+	}
+	ht := &HashTable{
+		schema:  build.Schema,
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[string][]value.Tuple, build.Len()),
+		rows:    build.Len(),
+	}
+	for _, t := range build.Tuples {
+		if hasNullOn(t, ht.cols) {
+			continue // NULL keys never join
+		}
+		k := t.KeyOn(ht.cols)
+		ht.buckets[k] = append(ht.buckets[k], t)
+	}
+	return ht, Stats{TuplesRead: build.Len(), Hashes: build.Len()}, nil
+}
+
+// Rows returns the build-side cardinality.
+func (ht *HashTable) Rows() int { return ht.rows }
+
+// ProbeJoin joins probe against the pre-built table. probeLeft selects
+// the output column order: probe ++ build when true, build ++ probe
+// when false. Stats counts only the probe-side work; the build was
+// charged once by BuildHashTable.
+func (ht *HashTable) ProbeJoin(probe *value.Relation, pcols []int, probeLeft bool) (*value.Relation, Stats, error) {
+	if len(pcols) != len(ht.cols) {
+		return nil, Stats{}, fmt.Errorf("algebra: probe keys %v against build keys %v", pcols, ht.cols)
+	}
+	for _, c := range pcols {
+		if c < 0 || c >= probe.Schema.Len() {
+			return nil, Stats{}, fmt.Errorf("algebra: probe key %d out of range for %s", c, probe.Schema)
+		}
+	}
+	var out *value.Relation
+	if probeLeft {
+		out = value.NewRelation(probe.Schema.Concat(ht.schema))
+	} else {
+		out = value.NewRelation(ht.schema.Concat(probe.Schema))
+	}
+	stats := Stats{TuplesRead: probe.Len()}
+	for _, t := range probe.Tuples {
+		if hasNullOn(t, pcols) {
+			continue
+		}
+		stats.Hashes++
+		for _, m := range ht.buckets[t.KeyOn(pcols)] {
+			if probeLeft {
+				out.Tuples = append(out.Tuples, t.Concat(m))
+			} else {
+				out.Tuples = append(out.Tuples, m.Concat(t))
+			}
+		}
+	}
+	stats.TuplesEmitted = out.Len()
+	return out, stats, nil
+}
+
 func hasNullOn(t value.Tuple, cols []int) bool {
 	for _, c := range cols {
 		if t[c].IsNull() {

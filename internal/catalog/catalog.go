@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fragment"
 	"repro/internal/value"
@@ -105,9 +106,15 @@ func (t *Table) AvgTupleBytes() int {
 
 // Catalog is the thread-safe dictionary of tables.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	version atomic.Uint64 // bumped on every DDL; plan caches key validity on it
 }
+
+// Version returns the schema version counter. Any CREATE or DROP bumps
+// it, so a cached plan stamped with an older version must be replanned.
+// Atomic rather than lock-guarded: every prepared execution reads it.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // New creates an empty catalog.
 func New() *Catalog {
@@ -152,6 +159,7 @@ func (c *Catalog) Create(name string, schema *value.Schema, scheme *fragment.Sch
 		bytes:      make([]int64, scheme.N),
 	}
 	c.tables[key] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -164,6 +172,7 @@ func (c *Catalog) Drop(name string) error {
 		return fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	delete(c.tables, key)
+	c.version.Add(1)
 	return nil
 }
 

@@ -112,47 +112,70 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// roundTrip sends one statement frame and reads its reply.
-func (c *Client) roundTrip(typ byte, stmt string) (*wire.Result, error) {
+// roundTripRaw sends one frame and reads the reply frame, marking the
+// connection broken on any transport failure. Callers interpret the
+// reply type (and use breakConn for replies that violate the protocol).
+func (c *Client) roundTripRaw(typ byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken != nil {
-		return nil, c.broken
+		return 0, nil, c.broken
 	}
-	fail := func(err error) (*wire.Result, error) {
+	fail := func(err error) (byte, []byte, error) {
 		c.broken = err
 		c.conn.Close()
-		return nil, err
+		return 0, nil, err
 	}
-	if err := wire.WriteFrame(c.bw, typ, []byte(stmt)); err != nil {
+	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
 		return fail(err)
 	}
 	if err := c.bw.Flush(); err != nil {
 		return fail(err)
 	}
-	rtyp, payload, err := wire.ReadFrame(c.br, c.max)
+	rtyp, rpayload, err := wire.ReadFrame(c.br, c.max)
 	if err != nil {
 		return fail(err)
 	}
+	return rtyp, rpayload, nil
+}
+
+// breakConn marks the connection unusable after a protocol violation
+// and returns the error for the caller to propagate.
+func (c *Client) breakConn(err error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken == nil {
+		c.broken = err
+		c.conn.Close()
+	}
+	return err
+}
+
+// roundTrip sends one statement frame and reads its Result reply.
+func (c *Client) roundTrip(typ byte, payload []byte) (*wire.Result, error) {
+	rtyp, rpayload, err := c.roundTripRaw(typ, payload)
+	if err != nil {
+		return nil, err
+	}
 	switch rtyp {
 	case wire.TypeResult:
-		res, err := wire.DecodeResult(payload)
+		res, err := wire.DecodeResult(rpayload)
 		if err != nil {
-			return fail(err)
+			return nil, c.breakConn(err)
 		}
 		return res, nil
 	case wire.TypeError:
 		// A statement-level failure: the session (and any transaction
 		// the server kept open) is still live.
-		return nil, &ServerError{Msg: string(payload)}
+		return nil, &ServerError{Msg: string(rpayload)}
 	default:
-		return fail(fmt.Errorf("client: unexpected frame type 0x%02x", rtyp))
+		return nil, c.breakConn(fmt.Errorf("client: unexpected frame type 0x%02x", rtyp))
 	}
 }
 
 // Exec executes one SQL statement and returns its full result.
 func (c *Client) Exec(sql string) (*wire.Result, error) {
-	return c.roundTrip(wire.TypeExec, sql)
+	return c.roundTrip(wire.TypeExec, []byte(sql))
 }
 
 // Query executes a SELECT (or other relation-producing statement) and
@@ -170,7 +193,7 @@ func (c *Client) Query(sql string) (*value.Relation, error) {
 
 // Datalog answers a PRISMAlog query such as "ancestor('ann', X)".
 func (c *Client) Datalog(query string) (*value.Relation, error) {
-	res, err := c.roundTrip(wire.TypeDatalog, query)
+	res, err := c.roundTrip(wire.TypeDatalog, []byte(query))
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,12 @@ type Config struct {
 	TCAlgorithm algebra.TCAlgorithm
 	// SemiNaive picks the PRISMAlog fixpoint strategy (default true).
 	SemiNaive *bool
+	// PlanCache toggles the engine-level plan cache that lets unprepared
+	// autocommit statements skip re-parse/re-optimization (default true;
+	// false is the E12 unprepared baseline).
+	PlanCache *bool
+	// PlanCacheSize caps cached statement shapes (default 256).
+	PlanCacheSize int
 }
 
 // table couples catalog metadata with the live fragment managers.
@@ -73,8 +79,9 @@ type Engine struct {
 	compiled  bool
 	tcAlgo    algebra.TCAlgorithm
 	semiNaive bool
+	plans     *planCache // nil when the plan cache is disabled
 
-	mu     sync.Mutex
+	mu     sync.RWMutex // read-locked on the per-statement table lookup
 	tables map[string]*table
 	stores map[int]*machine.StableStore // disk PE -> stable store
 	rules  []prismalog.Rule             // registered PRISMAlog views
@@ -107,6 +114,14 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.SemiNaive != nil {
 		semiNaive = *cfg.SemiNaive
 	}
+	planCacheOn := true
+	if cfg.PlanCache != nil {
+		planCacheOn = *cfg.PlanCache
+	}
+	planCacheSize := cfg.PlanCacheSize
+	if planCacheSize <= 0 {
+		planCacheSize = 256
+	}
 	cat := catalog.New()
 	e := &Engine{
 		m:         m,
@@ -120,6 +135,9 @@ func New(cfg Config) (*Engine, error) {
 		semiNaive: semiNaive,
 		tables:    map[string]*table{},
 		stores:    map[int]*machine.StableStore{},
+	}
+	if planCacheOn {
+		e.plans = newPlanCache(planCacheSize)
 	}
 	for _, pe := range m.DiskPEs() {
 		store, err := machine.NewStableStore(m.PE(pe), m.Disk())
@@ -145,9 +163,9 @@ func (e *Engine) Close() { e.rt.StopAll() }
 
 // lookupTable finds a live table.
 func (e *Engine) lookupTable(name string) (*table, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
 	t, ok := e.tables[canonical(name)]
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: table %q does not exist", name)
 	}

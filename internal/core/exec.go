@@ -45,6 +45,8 @@ func (e *Engine) exec(ctx *execCtx, n plan.Node) (*value.Relation, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return e.execScan(ctx, t)
+	case *plan.IndexProbe:
+		return e.execIndexProbe(ctx, t)
 	case *plan.Select:
 		return e.execSelect(ctx, t)
 	case *plan.Project:
@@ -127,6 +129,59 @@ func (e *Engine) execScan(ctx *execCtx, sc *plan.Scan) (*value.Relation, error) 
 	}
 	if sc.Shared {
 		ctx.cachePut(key, out)
+	}
+	return out, nil
+}
+
+// execIndexProbe runs the point-query fast path: resolve the key, route
+// straight to the fragment(s) the fragmentation scheme allows, and let
+// each OFM answer with a direct hash-index lookup — no scan, no
+// predicate compilation, no full-relation materialization. Like the
+// colocated join, the probe calls the OFM directly under the fragment's
+// shared lock and charges the simulated network for the request and
+// reply, skipping the process-message round trip.
+func (e *Engine) execIndexProbe(ctx *execCtx, pr *plan.IndexProbe) (*value.Relation, error) {
+	kc, ok := pr.Key.(*expr.Const)
+	if !ok {
+		return nil, fmt.Errorf("core: index probe key %s not bound", pr.Key)
+	}
+	t, err := e.lookupTable(pr.Table)
+	if err != nil {
+		return nil, err
+	}
+	// An equality on the fragmentation key pins a single fragment.
+	var frags []int
+	sc := t.def.Scheme
+	if (sc.Strategy == fragment.Hash || sc.Strategy == fragment.Range) && sc.Column == pr.Col {
+		frags = sc.FragmentsForEq(kc.V)
+	}
+	if frags == nil {
+		frags = make([]int, len(t.frags))
+		for i := range frags {
+			frags[i] = i
+		}
+	}
+	if err := e.lockFragments(ctx, t, frags); err != nil {
+		return nil, err
+	}
+	out := value.NewRelation(pr.Out)
+	for _, fi := range frags {
+		f := t.frags[fi]
+		if f.pe != ctx.s.pe {
+			e.m.Send(ctx.s.pe, f.pe, 64) // the probe request
+		}
+		rel, err := f.ofm.ProbeEq(pr.Col, kc.V, pr.Rest)
+		if err != nil {
+			return nil, err
+		}
+		if f.pe != ctx.s.pe {
+			e.m.Send(f.pe, ctx.s.pe, rel.Size()) // only the result travels
+		}
+		if out.Tuples == nil {
+			out.Tuples = rel.Tuples
+		} else {
+			out.Tuples = append(out.Tuples, rel.Tuples...)
+		}
 	}
 	return out, nil
 }
@@ -380,6 +435,17 @@ func (e *Engine) execBroadcastJoin(ctx *execCtx, j *plan.Join, ls, rs *plan.Scan
 	if err != nil {
 		return nil, err
 	}
+	// Hash the broadcast side once at the coordinator; every fragment
+	// probes the same table instead of re-hashing the build input.
+	smallKeys, bigKeys := j.LeftKeys, j.RightKeys
+	if bigLeft {
+		smallKeys, bigKeys = j.RightKeys, j.LeftKeys
+	}
+	ht, bst, err := algebra.BuildHashTable(smallRel, smallKeys)
+	if err != nil {
+		return nil, err
+	}
+	e.m.PE(ctx.s.pe).Advance(e.m.Cost().HashCost(bst.Hashes))
 	bt, err := e.lookupTable(big.Table)
 	if err != nil {
 		return nil, err
@@ -410,13 +476,7 @@ func (e *Engine) execBroadcastJoin(ctx *execCtx, j *plan.Join, ls, rs *plan.Scan
 				errs[i] = err
 				return
 			}
-			var out *value.Relation
-			var st algebra.Stats
-			if bigLeft {
-				out, st, err = algebra.HashJoin(bigRel, smallRel, j.LeftKeys, j.RightKeys)
-			} else {
-				out, st, err = algebra.HashJoin(smallRel, bigRel, j.LeftKeys, j.RightKeys)
-			}
+			out, st, err := ht.ProbeJoin(bigRel, bigKeys, bigLeft)
 			if err != nil {
 				errs[i] = err
 				return

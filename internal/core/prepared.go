@@ -1,0 +1,621 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/lru"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+// PreparedStmt is a statement parsed and (for SELECTs) optimized once,
+// executed many times with bound parameter values — the XPRS-style
+// compile-once discipline of paper §2.2 applied at the statement level.
+// A PreparedStmt is safe for concurrent use: executions never mutate the
+// compiled form, and a schema change detected via the catalog version
+// counter swaps in a fresh compilation under the statement's lock.
+type PreparedStmt struct {
+	e    *Engine
+	text string
+	auto bool // built by the plan cache's literal auto-parameterization
+
+	mu       sync.Mutex // serializes replans only
+	compiled atomic.Pointer[compiledStmt]
+}
+
+// newPreparedStmt wraps one compilation in an executable handle.
+func newPreparedStmt(e *Engine, text string, auto bool, cs *compiledStmt) *PreparedStmt {
+	ps := &PreparedStmt{e: e, text: text, auto: auto}
+	ps.compiled.Store(cs)
+	return ps
+}
+
+// compiledStmt is one immutable compilation of a statement.
+type compiledStmt struct {
+	nParams int
+	kinds   []value.Kind // expected kind per slot (KindNull = unknown)
+	catVer  uint64       // catalog version this compilation is valid for
+	sel     plan.Node    // optimized plan (SELECT only)
+	planStr string       // pre-rendered plan (parameters shown as $n)
+	ast     sqlparse.Stmt
+}
+
+// Text returns the statement's SQL source.
+func (ps *PreparedStmt) Text() string { return ps.text }
+
+// NumParams returns the statement's parameter arity.
+func (ps *PreparedStmt) NumParams() int { return ps.compiled.Load().nParams }
+
+// current returns a compilation valid for the present catalog version,
+// transparently re-preparing after DDL invalidated the cached plan.
+// The fast path is two atomic loads; ps.mu guards only replans.
+func (ps *PreparedStmt) current() (*compiledStmt, error) {
+	ver := ps.e.cat.Version()
+	if cs := ps.compiled.Load(); cs != nil && cs.catVer == ver {
+		return cs, nil
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if cs := ps.compiled.Load(); cs != nil && cs.catVer == ver {
+		return cs, nil // another execution replanned first
+	}
+	var cs *compiledStmt
+	var err error
+	if ps.auto {
+		cs, _, err = ps.e.compileAuto(ps.text)
+	} else {
+		cs, err = ps.e.compileText(ps.text)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: replan after schema change: %w", err)
+	}
+	ps.compiled.Store(cs)
+	return cs, nil
+}
+
+// Prepare parses and plans one statement with '?' or '$n' placeholders.
+// The returned handle is bound to the engine, not the session; any
+// session may execute it.
+func (s *Session) Prepare(sql string) (*PreparedStmt, error) {
+	cs, err := s.e.compileText(sql)
+	if err != nil {
+		return nil, err
+	}
+	return newPreparedStmt(s.e, sql, false, cs), nil
+}
+
+// ExecPrepared executes a prepared statement with the given parameter
+// values (one per slot, in order).
+func (s *Session) ExecPrepared(ps *PreparedStmt, args []value.Value) (*Result, error) {
+	wallStart := time.Now()
+	simStart := s.e.m.MaxClock()
+	res, err := s.execPrepared(ps, args)
+	if err != nil {
+		return nil, err
+	}
+	res.WallTime = time.Since(wallStart)
+	res.SimTime = s.e.m.MaxClock() - simStart
+	return res, nil
+}
+
+// QueryPrepared is ExecPrepared returning just the relation.
+func (s *Session) QueryPrepared(ps *PreparedStmt, args []value.Value) (*value.Relation, error) {
+	res, err := s.ExecPrepared(ps, args)
+	if err != nil {
+		return nil, err
+	}
+	if res.Rel == nil {
+		return nil, fmt.Errorf("core: statement produced no relation")
+	}
+	return res.Rel, nil
+}
+
+// execPrepared runs one execution: version check, arity/kind validation,
+// parameter substitution into a fresh plan/AST copy, execution.
+func (s *Session) execPrepared(ps *PreparedStmt, args []value.Value) (*Result, error) {
+	cs, err := ps.current()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != cs.nParams {
+		return nil, fmt.Errorf("core: statement wants %d parameters, got %d", cs.nParams, len(args))
+	}
+	// Explicit prepared statements coerce lossless numeric binds; the
+	// auto-parameterized path is strict, so any kind mismatch becomes
+	// errBindKind and the statement re-runs uncached with the exact
+	// semantics the literal would have had without the cache (Conform
+	// rejecting a FLOAT insert into an INT column, numeric comparison
+	// across kinds, and so on).
+	bound, err := coerceArgs(args, cs.kinds, ps.auto)
+	if err != nil {
+		return nil, err
+	}
+	if cs.sel != nil {
+		root := cs.sel
+		if cs.nParams > 0 {
+			root, err = bindPlan(root, bound)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s.runSelectPlanStr(root, cs.planStr)
+	}
+	st := cs.ast
+	if cs.nParams > 0 {
+		st, err = substStmt(st, bound)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.execStmt(st)
+}
+
+// compileText parses sql (placeholders allowed) and compiles it.
+func (e *Engine) compileText(sql string) (*compiledStmt, error) {
+	st, nparams, err := sqlparse.ParseStmt(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.compileParsed(st, nparams)
+}
+
+// compileAuto builds the plan-cache form of an unparameterized
+// statement: parse, lift literal constants into parameter slots, verify
+// the lifted values line up with what Normalize extracts from the text,
+// then compile.
+func (e *Engine) compileAuto(sql string) (*compiledStmt, []value.Value, error) {
+	_, lits, ok := sqlparse.Normalize(sql)
+	if !ok {
+		return nil, nil, errNotCacheable
+	}
+	return e.compileAutoFrom(sql, lits)
+}
+
+// compileAutoFrom is compileAuto for a caller that already normalized
+// the text (the plan-cache miss path, which needed the key anyway).
+func (e *Engine) compileAutoFrom(sql string, lits []value.Value) (*compiledStmt, []value.Value, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	pst, vals, pok := sqlparse.Parameterize(st)
+	if !pok || !literalsMatch(vals, lits) {
+		return nil, nil, errNotCacheable
+	}
+	cs, err := e.compileParsed(pst, len(vals))
+	if err != nil {
+		return nil, nil, err
+	}
+	return cs, lits, nil
+}
+
+// errNotCacheable marks statements the plan cache must not hold.
+var errNotCacheable = fmt.Errorf("core: statement is not plan-cacheable")
+
+// errBindKind tags parameter-kind failures from coerceArgs. Explicit
+// prepared statements surface it to the caller; the plan cache's
+// auto-parameterized path must instead fall back to the uncached
+// execution so that caching never changes a legal statement's outcome
+// (`WHERE id = 1.5` on an INT key is an empty result, not an error).
+var errBindKind = fmt.Errorf("core: parameter kind mismatch")
+
+// literalsMatch reports whether the AST-lifted constants equal the
+// token-level literals, position by position — the safety interlock
+// between Parameterize and Normalize.
+func literalsMatch(vals, lits []value.Value) bool {
+	if len(vals) != len(lits) {
+		return false
+	}
+	for i := range vals {
+		if vals[i].Kind() != lits[i].Kind() || !value.Equal(vals[i], lits[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// compileParsed compiles a parsed statement: SELECTs translate and
+// optimize to a plan; everything else keeps its AST. Parameter kinds are
+// inferred for bind-time validation.
+func (e *Engine) compileParsed(st sqlparse.Stmt, nparams int) (*compiledStmt, error) {
+	cs := &compiledStmt{
+		nParams: nparams,
+		kinds:   make([]value.Kind, nparams),
+		catVer:  e.cat.Version(),
+	}
+	if sel, ok := st.(*sqlparse.Select); ok {
+		root, err := e.translateSelect(sel)
+		if err != nil {
+			return nil, err
+		}
+		root = e.opt.Optimize(root)
+		cs.sel = root
+		cs.planStr = plan.Format(root)
+		inferPlanParamKinds(root, cs.kinds)
+		return cs, nil
+	}
+	cs.ast = st
+	e.inferStmtParamKinds(st, cs.kinds)
+	return cs, nil
+}
+
+// runSelectPlan executes an already-optimized plan under the session's
+// transaction discipline (explicit txn or autocommit).
+func (s *Session) runSelectPlan(root plan.Node) (*Result, error) {
+	return s.runSelectPlanStr(root, plan.Format(root))
+}
+
+// runSelectPlanStr is runSelectPlan with a pre-rendered plan string
+// (prepared executions render once at compile time, not per execution).
+func (s *Session) runSelectPlanStr(root plan.Node, planStr string) (*Result, error) {
+	tx, autocommit, err := s.transaction()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := s.e.execPlan(s, tx, root)
+	if err != nil {
+		if autocommit {
+			tx.Abort()
+		}
+		return nil, err
+	}
+	if autocommit {
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Rel: rel, Plan: planStr}, nil
+}
+
+// ---------- parameter kind inference and coercion ----------
+
+// inferPlanParamKinds walks a compiled plan's expressions, recording the
+// expected kind of each parameter slot.
+func inferPlanParamKinds(root plan.Node, kinds []value.Kind) {
+	if len(kinds) == 0 {
+		return
+	}
+	plan.Walk(root, func(n plan.Node) {
+		switch t := n.(type) {
+		case *plan.Scan:
+			if t.Pred != nil {
+				expr.InferParamKinds(t.Pred, kinds)
+			}
+		case *plan.IndexProbe:
+			if p, ok := t.Key.(*expr.Param); ok && p.Ord < len(kinds) {
+				kinds[p.Ord] = t.Out.Column(t.Col).Kind
+			}
+			if t.Rest != nil {
+				expr.InferParamKinds(t.Rest, kinds)
+			}
+		case *plan.Select:
+			expr.InferParamKinds(t.Pred, kinds)
+		case *plan.Join:
+			if t.Residual != nil {
+				expr.InferParamKinds(t.Residual, kinds)
+			}
+		case *plan.Project:
+			for _, ex := range t.Exprs {
+				expr.InferParamKinds(ex, kinds)
+			}
+		}
+	})
+}
+
+// inferStmtParamKinds records expected kinds for DML parameters from the
+// target table's schema (best effort: unknown tables or columns leave
+// slots unknown and fail at execution instead).
+func (e *Engine) inferStmtParamKinds(st sqlparse.Stmt, kinds []value.Kind) {
+	if len(kinds) == 0 {
+		return
+	}
+	learn := func(ex expr.Expr, k value.Kind) {
+		if p, ok := ex.(*expr.Param); ok && p.Ord >= 0 && p.Ord < len(kinds) && kinds[p.Ord] == value.KindNull {
+			kinds[p.Ord] = k
+		}
+	}
+	inferWhere := func(w expr.Expr, schema *value.Schema) {
+		if w == nil {
+			return
+		}
+		bound := expr.Clone(w)
+		if _, err := expr.Bind(bound, schema); err == nil {
+			expr.InferParamKinds(bound, kinds)
+		}
+	}
+	switch t := st.(type) {
+	case *sqlparse.Insert:
+		tab, err := e.cat.Get(t.Table)
+		if err != nil {
+			return
+		}
+		cols := t.Cols
+		for _, row := range t.Rows {
+			for j, ex := range row {
+				ix := j
+				if cols != nil {
+					if j >= len(cols) {
+						continue
+					}
+					ix = tab.Schema.Index(cols[j])
+				}
+				if ix >= 0 && ix < tab.Schema.Len() {
+					learn(ex, tab.Schema.Column(ix).Kind)
+				}
+			}
+		}
+	case *sqlparse.Update:
+		tab, err := e.cat.Get(t.Table)
+		if err != nil {
+			return
+		}
+		for _, sc := range t.Set {
+			if ix := tab.Schema.Index(sc.Col); ix >= 0 {
+				learn(sc.Expr, tab.Schema.Column(ix).Kind)
+			}
+			inferWhere(sc.Expr, tab.Schema)
+		}
+		inferWhere(t.Where, tab.Schema)
+	case *sqlparse.Delete:
+		tab, err := e.cat.Get(t.Table)
+		if err != nil {
+			return
+		}
+		inferWhere(t.Where, tab.Schema)
+	}
+}
+
+// coerceArgs validates one value per slot against the inferred kinds.
+// NULL binds any slot; numeric kinds interchange like SQL literals do
+// (an integral FLOAT bound to an INT slot coerces so the index probe
+// keys exactly; a fractional one passes through unchanged and takes
+// the generic-comparison path, where `id = 99.5` is simply empty and
+// `salary > 99.5` compares numerically); everything else — a string
+// for an INT slot and the like — is an error. strict refuses every
+// mismatch instead (the plan cache's mode: a mismatched literal must
+// take the uncached path, not a coerced one).
+func coerceArgs(args []value.Value, kinds []value.Kind, strict bool) ([]value.Value, error) {
+	// Common case first: every value already matches (or has no
+	// expectation); return the caller's slice without allocating.
+	out := args
+	copied := false
+	for i, v := range args {
+		want := value.KindNull
+		if i < len(kinds) {
+			want = kinds[i]
+		}
+		if v.IsNull() || want == value.KindNull || v.Kind() == want {
+			if copied {
+				out[i] = v
+			}
+			continue
+		}
+		if strict {
+			// One coercion is safe even here: a small INT literal used
+			// where a FLOAT is expected compares identically either
+			// way, and without it a hot shape like `price > 100` on a
+			// FLOAT column would fall back to the uncached path on
+			// every execution.
+			if want == value.KindFloat && v.Kind() == value.KindInt &&
+				v.Int() >= -(1<<53) && v.Int() <= 1<<53 {
+				if !copied {
+					out = make([]value.Value, len(args))
+					copy(out, args[:i])
+					copied = true
+				}
+				out[i] = value.NewFloat(float64(v.Int()))
+				continue
+			}
+			return nil, fmt.Errorf("%w: parameter $%d: %s value where %s is expected",
+				errBindKind, i+1, v.Kind(), want)
+		}
+		if !copied {
+			out = make([]value.Value, len(args))
+			copy(out, args[:i])
+			copied = true
+		}
+		switch {
+		case want == value.KindFloat && v.Kind() == value.KindInt:
+			out[i] = value.NewFloat(float64(v.Int()))
+		case want == value.KindInt && v.Kind() == value.KindFloat:
+			f := v.Float()
+			if f != math.Trunc(f) || f < math.MinInt64 || f > math.MaxInt64 {
+				out[i] = v // fractional: generic numeric comparison applies
+			} else {
+				out[i] = value.NewInt(int64(f))
+			}
+		default:
+			return nil, fmt.Errorf("%w: parameter $%d: cannot bind %s value %s to %s",
+				errBindKind, i+1, v.Kind(), v.Quoted(), want)
+		}
+	}
+	return out, nil
+}
+
+// ---------- parameter substitution ----------
+
+// bindPlan returns a copy of the plan with every Param replaced by its
+// bound constant. Schemas, key lists and methods are shared (they are
+// immutable during execution); only nodes and expressions are copied.
+func bindPlan(n plan.Node, args []value.Value) (plan.Node, error) {
+	sub := func(e expr.Expr) (expr.Expr, error) {
+		if e == nil {
+			return nil, nil
+		}
+		return expr.SubstParams(e, args)
+	}
+	switch t := n.(type) {
+	case *plan.Scan:
+		c := *t
+		var err error
+		if c.Pred, err = sub(t.Pred); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *plan.IndexProbe:
+		c := *t
+		var err error
+		if c.Key, err = sub(t.Key); err != nil {
+			return nil, err
+		}
+		if c.Rest, err = sub(t.Rest); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *plan.Select:
+		c := *t
+		var err error
+		if c.Child, err = bindPlan(t.Child, args); err != nil {
+			return nil, err
+		}
+		if c.Pred, err = sub(t.Pred); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *plan.Project:
+		c := *t
+		var err error
+		if c.Child, err = bindPlan(t.Child, args); err != nil {
+			return nil, err
+		}
+		c.Exprs = make([]expr.Expr, len(t.Exprs))
+		for i, ex := range t.Exprs {
+			if c.Exprs[i], err = sub(ex); err != nil {
+				return nil, err
+			}
+		}
+		return &c, nil
+	case *plan.Join:
+		c := *t
+		var err error
+		if c.Left, err = bindPlan(t.Left, args); err != nil {
+			return nil, err
+		}
+		if c.Right, err = bindPlan(t.Right, args); err != nil {
+			return nil, err
+		}
+		if c.Residual, err = sub(t.Residual); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *plan.Aggregate:
+		c := *t
+		var err error
+		if c.Child, err = bindPlan(t.Child, args); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *plan.Sort:
+		c := *t
+		var err error
+		if c.Child, err = bindPlan(t.Child, args); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *plan.Distinct:
+		c := *t
+		var err error
+		if c.Child, err = bindPlan(t.Child, args); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *plan.Limit:
+		c := *t
+		var err error
+		if c.Child, err = bindPlan(t.Child, args); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	}
+	return nil, fmt.Errorf("core: cannot bind parameters into plan node %T", n)
+}
+
+// substStmt returns a copy of a DML statement with parameters replaced
+// by constants. Statements without expression positions pass through.
+func substStmt(st sqlparse.Stmt, args []value.Value) (sqlparse.Stmt, error) {
+	sub := func(e expr.Expr) (expr.Expr, error) {
+		if e == nil {
+			return nil, nil
+		}
+		return expr.SubstParams(e, args)
+	}
+	switch t := st.(type) {
+	case *sqlparse.Insert:
+		c := *t
+		c.Rows = make([][]expr.Expr, len(t.Rows))
+		for i, row := range t.Rows {
+			c.Rows[i] = make([]expr.Expr, len(row))
+			for j, ex := range row {
+				var err error
+				if c.Rows[i][j], err = sub(ex); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &c, nil
+	case *sqlparse.Update:
+		c := *t
+		c.Set = make([]sqlparse.SetClause, len(t.Set))
+		var err error
+		for i, sc := range t.Set {
+			c.Set[i] = sc
+			if c.Set[i].Expr, err = sub(sc.Expr); err != nil {
+				return nil, err
+			}
+		}
+		if c.Where, err = sub(t.Where); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case *sqlparse.Delete:
+		c := *t
+		var err error
+		if c.Where, err = sub(t.Where); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	}
+	return st, nil
+}
+
+// ---------- engine plan cache ----------
+
+// planCache is the engine-level LRU of auto-parameterized statements,
+// keyed by normalized text. A nil PreparedStmt marks a statement shape
+// as known non-cacheable so the parameterize attempt is not repeated.
+type planCache struct {
+	mu  sync.Mutex
+	lru *lru.Cache[string, *PreparedStmt]
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{lru: lru.New[string, *PreparedStmt](capacity)}
+}
+
+// get returns the cached statement and whether the key was present.
+func (pc *planCache) get(key string) (*PreparedStmt, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.lru.Get(key)
+}
+
+// put inserts or refreshes a key, evicting the least-recently-used
+// entry beyond capacity.
+func (pc *planCache) put(key string, ps *PreparedStmt) {
+	pc.mu.Lock()
+	pc.lru.Put(key, ps)
+	pc.mu.Unlock()
+}
+
+// Len reports the number of cached statement shapes.
+func (pc *planCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.lru.Len()
+}

@@ -1,10 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
-	"repro/internal/plan"
 	"repro/internal/sqlparse"
 	"repro/internal/txn"
 	"repro/internal/value"
@@ -59,21 +59,75 @@ type Result struct {
 	WallTime time.Duration
 }
 
-// Exec parses and executes one SQL statement.
+// Exec executes one SQL statement. Cacheable statements (SELECT and
+// DML) go through the engine's plan cache: the text is normalized with
+// its literals lifted out, and a hit skips parsing and optimization
+// entirely, executing the cached plan with the literals bound — so even
+// unprepared autocommit statements pay the parse/optimize cost once per
+// statement shape.
 func (s *Session) Exec(sql string) (*Result, error) {
-	st, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
 	wallStart := time.Now()
 	simStart := s.e.m.MaxClock()
-	res, err := s.execStmt(st)
+	res, err := s.execText(sql)
 	if err != nil {
 		return nil, err
 	}
 	res.WallTime = time.Since(wallStart)
 	res.SimTime = s.e.m.MaxClock() - simStart
 	return res, nil
+}
+
+// execText routes one statement through the plan cache when possible,
+// falling back to the parse-and-execute path.
+func (s *Session) execText(sql string) (*Result, error) {
+	pc := s.e.plans
+	if pc == nil {
+		return s.parseExec(sql)
+	}
+	key, lits, ok := sqlparse.Normalize(sql)
+	if !ok {
+		return s.parseExec(sql)
+	}
+	if ps, hit := pc.get(key); hit {
+		if ps == nil {
+			// Statement shape known non-cacheable.
+			return s.parseExec(sql)
+		}
+		return s.execAuto(ps, lits, sql)
+	}
+	cs, vals, err := s.e.compileAutoFrom(sql, lits)
+	if err == errNotCacheable {
+		pc.put(key, nil)
+		return s.parseExec(sql)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ps := newPreparedStmt(s.e, sql, true, cs)
+	pc.put(key, ps)
+	return s.execAuto(ps, vals, sql)
+}
+
+// execAuto runs a plan-cached statement with its lifted literals. A
+// parameter-kind mismatch (this statement's literal kind differs from
+// the one the shared plan was typed for, e.g. `id = 1.5` hitting the
+// plan cached for `id = 7`) must not surface as an error the uncached
+// engine would never raise — it falls back to the ordinary path.
+func (s *Session) execAuto(ps *PreparedStmt, lits []value.Value, sql string) (*Result, error) {
+	res, err := s.execPrepared(ps, lits)
+	if err != nil && errors.Is(err, errBindKind) {
+		return s.parseExec(sql)
+	}
+	return res, err
+}
+
+// parseExec is the uncached path: parse and run.
+func (s *Session) parseExec(sql string) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmt(st)
 }
 
 func (s *Session) execStmt(st sqlparse.Stmt) (*Result, error) {
@@ -150,23 +204,7 @@ func (s *Session) execSelect(sel *sqlparse.Select) (*Result, error) {
 		return nil, err
 	}
 	root = s.e.opt.Optimize(root)
-	tx, autocommit, err := s.transaction()
-	if err != nil {
-		return nil, err
-	}
-	rel, err := s.e.execPlan(s, tx, root)
-	if err != nil {
-		if autocommit {
-			tx.Abort()
-		}
-		return nil, err
-	}
-	if autocommit {
-		if err := tx.Commit(); err != nil {
-			return nil, err
-		}
-	}
-	return &Result{Rel: rel, Plan: plan.Format(root)}, nil
+	return s.runSelectPlan(root)
 }
 
 // Query is a convenience wrapper returning just the relation.

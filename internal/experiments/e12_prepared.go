@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/fragment"
+	"repro/internal/optimizer"
+	"repro/internal/server"
+	"repro/internal/value"
+)
+
+// E12PreparedPointQuery measures what the prepared-statement pipeline
+// buys on the E11-style point-query workload. The same workload — N
+// clients over TCP, each running point SELECTs on the primary key — is
+// executed four ways:
+//
+//  1. unprepared against the PR-1 engine configuration (no plan cache,
+//     no index-probe rule): every statement re-lexes, re-parses and
+//     re-optimizes, the cost ROADMAP.md identifies as dominating E11
+//     point-query latency;
+//  2. unprepared against the default engine: the plan cache normalizes
+//     the text, lifts the literal and reuses the optimized plan;
+//  3. prepared (Prepare once, Bind-Execute per statement) with the
+//     index-probe rule disabled: parse/plan amortized, execution still
+//     Scan→Select;
+//  4. prepared with the full pipeline: the plan is a direct HashIndex
+//     probe on the owning fragment.
+//
+// This is the paper's §2.2 XPRS-style discipline — compile a query once
+// into a parallel execution plan, run it many times — measured against
+// the interpret-every-time baseline.
+func E12PreparedPointQuery(quick bool) (*Table, error) {
+	rows := 4000
+	queries := 400
+	clients := 16
+	numPEs := 64
+	if quick {
+		rows = 1000
+		queries = 100
+		numPEs = 16
+	}
+
+	noProbe := optimizer.AllRules()
+	noProbe.PointProbe = false
+	off := false
+
+	type mode struct {
+		name     string
+		planOff  bool
+		opts     *optimizer.Options
+		prepared bool
+	}
+	// Each row adds exactly one variable over the previous: plan cache,
+	// then prepared execution, then the index-probe rule.
+	modes := []mode{
+		{"unprepared (PR-1 path)", true, &noProbe, false},
+		{"unprepared + plan cache", false, &noProbe, false},
+		{"prepared, no index probe", false, &noProbe, true},
+		{"prepared + index probe", false, nil, true},
+	}
+
+	t := &Table{
+		ID: "E12",
+		Title: fmt.Sprintf("prepared point queries, %d clients x %d SELECTs on a %d-row relation over 8 fragments (%d PEs)",
+			clients, queries, rows, numPEs),
+		Header: []string{"transport", "mode", "stmts/sec", "p50 latency", "p99 latency", "speedup"},
+		Notes: []string{
+			"workload: SELECT * FROM acct WHERE id = ? on the hash-fragmented primary key",
+			"in-process rows isolate the engine pipeline; tcp rows add framing, result encoding and round trips",
+			"speedup is statements/sec relative to the unprepared PR-1 configuration on the same transport",
+		},
+	}
+
+	for _, overTCP := range []bool{false, true} {
+		transport := "in-process"
+		if overTCP {
+			transport = "tcp"
+		}
+		var baseline float64
+		for _, m := range modes {
+			cfg := core.Config{NumPEs: numPEs, Optimizer: m.opts}
+			if m.planOff {
+				cfg.PlanCache = &off
+			}
+			rate, lats, err := runE12Mode(cfg, overTCP, m.prepared, rows, queries, clients)
+			if err != nil {
+				return nil, fmt.Errorf("E12 %s/%s: %w", transport, m.name, err)
+			}
+			if baseline == 0 {
+				baseline = rate
+			}
+			t.AddRow(
+				transport,
+				m.name,
+				rate,
+				percentile(lats, 0.50).Round(time.Microsecond).String(),
+				percentile(lats, 0.99).Round(time.Microsecond).String(),
+				fmt.Sprintf("%.2fx", rate/baseline),
+			)
+		}
+	}
+	return t, nil
+}
+
+// runE12Mode stands up a fresh engine (and, for the tcp transport, a
+// server) with the mode's configuration, loads the relation, and
+// hammers it with point queries.
+func runE12Mode(cfg core.Config, overTCP, prepared bool, rows, queries, clients int) (float64, []time.Duration, error) {
+	eng, err := core.New(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer eng.Close()
+	schema := value.MustSchema("id", "INT", "region", "VARCHAR", "balance", "INT")
+	if err := eng.CreateTable("acct", schema,
+		&fragment.Scheme{Strategy: fragment.Hash, Column: 0, N: 8}, []int{0}); err != nil {
+		return 0, nil, err
+	}
+	regions := []string{"eu", "us", "apac", "latam"}
+	tuples := make([]value.Tuple, rows)
+	for i := range tuples {
+		tuples[i] = value.NewTuple(
+			value.NewInt(int64(i)),
+			value.NewString(regions[i%len(regions)]),
+			value.NewInt(1000),
+		)
+	}
+	if err := eng.LoadTable("acct", tuples); err != nil {
+		return 0, nil, err
+	}
+
+	addr := ""
+	if overTCP {
+		srv, err := server.New(server.Config{Engine: eng, MaxConns: 64})
+		if err != nil {
+			return 0, nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, nil, err
+		}
+		serveDone := make(chan struct{})
+		go func() { srv.Serve(l); close(serveDone) }()
+		defer func() { srv.Close(); <-serveDone }()
+		addr = l.Addr().String()
+	}
+
+	lats := make([][]time.Duration, clients)
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var ls []time.Duration
+			var err error
+			if overTCP {
+				ls, err = runE12Client(addr, prepared, c, rows, queries)
+			} else {
+				ls, err = runE12Session(eng, prepared, c, rows, queries)
+			}
+			if err != nil {
+				errCh <- err
+				return
+			}
+			lats[c] = ls
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, nil, err
+	default:
+	}
+	var all []time.Duration
+	for _, ls := range lats {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return float64(len(all)) / wall.Seconds(), all, nil
+}
+
+// runE12Session runs one in-process session's share of the point
+// queries, verifying every lookup finds its row.
+func runE12Session(eng *core.Engine, prepared bool, id, rows, queries int) ([]time.Duration, error) {
+	sess := eng.NewSession()
+	defer sess.Close()
+	r := rand.New(rand.NewSource(int64(id)*104729 + 17))
+	lats := make([]time.Duration, 0, queries)
+	var ps *core.PreparedStmt
+	var err error
+	if prepared {
+		if ps, err = sess.Prepare(`SELECT * FROM acct WHERE id = ?`); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < queries; i++ {
+		k := r.Intn(rows)
+		start := time.Now()
+		var rel *value.Relation
+		if prepared {
+			rel, err = sess.QueryPrepared(ps, []value.Value{value.NewInt(int64(k))})
+		} else {
+			rel, err = sess.Query(fmt.Sprintf(`SELECT * FROM acct WHERE id = %d`, k))
+		}
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, time.Since(start))
+		if rel.Len() != 1 {
+			return nil, fmt.Errorf("point query for id %d returned %d rows", k, rel.Len())
+		}
+	}
+	return lats, nil
+}
+
+// runE12Client runs one connection's share of the point queries,
+// verifying every lookup finds its row.
+func runE12Client(addr string, prepared bool, id, rows, queries int) ([]time.Duration, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	r := rand.New(rand.NewSource(int64(id)*104729 + 17))
+	lats := make([]time.Duration, 0, queries)
+	var stmt *client.Stmt
+	if prepared {
+		if stmt, err = c.Prepare(`SELECT * FROM acct WHERE id = ?`); err != nil {
+			return nil, err
+		}
+		defer stmt.Close()
+	}
+	for i := 0; i < queries; i++ {
+		k := r.Intn(rows)
+		start := time.Now()
+		var rel *value.Relation
+		if prepared {
+			rel, err = stmt.Query(k)
+		} else {
+			rel, err = c.Query(fmt.Sprintf(`SELECT * FROM acct WHERE id = %d`, k))
+		}
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, time.Since(start))
+		if rel.Len() != 1 {
+			return nil, fmt.Errorf("point query for id %d returned %d rows", k, rel.Len())
+		}
+	}
+	return lats, nil
+}

@@ -192,12 +192,16 @@ func (p *Projector) Apply(t value.Tuple) (out value.Tuple, err error) {
 	return out, nil
 }
 
-// ApplyBatch projects a batch with one recover boundary.
+// ApplyBatch projects a batch with one recover boundary. Output rows
+// are carved from one flat backing array sized by the input cardinality
+// — one allocation for the batch instead of one per tuple.
 func (p *Projector) ApplyBatch(src []value.Tuple) (out []value.Tuple, err error) {
 	defer catch(&err)
 	out = make([]value.Tuple, len(src))
+	width := len(p.fns)
+	flat := make([]value.Value, len(src)*width)
 	for ti, t := range src {
-		row := make(value.Tuple, len(p.fns))
+		row := flat[ti*width : (ti+1)*width : (ti+1)*width]
 		for i, fn := range p.fns {
 			row[i] = fn(t)
 		}

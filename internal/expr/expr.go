@@ -147,6 +147,9 @@ func (c *Col) Eval(t value.Tuple) (value.Value, error) {
 
 func (c *Col) String() string { return c.Name }
 
+// Kind returns the column's kind (meaningful after Bind).
+func (c *Col) Kind() value.Kind { return c.kind }
+
 // Const is a literal value.
 type Const struct{ V value.Value }
 

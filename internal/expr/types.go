@@ -29,6 +29,11 @@ func Bind(e Expr, s *value.Schema) (value.Kind, error) {
 	case *Const:
 		return n.V.Kind(), nil
 
+	case *Param:
+		// A placeholder's kind is unknown until a value is bound;
+		// KindNull compares with anything.
+		return value.KindNull, nil
+
 	case *Cmp:
 		lk, err := Bind(n.L, s)
 		if err != nil {
@@ -291,6 +296,9 @@ func Clone(e Expr) Expr {
 		c := *n
 		return &c
 	case *Const:
+		c := *n
+		return &c
+	case *Param:
 		c := *n
 		return &c
 	case *Cmp:

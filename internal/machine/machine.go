@@ -13,6 +13,7 @@ package machine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/simnet"
@@ -162,9 +163,7 @@ func (m *Machine) NearestDiskPE(from int) int {
 // ResetClocks zeroes every PE's virtual clock (start of an experiment).
 func (m *Machine) ResetClocks() {
 	for _, pe := range m.pes {
-		pe.mu.Lock()
-		pe.clock = 0
-		pe.mu.Unlock()
+		pe.clock.Store(0)
 	}
 }
 
@@ -202,24 +201,19 @@ func (m *Machine) Send(src, dst int, bytes int) time.Duration {
 	}
 	transfer := m.net.TransferTime(src, dst, bytes)
 	arrive := sp.Clock() + transfer
-	dp := m.pes[dst]
-	dp.mu.Lock()
-	if arrive > dp.clock {
-		dp.clock = arrive
-	} else {
-		arrive = dp.clock
-	}
-	dp.mu.Unlock()
-	return arrive
+	return m.pes[dst].AdvanceTo(arrive)
 }
 
-// PE is one processing element.
+// PE is one processing element. The virtual clock is an atomic counter:
+// it is by far the hottest shared word in the engine (every operator
+// charges it, and every statement reads the machine-wide maximum twice),
+// so it must not share the mutex that guards the memory accounting.
 type PE struct {
 	id       int
 	hasDisk  bool
 	m        *Machine
-	mu       sync.Mutex
-	clock    time.Duration
+	clock    atomic.Int64 // virtual busy time in nanoseconds
+	mu       sync.Mutex   // guards the memory fields below
 	memUsed  int64
 	memLimit int64
 	memPeak  int64
@@ -233,9 +227,7 @@ func (pe *PE) HasDisk() bool { return pe.hasDisk }
 
 // Clock returns the PE's virtual busy time.
 func (pe *PE) Clock() time.Duration {
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
-	return pe.clock
+	return time.Duration(pe.clock.Load())
 }
 
 // Advance adds d to the PE's virtual clock (CPU or disk busy time).
@@ -243,18 +235,21 @@ func (pe *PE) Advance(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	pe.mu.Lock()
-	pe.clock += d
-	pe.mu.Unlock()
+	pe.clock.Add(int64(d))
 }
 
-// AdvanceTo moves the clock forward to at least t (waiting on an event).
-func (pe *PE) AdvanceTo(t time.Duration) {
-	pe.mu.Lock()
-	if t > pe.clock {
-		pe.clock = t
+// AdvanceTo moves the clock forward to at least t (waiting on an
+// event), returning the resulting clock value.
+func (pe *PE) AdvanceTo(t time.Duration) time.Duration {
+	for {
+		cur := pe.clock.Load()
+		if int64(t) <= cur {
+			return time.Duration(cur)
+		}
+		if pe.clock.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
 	}
-	pe.mu.Unlock()
 }
 
 // Alloc reserves n bytes of the PE's main memory; it fails when the 16 MB

@@ -200,6 +200,13 @@ func (o *OFM) eqIndexProbe(e expr.Expr) (idx *storage.HashIndex, key value.Value
 		if ix < 0 {
 			continue
 		}
+		if cst.V.Kind() != o.cfg.Schema.Column(ix).Kind {
+			// The index stores encoded values, so an INT key never
+			// matches a FLOAT probe even when numerically equal (`id =
+			// 2.0` must match id 2); leave those to the scan's generic
+			// comparison.
+			continue
+		}
 		hash, ok := o.store.HashIndexOn([]int{ix})
 		if !ok {
 			continue
@@ -243,6 +250,40 @@ func (o *OFM) Scan(pred expr.Expr, cols []int) (*value.Relation, error) {
 		return o.project(snapshot, cols)
 	}
 	return o.filterAndProject(snapshot, pred, cols)
+}
+
+// ProbeEq answers an equality point query (col = key) with a direct
+// hash-index lookup — the executor's IndexProbe fast path. Unlike Scan,
+// no predicate is recognized, compiled or interpreted: the key arrives
+// already resolved. rest, when non-nil, filters the probed tuples.
+// A fragment without a matching index degrades to a filtered Scan.
+func (o *OFM) ProbeEq(col int, key value.Value, rest expr.Expr) (*value.Relation, error) {
+	if key.IsNull() {
+		// `col = NULL` is never true.
+		return value.NewRelation(o.cfg.Schema), nil
+	}
+	hash, ok := o.store.HashIndexOn([]int{col})
+	if !ok {
+		eq := expr.NewCmp(expr.EQ, expr.NewColIdx(col, o.cfg.Schema.Column(col).Kind), expr.NewConst(key))
+		return o.Scan(expr.Conjoin([]expr.Expr{eq, rest}), nil)
+	}
+	cost := o.costs()
+	ids := hash.Lookup([]value.Value{key})
+	o.cfg.PE.Advance(cost.HashCost(1))
+	rel := value.NewRelation(o.cfg.Schema)
+	if len(ids) > 0 {
+		rel.Tuples = make([]value.Tuple, 0, len(ids))
+	}
+	for _, id := range ids {
+		if t, ok := o.store.Get(id); ok {
+			rel.Append(t)
+		}
+	}
+	o.cfg.PE.Advance(cost.BuildCost(rel.Len()))
+	if rest != nil {
+		return o.filterAndProject(rel, rest, nil)
+	}
+	return rel, nil
 }
 
 func (o *OFM) filterAndProject(rel *value.Relation, pred expr.Expr, cols []int) (*value.Relation, error) {

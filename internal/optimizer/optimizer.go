@@ -26,6 +26,9 @@ type Options struct {
 	CSE bool
 	// Parallel chooses distributed join methods and aggregate pushdown.
 	Parallel bool
+	// PointProbe compiles an equality predicate on a hash-indexed key
+	// into a direct IndexProbe node instead of Scan→Select.
+	PointProbe bool
 	// Selectivity is the assumed fraction of rows a predicate keeps
 	// (0 takes the default 0.33; equality on a key estimates sharper).
 	Selectivity float64
@@ -33,7 +36,7 @@ type Options struct {
 
 // AllRules enables the complete knowledge base.
 func AllRules() Options {
-	return Options{Pushdown: true, JoinOrder: true, CSE: true, Parallel: true}
+	return Options{Pushdown: true, JoinOrder: true, CSE: true, Parallel: true, PointProbe: true}
 }
 
 // Optimizer rewrites logical plans using catalog statistics.
@@ -71,6 +74,9 @@ func (o *Optimizer) Optimize(root plan.Node) plan.Node {
 	if o.opts.Parallel {
 		o.parallelize(root)
 	}
+	if o.opts.PointProbe {
+		root = o.probeRewrite(root)
+	}
 	return root
 }
 
@@ -88,6 +94,8 @@ func (o *Optimizer) estimate(n plan.Node) plan.Node {
 			rows = o.filterEstimate(rows, t.Pred)
 		}
 		t.EstRows = rows
+	case *plan.IndexProbe:
+		t.EstRows = 1 // equality on a unique key
 	case *plan.Select:
 		o.estimate(t.Child)
 		t.EstRows = o.filterEstimate(plan.EstRows(t.Child), t.Pred)
@@ -356,6 +364,94 @@ func (o *Optimizer) parallelize(root plan.Node) {
 			t.Method = o.chooseJoinMethod(t)
 		}
 	})
+}
+
+// ---------- rule group: point-query index probes ----------
+
+// probeRewrite replaces filtered scans whose predicate pins the table's
+// hash-indexed primary key with IndexProbe nodes. Scans directly under a
+// Join keep their shape (the distributed join methods dispatch on Scan
+// children), as do CSE-shared scans and pushdown-aggregate inputs.
+func (o *Optimizer) probeRewrite(n plan.Node) plan.Node {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return o.tryProbe(t)
+	case *plan.Select:
+		t.Child = o.probeRewrite(t.Child)
+	case *plan.Project:
+		t.Child = o.probeRewrite(t.Child)
+	case *plan.Join:
+		if _, ok := t.Left.(*plan.Scan); !ok {
+			t.Left = o.probeRewrite(t.Left)
+		}
+		if _, ok := t.Right.(*plan.Scan); !ok {
+			t.Right = o.probeRewrite(t.Right)
+		}
+	case *plan.Aggregate:
+		if _, ok := t.Child.(*plan.Scan); !ok || !t.Pushdown {
+			t.Child = o.probeRewrite(t.Child)
+		}
+	case *plan.Sort:
+		t.Child = o.probeRewrite(t.Child)
+	case *plan.Distinct:
+		t.Child = o.probeRewrite(t.Child)
+	case *plan.Limit:
+		t.Child = o.probeRewrite(t.Child)
+	}
+	return n
+}
+
+// tryProbe converts one scan when its predicate contains `pk = const`
+// (or `pk = $n`) on a single-column primary key, which DDL backs with a
+// per-fragment hash index.
+func (o *Optimizer) tryProbe(sc *plan.Scan) plan.Node {
+	if sc.Shared || sc.Pred == nil {
+		return sc
+	}
+	tab, err := o.cat.Get(sc.Table)
+	if err != nil || len(tab.PrimaryKey) != 1 {
+		return sc
+	}
+	pk := tab.PrimaryKey[0]
+	pkKind := tab.Schema.Column(pk).Kind
+	conjuncts := expr.SplitConjuncts(sc.Pred)
+	for i, c := range conjuncts {
+		cmp, ok := c.(*expr.Cmp)
+		if !ok || cmp.Op != expr.EQ {
+			continue
+		}
+		col, cok := cmp.L.(*expr.Col)
+		key := cmp.R
+		if !cok {
+			col, cok = cmp.R.(*expr.Col)
+			key = cmp.L
+		}
+		if !cok || col.Index != pk {
+			continue
+		}
+		switch k := key.(type) {
+		case *expr.Const:
+			// Exact-kind match only: the hash index stores encoded
+			// values, so INT keys never match FLOAT probes.
+			if k.V.IsNull() || k.V.Kind() != pkKind {
+				continue
+			}
+		case *expr.Param:
+			// Bind-time coercion forces the value to the column kind.
+		default:
+			continue
+		}
+		rest := append(append([]expr.Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
+		return &plan.IndexProbe{
+			Table:   sc.Table,
+			Col:     pk,
+			Key:     key,
+			Rest:    expr.Conjoin(rest),
+			Out:     sc.Out,
+			EstRows: 1,
+		}
+	}
+	return sc
 }
 
 // chooseJoinMethod selects colocated when both inputs are scans of

@@ -1,0 +1,88 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+func TestPointProbeRewrite(t *testing.T) {
+	c := testCatalog(t)
+	o := New(c, AllRules())
+
+	// Equality on the single-column primary key becomes an IndexProbe.
+	sc := scan(t, c, "emp")
+	sc.Pred = bindOn(t, expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewInt(7))), sc.Out)
+	root := o.Optimize(sc)
+	pr, ok := root.(*plan.IndexProbe)
+	if !ok {
+		t.Fatalf("got %T, want IndexProbe:\n%s", root, plan.Format(root))
+	}
+	if pr.Col != 0 || pr.Rest != nil {
+		t.Fatalf("probe = %s", pr)
+	}
+	if plan.EstRows(pr) != 1 {
+		t.Errorf("EstRows = %d", plan.EstRows(pr))
+	}
+
+	// Extra conjuncts survive as the residual.
+	sc = scan(t, c, "emp")
+	sc.Pred = bindOn(t, expr.NewAnd(
+		expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewInt(7))),
+		expr.NewCmp(expr.GT, expr.NewCol("salary"), expr.NewConst(value.NewInt(10)))), sc.Out)
+	root = o.Optimize(sc)
+	pr, ok = root.(*plan.IndexProbe)
+	if !ok {
+		t.Fatalf("conjunct probe: got %T", root)
+	}
+	if pr.Rest == nil || !strings.Contains(pr.Rest.String(), "salary") {
+		t.Errorf("residual = %v", pr.Rest)
+	}
+
+	// Parameters qualify too (the prepared point-query path).
+	sc = scan(t, c, "emp")
+	sc.Pred = bindOn(t, expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewParam(0)), sc.Out)
+	if _, ok := o.Optimize(sc).(*plan.IndexProbe); !ok {
+		t.Error("param key did not qualify for the probe")
+	}
+}
+
+func TestPointProbeDeclines(t *testing.T) {
+	c := testCatalog(t)
+	o := New(c, AllRules())
+
+	// Equality on a non-key column stays a scan.
+	sc := scan(t, c, "emp")
+	sc.Pred = bindOn(t, expr.NewCmp(expr.EQ, expr.NewCol("dept"), expr.NewConst(value.NewString("eng"))), sc.Out)
+	if _, ok := o.Optimize(sc).(*plan.IndexProbe); ok {
+		t.Error("non-key equality got a probe")
+	}
+
+	// A FLOAT literal on an INT key would never match the encoded index
+	// key; the rewrite must decline.
+	sc = scan(t, c, "emp")
+	sc.Pred = bindOn(t, expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewFloat(7))), sc.Out)
+	if _, ok := o.Optimize(sc).(*plan.IndexProbe); ok {
+		t.Error("kind-mismatched key got a probe")
+	}
+
+	// Range predicates stay scans.
+	sc = scan(t, c, "emp")
+	sc.Pred = bindOn(t, expr.NewCmp(expr.GT, expr.NewCol("id"), expr.NewConst(value.NewInt(7))), sc.Out)
+	if _, ok := o.Optimize(sc).(*plan.IndexProbe); ok {
+		t.Error("range predicate got a probe")
+	}
+
+	// With the rule off, nothing rewrites.
+	opts := AllRules()
+	opts.PointProbe = false
+	o2 := New(c, opts)
+	sc = scan(t, c, "emp")
+	sc.Pred = bindOn(t, expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewInt(7))), sc.Out)
+	if _, ok := o2.Optimize(sc).(*plan.IndexProbe); ok {
+		t.Error("disabled rule still rewrote")
+	}
+}

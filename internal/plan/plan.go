@@ -53,6 +53,36 @@ func (s *Scan) String() string {
 	return fmt.Sprintf("%s est=%d", b, s.EstRows)
 }
 
+// IndexProbe answers an equality point query with a direct hash-index
+// lookup on the owning fragment(s), bypassing the Scan→Select
+// materialization path entirely: the executor resolves Key to a value,
+// routes to the fragment(s) the fragmentation scheme allows, and each
+// OFM probes its hash index. Rest carries any residual conjuncts, bound
+// to Out.
+type IndexProbe struct {
+	Table string
+	Col   int       // indexed column position (table schema order)
+	Key   expr.Expr // Const, or Param until bound
+	Rest  expr.Expr // residual predicate over Out, or nil
+	Out   *value.Schema
+
+	EstRows int
+}
+
+// Schema implements Node.
+func (p *IndexProbe) Schema() *value.Schema { return p.Out }
+
+// Children implements Node.
+func (p *IndexProbe) Children() []Node { return nil }
+
+func (p *IndexProbe) String() string {
+	b := fmt.Sprintf("IndexProbe(%s.%s = %s)", p.Table, p.Out.Column(p.Col).Name, p.Key)
+	if p.Rest != nil {
+		b += fmt.Sprintf(" filter=%s", p.Rest)
+	}
+	return fmt.Sprintf("%s est=%d", b, p.EstRows)
+}
+
 // Select filters its child.
 type Select struct {
 	Child   Node
@@ -242,6 +272,8 @@ func Walk(n Node, fn func(Node)) {
 func EstRows(n Node) int {
 	switch t := n.(type) {
 	case *Scan:
+		return t.EstRows
+	case *IndexProbe:
 		return t.EstRows
 	case *Select:
 		return t.EstRows

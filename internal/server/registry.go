@@ -1,0 +1,39 @@
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/lru"
+)
+
+// stmtRegistry holds one connection's prepared statements under an LRU
+// cap: preparing beyond the cap silently evicts the least-recently-used
+// statement (a BindExec naming it then gets a clean statement error). A
+// registry is only touched by its connection's serve loop, so it needs
+// no locking.
+type stmtRegistry struct {
+	nextID uint32
+	stmts  *lru.Cache[uint32, *core.PreparedStmt]
+}
+
+func newStmtRegistry(cap int) *stmtRegistry {
+	return &stmtRegistry{stmts: lru.New[uint32, *core.PreparedStmt](cap)}
+}
+
+// add registers a statement and returns its connection-scoped id.
+func (r *stmtRegistry) add(ps *core.PreparedStmt) uint32 {
+	r.nextID++
+	r.stmts.Put(r.nextID, ps)
+	return r.nextID
+}
+
+// get returns the statement for id (marking it recently used), or nil.
+func (r *stmtRegistry) get(id uint32) *core.PreparedStmt {
+	ps, _ := r.stmts.Get(id)
+	return ps
+}
+
+// close discards a statement, reporting whether it was present.
+func (r *stmtRegistry) close(id uint32) bool { return r.stmts.Delete(id) }
+
+// len reports the number of live statements.
+func (r *stmtRegistry) len() int { return r.stmts.Len() }

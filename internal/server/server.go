@@ -32,16 +32,20 @@ type Config struct {
 	// MaxFrame bounds request and response frames (default
 	// wire.DefaultMaxFrame).
 	MaxFrame int
+	// MaxPrepared caps prepared statements held per connection (default
+	// 64); preparing beyond the cap evicts the least-recently-used one.
+	MaxPrepared int
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
 
 // Server accepts connections and serves statements against one engine.
 type Server struct {
-	eng      *core.Engine
-	maxConns int
-	maxFrame int
-	logf     func(string, ...any)
+	eng         *core.Engine
+	maxConns    int
+	maxFrame    int
+	maxPrepared int
+	logf        func(string, ...any)
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -67,16 +71,21 @@ func New(cfg Config) (*Server, error) {
 	if maxFrame <= 0 {
 		maxFrame = wire.DefaultMaxFrame
 	}
+	maxPrepared := cfg.MaxPrepared
+	if maxPrepared <= 0 {
+		maxPrepared = 64
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		eng:      cfg.Engine,
-		maxConns: maxConns,
-		maxFrame: maxFrame,
-		logf:     logf,
-		conns:    map[net.Conn]struct{}{},
+		eng:         cfg.Engine,
+		maxConns:    maxConns,
+		maxFrame:    maxFrame,
+		maxPrepared: maxPrepared,
+		logf:        logf,
+		conns:       map[net.Conn]struct{}{},
 	}, nil
 }
 
@@ -222,6 +231,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	sess := s.eng.NewSession()
 	defer sess.Close() // aborts an open transaction on disconnect
+	reg := newStmtRegistry(s.maxPrepared)
 
 	for {
 		typ, payload, err := wire.ReadFrame(br, s.maxFrame)
@@ -244,6 +254,47 @@ func (s *Server) serveConn(conn net.Conn) {
 				execErr = err
 			} else {
 				res = &core.Result{Rel: r}
+			}
+		case wire.TypePrepare:
+			ps, err := sess.Prepare(string(payload))
+			if err != nil {
+				execErr = err
+				break
+			}
+			id := reg.add(ps)
+			if err := wire.WriteFrame(bw, wire.TypePrepareOK, wire.EncodePrepareOK(id, ps.NumParams())); err != nil {
+				return
+			}
+			if bw.Flush() != nil {
+				return
+			}
+			continue
+		case wire.TypeBindExec:
+			id, args, err := wire.DecodeBindExec(payload)
+			if err != nil {
+				// A malformed frame is a protocol violation.
+				fail(err.Error())
+				return
+			}
+			ps := reg.get(id)
+			if ps == nil {
+				// A stale id is a statement error, not a protocol one:
+				// the client may have raced an eviction or reused a
+				// closed handle, and the connection stays usable.
+				execErr = fmt.Errorf("server: unknown or closed prepared statement id %d", id)
+				break
+			}
+			res, execErr = sess.ExecPrepared(ps, args)
+		case wire.TypeClosePrepared:
+			id, err := wire.DecodeClosePrepared(payload)
+			if err != nil {
+				fail(err.Error())
+				return
+			}
+			if reg.close(id) {
+				res = &core.Result{Msg: fmt.Sprintf("statement %d closed", id)}
+			} else {
+				execErr = fmt.Errorf("server: unknown or closed prepared statement id %d", id)
 			}
 		case wire.TypeHello:
 			fail("server: duplicate Hello")

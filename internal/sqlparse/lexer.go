@@ -20,7 +20,8 @@ const (
 	tokInt
 	tokFloat
 	tokString
-	tokOp // operators and punctuation
+	tokOp    // operators and punctuation
+	tokParam // placeholder parameter: text "" for '?', digits for '$n'
 )
 
 type token struct {
@@ -69,6 +70,13 @@ func lex(src string) ([]token, error) {
 			l.lexIdent()
 		case c == '\'':
 			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.toks = append(l.toks, token{kind: tokParam, pos: l.pos})
+			l.pos++
+		case c == '$':
+			if err := l.lexDollarParam(); err != nil {
 				return nil, err
 			}
 		default:
@@ -142,6 +150,21 @@ func (l *lexer) lexString() error {
 		l.pos++
 	}
 	return fmt.Errorf("sql: unterminated string at offset %d", start)
+}
+
+// lexDollarParam lexes a '$n' placeholder (n = 1-based slot number).
+func (l *lexer) lexDollarParam() error {
+	start := l.pos
+	l.pos++ // '$'
+	digits := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos == digits {
+		return fmt.Errorf("sql: '$' must be followed by a parameter number at offset %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tokParam, text: l.src[digits:l.pos], pos: start})
+	return nil
 }
 
 func (l *lexer) lexOp() error {

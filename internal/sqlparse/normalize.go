@@ -1,0 +1,259 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Normalize builds a plan-cache key for one SQL statement by lifting
+// literal constants out as positional parameters: `SELECT * FROM acct
+// WHERE id = 7` and `... WHERE id = 42` normalize to the same key with
+// literals [7] and [42]. The engine caches the optimized plan under the
+// key and re-executes it with the literals bound — the XPRS-style
+// compile-once discipline applied even to unprepared statements.
+//
+// Literals stay verbatim in the key (and out of the literal list) where
+// the grammar consumes them structurally rather than as scalar
+// expressions: LIKE patterns, LIMIT counts, and IN lists. Only SELECT,
+// INSERT, UPDATE and DELETE are cacheable; anything else — and any
+// statement carrying explicit '?'/'$n' placeholders — returns ok=false.
+func Normalize(src string) (key string, literals []value.Value, ok bool) {
+	toks, err := lex(src)
+	if err != nil {
+		return "", nil, false
+	}
+	if len(toks) == 0 || toks[0].kind != tokKeyword {
+		return "", nil, false
+	}
+	switch toks[0].text {
+	case "SELECT", "INSERT", "UPDATE", "DELETE":
+	default:
+		return "", nil, false
+	}
+
+	var b strings.Builder
+	b.Grow(len(src))
+	verbatim := func(t token) {
+		switch t.kind {
+		case tokString:
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			b.WriteByte('\'')
+		default:
+			b.WriteString(t.text)
+		}
+	}
+
+	// IN-list tracking: depth of the paren group whose literals stay in
+	// the key (-1 = not inside one).
+	depth, inListDepth := 0, -1
+	// Select-list literals shape the output schema (`SELECT 5 AS five`,
+	// `salary * 2`), so they stay in the key rather than becoming
+	// untyped parameters: inSelectList is true from SELECT until the
+	// top-level FROM (the grammar has no subqueries).
+	inSelectList := toks[0].text == "SELECT"
+	// prev is the last token written (zero kind at start).
+	var prev token
+	havePrev := false
+
+	// unaryMinus reports whether a '-' at this position is a sign rather
+	// than subtraction, mirroring the parser's operand positions.
+	unaryMinus := func() bool {
+		if !havePrev {
+			return true
+		}
+		switch prev.kind {
+		case tokOp:
+			return prev.text != ")"
+		case tokKeyword:
+			return prev.text != "TRUE" && prev.text != "FALSE" && prev.text != "NULL"
+		}
+		return false
+	}
+
+	litValue := func(t token) (value.Value, bool) {
+		switch t.kind {
+		case tokInt:
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return value.Null, false
+			}
+			return value.NewInt(n), true
+		case tokFloat:
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return value.Null, false
+			}
+			return value.NewFloat(f), true
+		case tokString:
+			return value.NewString(t.text), true
+		}
+		return value.Null, false
+	}
+
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind == tokParam {
+			return "", nil, false // already parameterized: Prepare owns it
+		}
+		sep := func() {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+		}
+		if inSelectList && t.kind == tokKeyword && t.text == "FROM" && depth == 0 {
+			inSelectList = false
+		}
+		inVerbatimList := inListDepth >= 0 || inSelectList
+		switch {
+		case t.kind == tokOp && t.text == "(":
+			depth++
+			sep()
+			verbatim(t)
+		case t.kind == tokOp && t.text == ")":
+			if inListDepth == depth {
+				inListDepth = -1
+			}
+			depth--
+			sep()
+			verbatim(t)
+		case t.kind == tokKeyword && t.text == "IN":
+			// Literals inside IN (...) live in expr.In.List, not Const
+			// nodes; keep them in the key.
+			inListDepth = depth + 1
+			sep()
+			verbatim(t)
+		case t.kind == tokKeyword && (t.text == "LIKE" || t.text == "LIMIT"):
+			// The next literal is structural (pattern / count).
+			sep()
+			verbatim(t)
+			if i+1 < len(toks) && litKind(toks[i+1].kind) {
+				i++
+				b.WriteByte(' ')
+				verbatim(toks[i])
+				prev = toks[i]
+				continue
+			}
+		case litKind(t.kind) && !inVerbatimList:
+			v, okv := litValue(t)
+			if !okv {
+				return "", nil, false
+			}
+			literals = append(literals, v)
+			sep()
+			b.WriteByte('?')
+		case t.kind == tokOp && t.text == "-" && !inVerbatimList &&
+			i+1 < len(toks) && litKind(toks[i+1].kind) && toks[i+1].kind != tokString && unaryMinus():
+			// Fold the sign into the literal, as the parser does.
+			v, okv := litValue(toks[i+1])
+			if !okv {
+				return "", nil, false
+			}
+			neg, err := value.Neg(v)
+			if err != nil {
+				return "", nil, false
+			}
+			literals = append(literals, neg)
+			i++
+			sep()
+			b.WriteByte('?')
+			prev = toks[i]
+			continue
+		default:
+			sep()
+			verbatim(t)
+		}
+		prev = t
+		havePrev = true
+	}
+	return b.String(), literals, true
+}
+
+func litKind(k tokKind) bool { return k == tokInt || k == tokFloat || k == tokString }
+
+// Parameterize rewrites st (a freshly parsed, unshared AST) so that
+// every literal Const that Normalize would have lifted becomes a Param,
+// and returns the lifted values in slot order. It mirrors Normalize's
+// traversal; the caller must verify the returned values match the
+// literals Normalize extracted (count and value) before trusting the
+// rewritten statement — a mismatch means the statement uses literals in
+// a position the normalizer keeps verbatim, and is not cacheable.
+func Parameterize(st Stmt) (Stmt, []value.Value, bool) {
+	p := &paramLifter{}
+	switch t := st.(type) {
+	case *Select:
+		out := *t
+		// Select-list expressions are NOT lifted: their literal kinds
+		// flow into the output schema, and a parameter's kind is
+		// unknown at plan time. Normalize keeps those literals in the
+		// cache key for the same reason.
+		out.Joins = append([]JoinClause(nil), t.Joins...)
+		for i := range out.Joins {
+			out.Joins[i].On = p.lift(out.Joins[i].On)
+		}
+		if t.Where != nil {
+			out.Where = p.lift(t.Where)
+		}
+		if t.Having != nil {
+			out.Having = p.lift(t.Having)
+		}
+		return &out, p.values, true
+	case *Insert:
+		out := *t
+		out.Rows = make([][]expr.Expr, len(t.Rows))
+		for i, row := range t.Rows {
+			out.Rows[i] = make([]expr.Expr, len(row))
+			for j, e := range row {
+				out.Rows[i][j] = p.lift(e)
+			}
+		}
+		return &out, p.values, true
+	case *Update:
+		out := *t
+		out.Set = append([]SetClause(nil), t.Set...)
+		for i := range out.Set {
+			out.Set[i].Expr = p.lift(out.Set[i].Expr)
+		}
+		if t.Where != nil {
+			out.Where = p.lift(t.Where)
+		}
+		return &out, p.values, true
+	case *Delete:
+		out := *t
+		if t.Where != nil {
+			out.Where = p.lift(t.Where)
+		}
+		return &out, p.values, true
+	}
+	return st, nil, false
+}
+
+// paramLifter rebuilds expression trees via expr.MapExpr, replacing
+// liftable literals with Params in traversal (= source) order. IN-list
+// values are untouched — they live in expr.In.List, not Const nodes,
+// and Normalize keeps them in the key.
+type paramLifter struct {
+	values []value.Value
+}
+
+func (p *paramLifter) lift(e expr.Expr) expr.Expr {
+	return expr.MapExpr(e, func(x expr.Expr) expr.Expr {
+		c, ok := x.(*expr.Const)
+		if !ok {
+			return nil
+		}
+		switch c.V.Kind() {
+		case value.KindInt, value.KindFloat, value.KindString:
+			ord := len(p.values)
+			p.values = append(p.values, c.V)
+			return expr.NewParam(ord)
+		}
+		return c
+	})
+}

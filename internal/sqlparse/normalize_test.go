@@ -1,0 +1,143 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestNormalizeSharesShapes(t *testing.T) {
+	k1, l1, ok1 := Normalize(`SELECT * FROM emp WHERE id = 7`)
+	k2, l2, ok2 := Normalize(`select  *  from emp WHERE id=42`)
+	if !ok1 || !ok2 {
+		t.Fatal("point queries not cacheable")
+	}
+	if k1 != k2 {
+		t.Fatalf("keys differ:\n%q\n%q", k1, k2)
+	}
+	if len(l1) != 1 || l1[0].Int() != 7 || len(l2) != 1 || l2[0].Int() != 42 {
+		t.Fatalf("literals %v / %v", l1, l2)
+	}
+	k3, _, _ := Normalize(`SELECT * FROM emp WHERE id = 'x'`)
+	if k3 != k1 {
+		// Same shape: the key does not encode the literal's kind; the
+		// engine verifies against the AST before caching.
+		t.Logf("string key differs from int key (fine): %q", k3)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	for _, src := range []string{
+		`BEGIN`,
+		`CREATE TABLE t (x INT)`,
+		`DROP TABLE t`,
+		`SELECT * FROM t WHERE id = ?`,  // explicit params are Prepare's job
+		`SELECT * FROM t WHERE id = $1`, //
+		`nonsense`,
+	} {
+		if _, _, ok := Normalize(src); ok {
+			t.Errorf("Normalize(%q) cacheable, want not", src)
+		}
+	}
+}
+
+// TestNormalizeAlignsWithParameterize is the interlock the plan cache
+// relies on: for every statement the cache would admit, the token-level
+// literals and the AST-lifted constants must agree exactly.
+func TestNormalizeAlignsWithParameterize(t *testing.T) {
+	aligned := []string{
+		`SELECT * FROM emp WHERE id = 7`,
+		`SELECT * FROM emp WHERE salary > -10 AND salary < 100`,
+		`SELECT * FROM emp WHERE salary + -5 > 2.5`,
+		`INSERT INTO emp VALUES (1, 'eng', 100), (2, 'ops', -3)`,
+		`UPDATE emp SET salary = salary + 10 WHERE id = 4`,
+		`DELETE FROM emp WHERE dept = 'hr'`,
+		`SELECT 5 AS five, id FROM emp WHERE dept = 'x'`,
+		`SELECT * FROM emp WHERE dept LIKE 'e%'`,  // pattern stays in key
+		`SELECT * FROM emp WHERE id IN (1, 2, 3)`, // list stays in key
+		`SELECT id FROM emp ORDER BY id LIMIT 5`,  // limit stays in key
+		`SELECT e.id FROM emp e JOIN d ON e.x = d.y WHERE e.id = 3`,
+	}
+	for _, src := range aligned {
+		key, lits, ok := Normalize(src)
+		if !ok {
+			t.Errorf("Normalize(%q) not cacheable", src)
+			continue
+		}
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		pst, vals, pok := Parameterize(st)
+		if !pok {
+			t.Errorf("Parameterize(%q) failed", src)
+			continue
+		}
+		if pst == nil {
+			t.Errorf("Parameterize(%q) returned nil stmt", src)
+		}
+		if len(vals) != len(lits) {
+			t.Errorf("%q: %d lifted consts vs %d token literals (key %q)", src, len(vals), len(lits), key)
+			continue
+		}
+		for i := range vals {
+			if vals[i].Kind() != lits[i].Kind() || !value.Equal(vals[i], lits[i]) {
+				t.Errorf("%q: slot %d AST %s vs token %s", src, i, vals[i].Quoted(), lits[i].Quoted())
+			}
+		}
+	}
+}
+
+func TestNormalizeKeepsStructuralLiterals(t *testing.T) {
+	// Different LIKE patterns / IN lists / LIMIT counts are different
+	// plans and must not share a key.
+	pairs := [][2]string{
+		{`SELECT * FROM t WHERE a LIKE 'x%'`, `SELECT * FROM t WHERE a LIKE 'y%'`},
+		{`SELECT * FROM t WHERE a IN (1, 2)`, `SELECT * FROM t WHERE a IN (3, 4)`},
+		{`SELECT * FROM t LIMIT 5`, `SELECT * FROM t LIMIT 6`},
+	}
+	for _, p := range pairs {
+		k1, _, ok1 := Normalize(p[0])
+		k2, _, ok2 := Normalize(p[1])
+		if !ok1 || !ok2 {
+			t.Errorf("not cacheable: %q / %q", p[0], p[1])
+			continue
+		}
+		if k1 == k2 {
+			t.Errorf("structural literals collapsed into one key: %q and %q", p[0], p[1])
+		}
+	}
+}
+
+func TestParseStmtParams(t *testing.T) {
+	_, n, err := ParseStmt(`SELECT * FROM t WHERE a = ? AND b = ?`)
+	if err != nil || n != 2 {
+		t.Fatalf("qmarks: n=%d err=%v", n, err)
+	}
+	_, n, err = ParseStmt(`SELECT * FROM t WHERE a = $3`)
+	if err != nil || n != 3 {
+		t.Fatalf("dollar: n=%d err=%v", n, err)
+	}
+	if _, err := Parse(`SELECT * FROM t WHERE a = ?`); err == nil {
+		t.Error("Parse accepted placeholders")
+	}
+	if _, _, err := ParseStmt(`SELECT * FROM t WHERE a = $0`); err == nil {
+		t.Error("$0 accepted")
+	}
+	if _, _, err := ParseStmt(`SELECT * FROM t WHERE a = $`); err == nil {
+		t.Error("bare $ accepted")
+	}
+	// '?' slots are capped like '$n' ordinals: the wire arity field is
+	// a uint16, and an uncapped count would truncate in PrepareOK.
+	var b strings.Builder
+	b.WriteString(`INSERT INTO t VALUES (?`)
+	for i := 1; i < MaxParams+1; i++ {
+		b.WriteString(`, ?`)
+	}
+	b.WriteString(`)`)
+	if _, _, err := ParseStmt(b.String()); err == nil ||
+		!strings.Contains(err.Error(), "exceed") {
+		t.Errorf("%d '?' slots accepted: %v", MaxParams+1, err)
+	}
+}

@@ -11,27 +11,83 @@ import (
 )
 
 // Parse parses one SQL statement (a trailing semicolon is allowed).
+// Placeholder parameters are rejected — statements with '?' or '$n'
+// slots go through ParseStmt and the engine's prepared-statement path.
 func Parse(src string) (Stmt, error) {
-	toks, err := lex(src)
+	st, nparams, err := ParseStmt(src)
 	if err != nil {
 		return nil, err
+	}
+	if nparams > 0 {
+		return nil, fmt.Errorf("sql: statement has %d parameter placeholders; prepare it and bind values", nparams)
+	}
+	return st, nil
+}
+
+// ParseStmt parses one SQL statement that may contain '?' or '$n'
+// placeholder parameters, returning the statement and its parameter
+// count ('?' slots number left to right; '$n' slots are explicit and the
+// two styles cannot mix).
+func ParseStmt(src string) (Stmt, int, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, 0, err
 	}
 	p := &parser{toks: toks}
 	st, err := p.parseStmt()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.accept(tokOp, ";")
 	if !p.at(tokEOF, "") {
-		return nil, p.errf("trailing input %q", p.cur().text)
+		return nil, 0, p.errf("trailing input %q", p.cur().text)
 	}
-	return st, nil
+	nparams := p.qmarks
+	if p.maxDollar > nparams {
+		nparams = p.maxDollar
+	}
+	if nparams > MaxParams {
+		return nil, 0, fmt.Errorf("sql: %d parameters exceed the %d limit", nparams, MaxParams)
+	}
+	return st, nparams, nil
 }
 
 type parser struct {
 	toks []token
 	pos  int
+
+	qmarks    int // '?' placeholders seen so far
+	maxDollar int // largest '$n' slot seen
 }
+
+// param consumes the current tokParam token and returns its expression.
+func (p *parser) param() (expr.Expr, error) {
+	t := p.next()
+	if t.text == "" { // '?'
+		if p.maxDollar > 0 {
+			return nil, p.errf("cannot mix '?' and '$n' parameters")
+		}
+		ord := p.qmarks
+		p.qmarks++
+		return expr.NewParam(ord), nil
+	}
+	if p.qmarks > 0 {
+		return nil, p.errf("cannot mix '?' and '$n' parameters")
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 1 || n > MaxParams {
+		return nil, p.errf("bad parameter number $%s (1..%d)", t.text, MaxParams)
+	}
+	if n > p.maxDollar {
+		p.maxDollar = n
+	}
+	return expr.NewParam(n - 1), nil
+}
+
+// MaxParams caps a statement's parameter arity. The wire protocol
+// carries arity as a uint16, and an unchecked `$9000000000000000000`
+// would size a server-side slice from a tiny hostile frame.
+const MaxParams = 1<<16 - 1
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
@@ -815,6 +871,9 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 			return nil, err
 		}
 		return expr.NewConst(v), nil
+
+	case t.kind == tokParam:
+		return p.param()
 
 	case t.kind == tokOp && t.text == "(":
 		p.next()

@@ -45,6 +45,17 @@ const (
 	TypeExec byte = 0x02
 	// TypeDatalog carries one PRISMAlog query as UTF-8 text.
 	TypeDatalog byte = 0x03
+	// TypePrepare carries one SQL statement with '?'/'$n' placeholders;
+	// the server answers PrepareOK (statement id + arity) or Error.
+	TypePrepare byte = 0x04
+	// TypeBindExec executes a prepared statement: a statement id and the
+	// bound parameter values. Answered by Result or Error; an unknown or
+	// closed statement id is a statement-level Error, not a disconnect.
+	TypeBindExec byte = 0x05
+	// TypeClosePrepared discards a prepared statement by id. Answered by
+	// a Result whose Msg confirms the close (closing an unknown id is
+	// also just a statement-level Error).
+	TypeClosePrepared byte = 0x06
 
 	// TypeHelloOK acknowledges the handshake: a version byte then a
 	// length-prefixed server banner.
@@ -55,6 +66,9 @@ const (
 	// leave the connection usable; handshake and protocol errors are
 	// followed by a close.
 	TypeError byte = 0x83
+	// TypePrepareOK answers a Prepare: uint32 statement id, uint16
+	// parameter count.
+	TypePrepareOK byte = 0x84
 )
 
 // ErrFrameTooLarge reports a frame whose declared payload exceeds the
@@ -114,6 +128,77 @@ func DecodeHello(payload []byte) (int, error) {
 	return int(payload[len(Magic)]), nil
 }
 
+// EncodePrepareOK builds a PrepareOK payload.
+func EncodePrepareOK(id uint32, nparams int) []byte {
+	var buf [6]byte
+	binary.BigEndian.PutUint32(buf[:4], id)
+	binary.BigEndian.PutUint16(buf[4:], uint16(nparams))
+	return buf[:]
+}
+
+// DecodePrepareOK reads a PrepareOK payload.
+func DecodePrepareOK(payload []byte) (id uint32, nparams int, err error) {
+	if len(payload) != 6 {
+		return 0, 0, fmt.Errorf("wire: PrepareOK payload of %d bytes", len(payload))
+	}
+	return binary.BigEndian.Uint32(payload[:4]), int(binary.BigEndian.Uint16(payload[4:])), nil
+}
+
+// MaxBindArgs is the largest argument count a BindExec frame can carry
+// (the arity field is a uint16; sqlparse caps statement arity to match).
+const MaxBindArgs = 1<<16 - 1
+
+// EncodeBindExec builds a BindExec payload: statement id, arity, then
+// each bound value in the relation encoding. The caller must keep
+// len(args) within MaxBindArgs.
+func EncodeBindExec(id uint32, args []value.Value) []byte {
+	buf := make([]byte, 6, 6+len(args)*8)
+	binary.BigEndian.PutUint32(buf[:4], id)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(args)))
+	for _, v := range args {
+		buf = value.AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeBindExec reads a BindExec payload.
+func DecodeBindExec(payload []byte) (uint32, []value.Value, error) {
+	if len(payload) < 6 {
+		return 0, nil, fmt.Errorf("wire: truncated BindExec header")
+	}
+	id := binary.BigEndian.Uint32(payload[:4])
+	n := int(binary.BigEndian.Uint16(payload[4:6]))
+	args := make([]value.Value, 0, n)
+	off := 6
+	for i := 0; i < n; i++ {
+		v, used, err := value.DecodeValue(payload[off:])
+		if err != nil {
+			return 0, nil, fmt.Errorf("wire: BindExec value %d: %w", i, err)
+		}
+		off += used
+		args = append(args, v)
+	}
+	if off != len(payload) {
+		return 0, nil, fmt.Errorf("wire: %d trailing bytes after BindExec", len(payload)-off)
+	}
+	return id, args, nil
+}
+
+// EncodeClosePrepared builds a ClosePrepared payload.
+func EncodeClosePrepared(id uint32) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], id)
+	return buf[:]
+}
+
+// DecodeClosePrepared reads a ClosePrepared payload.
+func DecodeClosePrepared(payload []byte) (uint32, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("wire: ClosePrepared payload of %d bytes", len(payload))
+	}
+	return binary.BigEndian.Uint32(payload), nil
+}
+
 // Result is one statement's outcome on the wire; it mirrors core.Result
 // without importing the engine.
 type Result struct {
@@ -152,10 +237,13 @@ func decodeString(buf []byte) (string, int, error) {
 // EncodeResult encodes r for a Result frame.
 func EncodeResult(r *Result) []byte {
 	var flags byte
+	size := 33 + len(r.Msg) + len(r.Plan)
 	if r.Rel != nil {
 		flags |= resultHasRel
+		size += r.Rel.Size() + 64
 	}
-	buf := []byte{flags}
+	buf := make([]byte, 1, size)
+	buf[0] = flags
 	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(r.Affected)))
 	buf = appendString(buf, r.Msg)
 	buf = appendString(buf, r.Plan)

@@ -46,6 +46,9 @@ type (
 	Value = value.Value
 	// Result is one statement's outcome.
 	Result = core.Result
+	// PreparedStmt is a parse-once/plan-once statement with parameter
+	// slots ('?' or '$n'), executed via Session.ExecPrepared.
+	PreparedStmt = core.PreparedStmt
 )
 
 // Value constructors, re-exported for building tuples programmatically.
@@ -178,6 +181,21 @@ func (s *Session) Exec(sql string) (*Result, error) { return s.s.Exec(sql) }
 
 // Query executes a SELECT and returns its relation.
 func (s *Session) Query(sql string) (*Relation, error) { return s.s.Query(sql) }
+
+// Prepare parses and plans a statement with '?' or '$n' placeholders
+// once; ExecPrepared runs it with bound values, skipping the
+// per-statement parse and optimize cost.
+func (s *Session) Prepare(sql string) (*PreparedStmt, error) { return s.s.Prepare(sql) }
+
+// ExecPrepared executes a prepared statement with one value per slot.
+func (s *Session) ExecPrepared(ps *PreparedStmt, args ...Value) (*Result, error) {
+	return s.s.ExecPrepared(ps, args)
+}
+
+// QueryPrepared executes a prepared SELECT and returns its relation.
+func (s *Session) QueryPrepared(ps *PreparedStmt, args ...Value) (*Relation, error) {
+	return s.s.QueryPrepared(ps, args)
+}
 
 // DatalogQuery answers a PRISMAlog query such as "ancestor('ann', X)"
 // against the registered rules and the database's tables.
