@@ -93,6 +93,12 @@ func BenchmarkE12PreparedPointQuery(b *testing.B) {
 	runExperiment(b, experiments.E12PreparedPointQuery)
 }
 
+// BenchmarkE13Streaming — chunked result streaming vs single-frame
+// materialization: time-to-first-tuple and peak frame size over TCP.
+func BenchmarkE13Streaming(b *testing.B) {
+	runExperiment(b, experiments.E13Streaming)
+}
+
 // ---------- micro-benchmarks on the public API ----------
 
 // benchDB builds a loaded database once per benchmark.

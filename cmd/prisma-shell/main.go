@@ -76,21 +76,52 @@ func main() {
 	}
 }
 
+// runSQL executes one statement, streaming SELECT output batch by batch
+// as the engine's cursor produces it: the first rows print while later
+// fragments are still scanning, and arbitrarily large results never
+// materialize in the shell.
 func runSQL(s *core.Session, sql string) {
-	res, err := s.Exec(sql)
+	cur, res, err := s.Stream(sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	switch {
-	case res.Rel != nil:
-		fmt.Print(res.Rel)
-		fmt.Printf("(%d rows, sim %v, wall %v)\n", res.Rel.Len(), res.SimTime, res.WallTime)
-	case res.Msg != "":
-		fmt.Println(res.Msg)
-	default:
-		fmt.Printf("%d rows affected (sim %v, wall %v)\n", res.Affected, res.SimTime, res.WallTime)
+	if cur == nil {
+		switch {
+		case res.Msg != "":
+			fmt.Println(res.Msg)
+		default:
+			fmt.Printf("%d rows affected (sim %v, wall %v)\n", res.Affected, res.SimTime, res.WallTime)
+		}
+		return
 	}
+	defer cur.Close()
+	cols := cur.Schema().Columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	header := strings.Join(names, "  ")
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	for {
+		rel, err := cur.Next()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if rel == nil {
+			break
+		}
+		for _, t := range rel.Tuples {
+			fields := make([]string, len(t))
+			for i, v := range t {
+				fields[i] = v.String()
+			}
+			fmt.Println(strings.Join(fields, "  "))
+		}
+	}
+	fmt.Printf("(%d rows, sim %v, wall %v)\n", cur.Rows(), cur.SimTime(), cur.WallTime())
 }
 
 func runDatalog(eng *core.Engine, s *core.Session, q string) {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/value"
@@ -28,6 +29,16 @@ type Options struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds response frames (default wire.DefaultMaxFrame).
 	MaxFrame int
+	// ChunkRows asks the server for at most this many tuples per
+	// streamed chunk (0 lets the server pick its default).
+	ChunkRows int
+	// ChunkBytes asks the server for at most roughly this many payload
+	// bytes per streamed chunk (default wire.DefaultChunkBytes). It is
+	// clamped to half of MaxFrame so the server's chunks — which may
+	// overshoot the budget by one tuple — always fit this connection's
+	// own frame limit (a single tuple larger than MaxFrame still cannot
+	// be received).
+	ChunkBytes int
 }
 
 // ServerError is a statement error reported by the server. The
@@ -39,13 +50,67 @@ func (e *ServerError) Error() string { return e.Msg }
 
 // Client is one connection to a PRISMA server.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	max    int
-	broken error // sticky protocol/transport failure
+	mu         sync.Mutex // serializes statements; held across an open Rows stream
+	conn       net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	max        int
+	chunkRows  int
+	chunkBytes int
+
+	stateMu sync.Mutex // guards broken; never held while blocking on I/O
+	broken  error      // sticky protocol/transport failure
+
+	frameMax atomic.Int64 // largest frame observed (diagnostics, E13)
 }
+
+// brokenErr reports the sticky failure, if any.
+func (c *Client) brokenErr() error {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.broken
+}
+
+// setBroken records the first sticky failure and closes the socket,
+// unblocking any in-flight read. It takes only stateMu, so Close works
+// even while a streamed result holds the statement mutex.
+func (c *Client) setBroken(err error) {
+	c.stateMu.Lock()
+	first := c.broken == nil
+	if first {
+		c.broken = err
+	}
+	c.stateMu.Unlock()
+	if first {
+		c.conn.Close()
+	}
+}
+
+// readFrameLocked reads one frame with c.mu held, recording its size
+// as counted against the MaxFrame limit (type byte + payload).
+func (c *Client) readFrameLocked() (byte, []byte, error) {
+	typ, payload, err := wire.ReadFrame(c.br, c.max)
+	if err == nil {
+		c.noteFrame(len(payload) + 1)
+	}
+	return typ, payload, err
+}
+
+// noteFrame tracks the largest frame seen on this connection.
+func (c *Client) noteFrame(n int) {
+	for {
+		cur := c.frameMax.Load()
+		if int64(n) <= cur || c.frameMax.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// MaxFrameObserved reports the largest frame this connection has
+// received, in the units the MaxFrame limit uses (type byte + payload)
+// — with streaming it stays near the chunk budget instead of growing
+// with the result.
+func (c *Client) MaxFrameObserved() int { return int(c.frameMax.Load()) }
 
 // Dial connects to a PRISMA server and performs the handshake.
 func Dial(addr string, opts ...Options) (*Client, error) {
@@ -63,11 +128,20 @@ func Dial(addr string, opts ...Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	chunkBytes := o.ChunkBytes
+	if chunkBytes <= 0 {
+		chunkBytes = wire.DefaultChunkBytes
+	}
+	if lim := o.MaxFrame / 2; chunkBytes > lim {
+		chunkBytes = max(lim, 1)
+	}
 	c := &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
-		max:  o.MaxFrame,
+		conn:       conn,
+		br:         bufio.NewReader(conn),
+		bw:         bufio.NewWriter(conn),
+		max:        o.MaxFrame,
+		chunkRows:  o.ChunkRows,
+		chunkBytes: chunkBytes,
 	}
 	if err := wire.WriteFrame(c.bw, wire.TypeHello, wire.EncodeHello()); err != nil {
 		conn.Close()
@@ -102,14 +176,13 @@ func Dial(addr string, opts ...Options) (*Client, error) {
 	return c, nil
 }
 
-// Close releases the connection. The server aborts any open transaction.
+// Close releases the connection, even while a streamed result is being
+// read (the stream's pending read fails and its Rows is poisoned). The
+// server aborts any open transaction and releases any locks a
+// mid-stream cursor still held.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.broken == nil {
-		c.broken = errors.New("client: closed")
-	}
-	return c.conn.Close()
+	c.setBroken(errors.New("client: closed"))
+	return nil
 }
 
 // roundTripRaw sends one frame and reads the reply frame, marking the
@@ -118,12 +191,11 @@ func (c *Client) Close() error {
 func (c *Client) roundTripRaw(typ byte, payload []byte) (byte, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.broken != nil {
-		return 0, nil, c.broken
+	if err := c.brokenErr(); err != nil {
+		return 0, nil, err
 	}
 	fail := func(err error) (byte, []byte, error) {
-		c.broken = err
-		c.conn.Close()
+		c.setBroken(err)
 		return 0, nil, err
 	}
 	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
@@ -132,7 +204,7 @@ func (c *Client) roundTripRaw(typ byte, payload []byte) (byte, []byte, error) {
 	if err := c.bw.Flush(); err != nil {
 		return fail(err)
 	}
-	rtyp, rpayload, err := wire.ReadFrame(c.br, c.max)
+	rtyp, rpayload, err := c.readFrameLocked()
 	if err != nil {
 		return fail(err)
 	}
@@ -142,12 +214,7 @@ func (c *Client) roundTripRaw(typ byte, payload []byte) (byte, []byte, error) {
 // breakConn marks the connection unusable after a protocol violation
 // and returns the error for the caller to propagate.
 func (c *Client) breakConn(err error) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.broken == nil {
-		c.broken = err
-		c.conn.Close()
-	}
+	c.setBroken(err)
 	return err
 }
 
@@ -179,16 +246,26 @@ func (c *Client) Exec(sql string) (*wire.Result, error) {
 }
 
 // Query executes a SELECT (or other relation-producing statement) and
-// returns the relation.
+// returns the relation. It materializes over the streaming protocol, so
+// — unlike Exec — the result may exceed the connection's frame limit:
+// no single frame ever holds more than one chunk.
 func (c *Client) Query(sql string) (*value.Relation, error) {
-	res, err := c.Exec(sql)
+	rows, err := c.QueryStream(sql)
 	if err != nil {
 		return nil, err
 	}
-	if res.Rel == nil {
+	defer rows.Close()
+	if rows.Schema() == nil {
 		return nil, fmt.Errorf("client: statement produced no relation")
 	}
-	return res.Rel, nil
+	rel := value.NewRelation(rows.Schema())
+	for rows.Next() {
+		rel.Tuples = append(rel.Tuples, rows.Tuple())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
 }
 
 // Datalog answers a PRISMAlog query such as "ancestor('ann', X)".

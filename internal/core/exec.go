@@ -141,15 +141,38 @@ func (e *Engine) execScan(ctx *execCtx, sc *plan.Scan) (*value.Relation, error) 
 // shared lock and charges the simulated network for the request and
 // reply, skipping the process-message round trip.
 func (e *Engine) execIndexProbe(ctx *execCtx, pr *plan.IndexProbe) (*value.Relation, error) {
-	kc, ok := pr.Key.(*expr.Const)
-	if !ok {
-		return nil, fmt.Errorf("core: index probe key %s not bound", pr.Key)
-	}
-	t, err := e.lookupTable(pr.Table)
+	t, key, frags, err := e.probeTargets(ctx, pr)
 	if err != nil {
 		return nil, err
 	}
-	// An equality on the fragmentation key pins a single fragment.
+	out := value.NewRelation(pr.Out)
+	for _, fi := range frags {
+		rel, err := e.probeFragment(ctx, t.frags[fi], pr, key)
+		if err != nil {
+			return nil, err
+		}
+		if out.Tuples == nil {
+			out.Tuples = rel.Tuples
+		} else {
+			out.Tuples = append(out.Tuples, rel.Tuples...)
+		}
+	}
+	return out, nil
+}
+
+// probeTargets resolves an IndexProbe's key value and target fragment
+// set (an equality on the fragmentation key pins a single fragment)
+// and S-locks the fragments. Shared by the materialized and streaming
+// executors so routing and locking can never skew between them.
+func (e *Engine) probeTargets(ctx *execCtx, pr *plan.IndexProbe) (*table, value.Value, []int, error) {
+	kc, ok := pr.Key.(*expr.Const)
+	if !ok {
+		return nil, value.Null, nil, fmt.Errorf("core: index probe key %s not bound", pr.Key)
+	}
+	t, err := e.lookupTable(pr.Table)
+	if err != nil {
+		return nil, value.Null, nil, err
+	}
 	var frags []int
 	sc := t.def.Scheme
 	if (sc.Strategy == fragment.Hash || sc.Strategy == fragment.Range) && sc.Column == pr.Col {
@@ -162,28 +185,25 @@ func (e *Engine) execIndexProbe(ctx *execCtx, pr *plan.IndexProbe) (*value.Relat
 		}
 	}
 	if err := e.lockFragments(ctx, t, frags); err != nil {
+		return nil, value.Null, nil, err
+	}
+	return t, kc.V, frags, nil
+}
+
+// probeFragment probes one fragment's hash index, charging the
+// simulated network for the request and the reply.
+func (e *Engine) probeFragment(ctx *execCtx, f *fragRef, pr *plan.IndexProbe, key value.Value) (*value.Relation, error) {
+	if f.pe != ctx.s.pe {
+		e.m.Send(ctx.s.pe, f.pe, 64) // the probe request
+	}
+	rel, err := f.ofm.ProbeEq(pr.Col, key, pr.Rest)
+	if err != nil {
 		return nil, err
 	}
-	out := value.NewRelation(pr.Out)
-	for _, fi := range frags {
-		f := t.frags[fi]
-		if f.pe != ctx.s.pe {
-			e.m.Send(ctx.s.pe, f.pe, 64) // the probe request
-		}
-		rel, err := f.ofm.ProbeEq(pr.Col, kc.V, pr.Rest)
-		if err != nil {
-			return nil, err
-		}
-		if f.pe != ctx.s.pe {
-			e.m.Send(f.pe, ctx.s.pe, rel.Size()) // only the result travels
-		}
-		if out.Tuples == nil {
-			out.Tuples = rel.Tuples
-		} else {
-			out.Tuples = append(out.Tuples, rel.Tuples...)
-		}
+	if f.pe != ctx.s.pe {
+		e.m.Send(f.pe, ctx.s.pe, rel.Size()) // only the result travels
 	}
-	return out, nil
+	return rel, nil
 }
 
 // parallelScan issues scan calls to fragment processes as one batched

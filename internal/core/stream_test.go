@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fragment"
+	"repro/internal/value"
+)
+
+// streamEngine builds an engine with the stock emp table plus a larger
+// wide table for multi-batch streams.
+func streamEngine(t *testing.T, rows int) *Engine {
+	t.Helper()
+	eng, err := New(Config{NumPEs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	if err := eng.CreateTable("emp", value.MustSchema("id", "INT", "dept", "VARCHAR", "salary", "INT"),
+		&fragment.Scheme{Strategy: fragment.Hash, Column: 0, N: 4}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CreateTable("dept", value.MustSchema("name", "VARCHAR", "head", "VARCHAR"),
+		&fragment.Scheme{Strategy: fragment.RoundRobin, N: 2}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	depts := []string{"eng", "ops", "hr", "sales"}
+	emp := make([]value.Tuple, rows)
+	for i := range emp {
+		emp[i] = value.NewTuple(
+			value.NewInt(int64(i)),
+			value.NewString(depts[i%len(depts)]),
+			value.NewInt(int64((i*37)%100000)),
+		)
+	}
+	if err := eng.LoadTable("emp", emp); err != nil {
+		t.Fatal(err)
+	}
+	dt := make([]value.Tuple, 0, len(depts))
+	for i, d := range depts {
+		dt = append(dt, value.NewTuple(value.NewString(d), value.NewString(fmt.Sprintf("head%d", i))))
+	}
+	if err := eng.LoadTable("dept", dt); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// collect drains a cursor into one relation.
+func collect(t *testing.T, cur *Cursor) *value.Relation {
+	t.Helper()
+	out := value.NewRelation(cur.Schema())
+	for {
+		rel, err := cur.Next()
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		if rel == nil {
+			return out
+		}
+		if rel.Schema.Len() != cur.Schema().Len() {
+			t.Fatalf("batch schema arity %d, cursor schema %d", rel.Schema.Len(), cur.Schema().Len())
+		}
+		out.Tuples = append(out.Tuples, rel.Tuples...)
+	}
+}
+
+// TestStreamMatchesExec runs a spread of plan shapes both ways: the
+// cursor must deliver exactly the tuples the materializing executor
+// produces (streamed roots batch-wise, everything else single-batch).
+func TestStreamMatchesExec(t *testing.T) {
+	eng := streamEngine(t, 4000)
+	queries := []string{
+		`SELECT * FROM emp`,                                                          // fragment-at-a-time scan
+		`SELECT * FROM emp WHERE salary > 50000`,                                     // pushed-down predicate
+		`SELECT id, salary + 1 AS s1 FROM emp`,                                       // streamed projection
+		`SELECT * FROM emp WHERE id = 123`,                                           // index probe
+		`SELECT * FROM emp WHERE id = 123 AND salary > 0`,                            // probe + residual
+		`SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept`,                          // materialized fallback
+		`SELECT * FROM emp ORDER BY salary DESC LIMIT 10`,                            // sort fallback
+		`SELECT DISTINCT dept FROM emp`,                                              // distinct fallback
+		`SELECT e.id, d.head FROM emp e, dept d WHERE e.dept = d.name AND e.id < 50`, // join fallback
+	}
+	for _, q := range queries {
+		t.Run(q, func(t *testing.T) {
+			s := eng.NewSession()
+			defer s.Close()
+			want, err := s.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur, res, err := s.Stream(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != nil {
+				t.Fatalf("SELECT produced a materialized result: %+v", res)
+			}
+			got := collect(t, cur)
+			if cur.Rows() != int64(got.Len()) {
+				t.Fatalf("cursor.Rows() = %d, drained %d", cur.Rows(), got.Len())
+			}
+			if strings.Contains(q, "LIMIT") {
+				// LIMIT without full ORDER BY determinism: compare counts.
+				if got.Len() != want.Len() {
+					t.Fatalf("rows = %d, want %d", got.Len(), want.Len())
+				}
+				return
+			}
+			if !got.SameBag(want) {
+				t.Fatalf("streamed result differs from materialized:\ngot %d rows\nwant %d rows", got.Len(), want.Len())
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStreamLimitStopsEarly verifies LIMIT truncates the stream without
+// draining every fragment's tuples through the consumer.
+func TestStreamLimitStopsEarly(t *testing.T) {
+	eng := streamEngine(t, 4000)
+	s := eng.NewSession()
+	defer s.Close()
+	cur, _, err := s.Stream(`SELECT * FROM emp LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, cur)
+	if got.Len() != 5 {
+		t.Fatalf("rows = %d, want 5", got.Len())
+	}
+	if eng.Txns().ActiveCount() != 0 {
+		t.Fatal("autocommit transaction still open after exhausted stream")
+	}
+}
+
+// TestStreamDDLAndDML routes non-SELECT statements through Stream.
+func TestStreamDDLAndDML(t *testing.T) {
+	eng := streamEngine(t, 100)
+	s := eng.NewSession()
+	defer s.Close()
+	cur, res, err := s.Stream(`INSERT INTO emp VALUES (100000, 'eng', 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != nil || res == nil || res.Affected != 1 {
+		t.Fatalf("cur=%v res=%+v", cur, res)
+	}
+	if _, _, err := s.Stream(`SELECT * FROM nope`); err == nil {
+		t.Fatal("streaming a bad statement succeeded")
+	}
+}
+
+// TestStreamExhaustionCommitsAutocommit: draining the cursor commits
+// the autocommit transaction and releases every lock.
+func TestStreamExhaustionCommitsAutocommit(t *testing.T) {
+	eng := streamEngine(t, 2000)
+	s := eng.NewSession()
+	defer s.Close()
+	cur, _, err := s.Stream(`SELECT * FROM emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, cur)
+	if got := eng.Txns().ActiveCount(); got != 0 {
+		t.Fatalf("%d transactions active after exhaustion", got)
+	}
+	// A writer must not block.
+	assertWriteCompletes(t, eng)
+	if cur.WallTime() <= 0 {
+		t.Fatalf("WallTime = %v after exhaustion", cur.WallTime())
+	}
+}
+
+// TestStreamEarlyCloseReleasesLocks: closing a part-read cursor aborts
+// the autocommit transaction so its S-locks never leak.
+func TestStreamEarlyCloseReleasesLocks(t *testing.T) {
+	eng := streamEngine(t, 4000)
+	s := eng.NewSession()
+	defer s.Close()
+	cur, _, err := s.Stream(`SELECT * FROM emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Txns().ActiveCount(); got != 0 {
+		t.Fatalf("%d transactions active after early close", got)
+	}
+	assertWriteCompletes(t, eng)
+	// The cursor is poisoned but quiet after close.
+	if rel, err := cur.Next(); rel != nil || err != nil {
+		t.Fatalf("Next after Close = (%v, %v)", rel, err)
+	}
+}
+
+// TestStreamExplicitTxnKeepsLocks: inside BEGIN..ROLLBACK the cursor
+// must not release the transaction's locks at close — strict 2PL holds
+// them until the transaction ends.
+func TestStreamExplicitTxnKeepsLocks(t *testing.T) {
+	eng := streamEngine(t, 2000)
+	s := eng.NewSession()
+	defer s.Close()
+	if _, err := s.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := s.Stream(`SELECT * FROM emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, cur)
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The reader transaction is still open: a writer must block.
+	w := eng.NewSession()
+	defer w.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Exec(`UPDATE emp SET salary = 1 WHERE id = 7`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("writer finished while the streaming transaction held locks (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+		// Blocked, as 2PL demands.
+	}
+	if _, err := s.Exec(`ROLLBACK`); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("writer after rollback: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer still blocked after the streaming transaction ended")
+	}
+}
+
+// assertWriteCompletes fails the test if an exclusive-lock write cannot
+// finish promptly (i.e. a reader leaked locks).
+func assertWriteCompletes(t *testing.T, eng *Engine) {
+	t.Helper()
+	w := eng.NewSession()
+	defer w.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Exec(`UPDATE emp SET salary = 2 WHERE id = 11`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("write blocked: stream locks leaked")
+	}
+}

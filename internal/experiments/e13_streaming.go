@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/fragment"
+	"repro/internal/server"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// E13Streaming measures what chunked result streaming buys on large
+// scans: time-to-first-tuple (the paper's pipelined tuple flow between
+// One-Fragment Managers, extended across the TCP front-end) and the
+// peak frame size a client must buffer.
+//
+// The same full-table SELECT is delivered two ways:
+//
+//  1. materialized — one Result frame holding the whole relation: the
+//     client sees nothing until the last fragment has been scanned,
+//     concatenated and encoded, and the frame grows with the result
+//     (failing outright past MaxFrame);
+//  2. streamed — ResultHead / RowChunk* / ResultEnd: the first chunk
+//     ships while later fragments are still scanning, and no frame
+//     exceeds the chunk budget.
+//
+// A second pair of rows runs against a server whose MaxFrame is far
+// smaller than the result to show the cap being lifted: materialized
+// delivery refuses the statement, streaming completes it.
+func E13Streaming(quick bool) (*Table, error) {
+	rows := 80000
+	numPEs := 64
+	frags := 8
+	if quick {
+		rows = 16000
+		numPEs = 16
+	}
+
+	eng, err := core.New(core.Config{NumPEs: numPEs})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	schema := value.MustSchema("id", "INT", "payload", "VARCHAR")
+	if err := eng.CreateTable("big", schema,
+		&fragment.Scheme{Strategy: fragment.Hash, Column: 0, N: frags}, []int{0}); err != nil {
+		return nil, err
+	}
+	pad := strings.Repeat("x", 64)
+	tuples := make([]value.Tuple, rows)
+	encoded := 0
+	for i := range tuples {
+		tuples[i] = value.NewTuple(value.NewInt(int64(i)), value.NewString(pad))
+		if i == 0 {
+			encoded = len(value.AppendTuple(nil, tuples[i]))
+		}
+	}
+	encoded *= rows
+	if err := eng.LoadTable("big", tuples); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID: "E13",
+		Title: fmt.Sprintf("chunked result streaming, SELECT * over %d rows (~%d KiB encoded) across %d fragments (%d PEs)",
+			rows, encoded>>10, frags, numPEs),
+		Header: []string{"mode", "rows", "first tuple", "total", "peak frame"},
+		Notes: []string{
+			"first tuple: wall time until the client can read the first row; total: until the result is fully drained",
+			"peak frame: largest wire frame the client had to accept — streaming holds it near the chunk budget",
+			"the small-MaxFrame rows show streaming lifting the materialized result-size cap",
+		},
+	}
+
+	sql := `SELECT * FROM big`
+	addRun := func(mode string, r e13Run) {
+		if r.err != nil {
+			t.AddRow(mode, "-", "-", "-", fmt.Sprintf("fails: %v", r.err))
+			return
+		}
+		t.AddRow(mode, r.rows,
+			r.ttft.Round(time.Microsecond).String(),
+			r.total.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d KiB", r.peak>>10))
+	}
+
+	// Default frame limit: both modes succeed, streaming wins on TTFT
+	// and peak frame.
+	if err := withE13Server(eng, 0, func(addr string) {
+		addRun("materialized (one Result frame)", e13Materialized(addr, sql, rows))
+		addRun("streamed (default chunks)", e13Streamed(addr, sql, 0, rows))
+		addRun("streamed (64 KiB chunks)", e13Streamed(addr, sql, 64<<10, rows))
+	}); err != nil {
+		return nil, err
+	}
+
+	// Frame limit well under the encoded result: only streaming survives.
+	smallFrame := 256 << 10
+	if encoded <= smallFrame {
+		smallFrame = encoded / 4
+	}
+	if err := withE13Server(eng, smallFrame, func(addr string) {
+		addRun(fmt.Sprintf("materialized, MaxFrame %d KiB", smallFrame>>10), e13Materialized(addr, sql, rows))
+		addRun(fmt.Sprintf("streamed, MaxFrame %d KiB", smallFrame>>10), e13Streamed(addr, sql, 0, rows))
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// withE13Server runs fn against a fresh server over the shared engine.
+func withE13Server(eng *core.Engine, maxFrame int, fn func(addr string)) error {
+	srv, err := server.New(server.Config{Engine: eng, MaxConns: 16, MaxFrame: maxFrame})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan struct{})
+	go func() { srv.Serve(l); close(serveDone) }()
+	defer func() { srv.Close(); <-serveDone }()
+	fn(l.Addr().String())
+	return nil
+}
+
+// e13Run is one delivery measurement.
+type e13Run struct {
+	ttft  time.Duration
+	total time.Duration
+	peak  int
+	rows  int
+	err   error
+}
+
+// e13Materialized times single-frame delivery: the first tuple is
+// available only when the whole result has arrived.
+func e13Materialized(addr, sql string, want int) e13Run {
+	c, err := client.Dial(addr, client.Options{MaxFrame: 64 << 20})
+	if err != nil {
+		return e13Run{err: err}
+	}
+	defer c.Close()
+	start := time.Now()
+	res, err := c.Exec(sql)
+	took := time.Since(start)
+	if err != nil {
+		return e13Run{err: err}
+	}
+	if res.Rel == nil || res.Rel.Len() != want {
+		return e13Run{err: fmt.Errorf("materialized run returned %v rows, want %d", res.Rel, want)}
+	}
+	return e13Run{ttft: took, total: took, peak: c.MaxFrameObserved(), rows: res.Rel.Len()}
+}
+
+// e13Streamed times chunked delivery: first tuple at the first chunk,
+// total when the stream is drained.
+func e13Streamed(addr, sql string, chunkBytes, want int) e13Run {
+	c, err := client.Dial(addr, client.Options{MaxFrame: 64 << 20, ChunkBytes: chunkBytes})
+	if err != nil {
+		return e13Run{err: err}
+	}
+	defer c.Close()
+	start := time.Now()
+	rows, err := c.QueryStream(sql)
+	if err != nil {
+		return e13Run{err: err}
+	}
+	defer rows.Close()
+	var ttft time.Duration
+	n := 0
+	for rows.Next() {
+		if n == 0 {
+			ttft = time.Since(start)
+		}
+		n++
+	}
+	total := time.Since(start)
+	if err := rows.Err(); err != nil {
+		return e13Run{err: err}
+	}
+	if n != want {
+		return e13Run{err: fmt.Errorf("streamed run returned %d rows, want %d", n, want)}
+	}
+	var end *wire.ResultEnd
+	if end = rows.End(); end == nil || end.Rows != int64(n) {
+		return e13Run{err: fmt.Errorf("stream end reports %v, want %d rows", end, n)}
+	}
+	return e13Run{ttft: ttft, total: total, peak: c.MaxFrameObserved(), rows: n}
+}

@@ -13,12 +13,14 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/value"
 	"repro/internal/wire"
 )
 
@@ -35,6 +37,15 @@ type Config struct {
 	// MaxPrepared caps prepared statements held per connection (default
 	// 64); preparing beyond the cap evicts the least-recently-used one.
 	MaxPrepared int
+	// ChunkRows is the default per-chunk tuple budget for streamed
+	// results when the client's ExecStream frame asks for 0 (default
+	// 1024 rows).
+	ChunkRows int
+	// ChunkBytes is the default per-chunk payload budget for streamed
+	// results when the client asks for 0 (default 256 KiB). Whatever the
+	// client asks for is clamped below MaxFrame so every chunk frame
+	// stays acceptable.
+	ChunkBytes int
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -45,6 +56,8 @@ type Server struct {
 	maxConns    int
 	maxFrame    int
 	maxPrepared int
+	chunkRows   int
+	chunkBytes  int
 	logf        func(string, ...any)
 
 	mu       sync.Mutex
@@ -75,6 +88,14 @@ func New(cfg Config) (*Server, error) {
 	if maxPrepared <= 0 {
 		maxPrepared = 64
 	}
+	chunkRows := cfg.ChunkRows
+	if chunkRows <= 0 {
+		chunkRows = wire.DefaultChunkRows
+	}
+	chunkBytes := cfg.ChunkBytes
+	if chunkBytes <= 0 {
+		chunkBytes = wire.DefaultChunkBytes
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -84,6 +105,8 @@ func New(cfg Config) (*Server, error) {
 		maxConns:    maxConns,
 		maxFrame:    maxFrame,
 		maxPrepared: maxPrepared,
+		chunkRows:   chunkRows,
+		chunkBytes:  chunkBytes,
 		logf:        logf,
 		conns:       map[net.Conn]struct{}{},
 	}, nil
@@ -248,6 +271,28 @@ func (s *Server) serveConn(conn net.Conn) {
 		switch typ {
 		case wire.TypeExec:
 			res, execErr = sess.Exec(string(payload))
+		case wire.TypeExecStream:
+			chunkRows, chunkBytes, sql, derr := wire.DecodeExecStream(payload)
+			if derr != nil {
+				// A malformed frame is a protocol violation.
+				fail(derr.Error())
+				return
+			}
+			cur, sres, err := sess.Stream(sql)
+			if err != nil {
+				execErr = err
+				break
+			}
+			if cur == nil {
+				// DDL / DML / transaction control: a plain Result frame,
+				// exactly as TypeExec would answer.
+				res = sres
+				break
+			}
+			if !s.streamResult(bw, cur, chunkRows, chunkBytes) {
+				return
+			}
+			continue
 		case wire.TypeDatalog:
 			r, err := s.eng.DatalogQuery(sess, string(payload))
 			if err != nil {
@@ -340,4 +385,101 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// streamResult drains one cursor onto the wire as ResultHead, RowChunk
+// frames within the row/byte budgets, and a closing ResultEnd. It
+// returns false when the connection is no longer usable (transport
+// failure — the caller closes, and the deferred cursor close aborts an
+// autocommit transaction so its locks never outlive the connection).
+// Execution errors mid-stream are statement-level: an Error frame
+// terminates the stream in place of ResultEnd and the connection stays
+// usable.
+func (s *Server) streamResult(bw *bufio.Writer, cur *core.Cursor, chunkRows, chunkBytes int) (ok bool) {
+	defer cur.Close()
+	if chunkRows <= 0 {
+		chunkRows = s.chunkRows
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = s.chunkBytes
+	}
+	// Keep every chunk frame under the server's own frame limit, with
+	// headroom for the frame header and one tuple of overshoot.
+	if lim := s.maxFrame / 2; chunkBytes > lim {
+		chunkBytes = lim
+	}
+	// The head is written but not flushed: for the common small result
+	// (one batch, one chunk) the whole head/chunk/end sequence leaves in
+	// a single syscall, costing streaming nothing over a Result frame.
+	// Larger streams flush every full chunk, and flush the pending
+	// partial chunk whenever another batch is known to be coming — the
+	// client reads tuples while the server keeps draining the cursor.
+	head := wire.EncodeResultHead(&wire.ResultHead{Plan: cur.Plan(), Schema: cur.Schema()})
+	if wire.WriteFrame(bw, wire.TypeResultHead, head) != nil {
+		return false
+	}
+	failStmt := func(msg string) bool {
+		// Error-at-any-point semantics: the Error frame replaces further
+		// chunks and the ResultEnd.
+		return wire.WriteFrame(bw, wire.TypeError, []byte(msg)) == nil && bw.Flush() == nil
+	}
+	// Start small: a point query must not pay a chunk-budget-sized
+	// allocation (zeroed by the runtime, then GC-scanned); append grows
+	// the buffer toward the budget only for results that need it.
+	chunk := make([]byte, 4, 512)
+	n := 0
+	emitChunk := func() bool {
+		if n == 0 {
+			return true
+		}
+		binary.BigEndian.PutUint32(chunk[:4], uint32(n))
+		if wire.WriteFrame(bw, wire.TypeRowChunk, chunk) != nil {
+			return false
+		}
+		chunk = chunk[:4]
+		n = 0
+		return true
+	}
+	var scratch []byte
+	rel, err := cur.Next()
+	for err == nil && rel != nil {
+		for _, t := range rel.Tuples {
+			scratch = value.AppendTuple(scratch[:0], t)
+			if len(scratch)+5 > s.maxFrame {
+				return failStmt(fmt.Sprintf("server: tuple of %d bytes exceeds frame limit %d", len(scratch), s.maxFrame))
+			}
+			// Flush before appending would push the chunk past the byte
+			// budget: a chunk never exceeds the client's request except
+			// when a single tuple alone does.
+			if n > 0 && len(chunk)+len(scratch)-4 > chunkBytes {
+				if !emitChunk() || bw.Flush() != nil {
+					return false
+				}
+			}
+			chunk = append(chunk, scratch...)
+			n++
+			if n >= chunkRows || len(chunk)-4 >= chunkBytes {
+				if !emitChunk() || bw.Flush() != nil {
+					return false
+				}
+			}
+		}
+		var next *value.Relation
+		next, err = cur.Next()
+		if next != nil && (n > 0 || bw.Buffered() > 0) {
+			// More batches coming: ship everything pending now.
+			if !emitChunk() || bw.Flush() != nil {
+				return false
+			}
+		}
+		rel = next
+	}
+	if err != nil {
+		return failStmt(err.Error())
+	}
+	if !emitChunk() {
+		return false
+	}
+	end := wire.EncodeResultEnd(&wire.ResultEnd{Rows: cur.Rows(), SimTime: cur.SimTime(), WallTime: cur.WallTime()})
+	return wire.WriteFrame(bw, wire.TypeResultEnd, end) == nil && bw.Flush() == nil
 }

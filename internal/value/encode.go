@@ -88,13 +88,16 @@ func DecodeTuple(buf []byte) (Tuple, int, error) {
 	}
 	arity := int(binary.BigEndian.Uint16(buf))
 	off := 2
-	t := make(Tuple, arity)
+	// Every encoded value is at least 1 byte; cap the preallocation by
+	// what the buffer could possibly hold so a hostile arity in a short
+	// input cannot force a large allocation before the decode fails.
+	t := make(Tuple, 0, min(arity, len(buf)-off))
 	for i := 0; i < arity; i++ {
 		v, n, err := DecodeValue(buf[off:])
 		if err != nil {
 			return nil, 0, fmt.Errorf("value: tuple field %d: %w", i, err)
 		}
-		t[i] = v
+		t = append(t, v)
 		off += n
 	}
 	return t, off, nil
@@ -116,7 +119,9 @@ func DecodeTuples(buf []byte) ([]Tuple, error) {
 	}
 	n := int(binary.BigEndian.Uint32(buf))
 	off := 4
-	ts := make([]Tuple, 0, n)
+	// Each encoded tuple is at least 2 bytes: bound the preallocation by
+	// the buffer so a hostile count cannot allocate gigabytes up front.
+	ts := make([]Tuple, 0, min(n, (len(buf)-off)/2+1))
 	for i := 0; i < n; i++ {
 		t, used, err := DecodeTuple(buf[off:])
 		if err != nil {
@@ -243,7 +248,7 @@ func DecodeRelation(buf []byte) (*Relation, int, error) {
 	n := int(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
 	rel := NewRelation(s)
-	rel.Tuples = make([]Tuple, 0, min(n, 1<<16))
+	rel.Tuples = make([]Tuple, 0, min(n, (len(buf)-off)/2+1))
 	for i := 0; i < n; i++ {
 		t, used, err := DecodeTuple(buf[off:])
 		if err != nil {

@@ -36,6 +36,15 @@ const Version = 1
 // and results beyond this are refused rather than buffered.
 const DefaultMaxFrame = 8 << 20
 
+// DefaultChunkRows and DefaultChunkBytes are the per-chunk budgets of a
+// streamed result when neither side asks for specific ones. Both the
+// server (Config.ChunkRows/ChunkBytes) and the client
+// (Options.ChunkRows/ChunkBytes) default to these.
+const (
+	DefaultChunkRows  = 1024
+	DefaultChunkBytes = 256 << 10
+)
+
 // Frame types. Client-to-server types have the high bit clear,
 // server-to-client types have it set.
 const (
@@ -56,6 +65,13 @@ const (
 	// a Result whose Msg confirms the close (closing an unknown id is
 	// also just a statement-level Error).
 	TypeClosePrepared byte = 0x06
+	// TypeExecStream carries one SQL statement for chunked execution:
+	// a uint32 row budget and a uint32 byte budget per chunk (0 picks
+	// the server default), then the statement text. A relation-producing
+	// statement is answered by ResultHead, zero or more RowChunk frames
+	// and a ResultEnd; anything else (DDL, DML, transaction control) by
+	// a single Result frame, exactly as TypeExec would.
+	TypeExecStream byte = 0x07
 
 	// TypeHelloOK acknowledges the handshake: a version byte then a
 	// length-prefixed server banner.
@@ -64,11 +80,24 @@ const (
 	TypeResult byte = 0x82
 	// TypeError carries an error message as UTF-8 text. Statement errors
 	// leave the connection usable; handshake and protocol errors are
-	// followed by a close.
+	// followed by a close. During a streamed result (after ResultHead,
+	// before ResultEnd) an Error frame terminates the stream in place of
+	// further chunks; the connection stays usable.
 	TypeError byte = 0x83
 	// TypePrepareOK answers a Prepare: uint32 statement id, uint16
 	// parameter count.
 	TypePrepareOK byte = 0x84
+	// TypeResultHead opens a streamed result: status strings and the
+	// relation schema, before any tuples exist. Tuples follow in
+	// RowChunk frames.
+	TypeResultHead byte = 0x85
+	// TypeRowChunk carries one batch of a streamed result's tuples:
+	// a uint32 count then each tuple in the relation encoding.
+	TypeRowChunk byte = 0x86
+	// TypeResultEnd closes a streamed result: the total row count and
+	// the statement's simulated and wall-clock execution times (known
+	// only once the last tuple has been produced).
+	TypeResultEnd byte = 0x87
 )
 
 // ErrFrameTooLarge reports a frame whose declared payload exceeds the
@@ -291,4 +320,137 @@ func DecodeResult(buf []byte) (*Result, error) {
 		return nil, fmt.Errorf("wire: %d trailing bytes after result", len(buf)-off)
 	}
 	return r, nil
+}
+
+// ---------- chunked result streaming ----------
+
+// EncodeExecStream builds an ExecStream payload: per-chunk row and byte
+// budgets (0 = server default) followed by the statement text.
+func EncodeExecStream(chunkRows, chunkBytes int, sql string) []byte {
+	buf := make([]byte, 0, 8+len(sql))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(chunkRows))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(chunkBytes))
+	return append(buf, sql...)
+}
+
+// DecodeExecStream reads an ExecStream payload.
+func DecodeExecStream(payload []byte) (chunkRows, chunkBytes int, sql string, err error) {
+	if len(payload) < 8 {
+		return 0, 0, "", fmt.Errorf("wire: truncated ExecStream header")
+	}
+	chunkRows = int(binary.BigEndian.Uint32(payload[:4]))
+	chunkBytes = int(binary.BigEndian.Uint32(payload[4:8]))
+	return chunkRows, chunkBytes, string(payload[8:]), nil
+}
+
+// ResultHead is the opening frame of a streamed result: everything a
+// client needs before the first tuple arrives.
+type ResultHead struct {
+	// Msg mirrors Result.Msg (normally empty for relation results).
+	Msg string
+	// Plan is the optimized logical plan of the SELECT.
+	Plan string
+	// Schema is the result relation's schema.
+	Schema *value.Schema
+}
+
+// EncodeResultHead encodes h for a ResultHead frame.
+func EncodeResultHead(h *ResultHead) []byte {
+	buf := make([]byte, 0, 16+len(h.Msg)+len(h.Plan)+8*h.Schema.Len())
+	buf = appendString(buf, h.Msg)
+	buf = appendString(buf, h.Plan)
+	return value.AppendSchema(buf, h.Schema)
+}
+
+// DecodeResultHead decodes a ResultHead frame payload.
+func DecodeResultHead(buf []byte) (*ResultHead, error) {
+	h := &ResultHead{}
+	var off, n int
+	var err error
+	if h.Msg, n, err = decodeString(buf); err != nil {
+		return nil, err
+	}
+	off += n
+	if h.Plan, n, err = decodeString(buf[off:]); err != nil {
+		return nil, err
+	}
+	off += n
+	if h.Schema, n, err = value.DecodeSchema(buf[off:]); err != nil {
+		return nil, err
+	}
+	off += n
+	if off != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after result head", len(buf)-off)
+	}
+	return h, nil
+}
+
+// EncodeRowChunk encodes one batch of tuples for a RowChunk frame:
+// a uint32 count then each tuple. (The server's streaming loop builds
+// chunks incrementally against its byte budget; this helper is the
+// reference encoding used by tests and small producers.)
+func EncodeRowChunk(tuples []value.Tuple) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(tuples)))
+	for _, t := range tuples {
+		buf = value.AppendTuple(buf, t)
+	}
+	return buf
+}
+
+// DecodeRowChunk decodes a RowChunk frame payload, validating each
+// tuple's arity against the stream's schema.
+func DecodeRowChunk(buf []byte, schema *value.Schema) ([]value.Tuple, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("wire: truncated row chunk header")
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	off := 4
+	// Every encoded tuple is at least 2 bytes; never trust the count
+	// beyond what the payload could possibly hold.
+	tuples := make([]value.Tuple, 0, min(n, (len(buf)-off)/2+1))
+	for i := 0; i < n; i++ {
+		t, used, err := value.DecodeTuple(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: chunk tuple %d: %w", i, err)
+		}
+		if schema != nil && len(t) != schema.Len() {
+			return nil, fmt.Errorf("wire: chunk tuple %d has arity %d, schema has %d", i, len(t), schema.Len())
+		}
+		tuples = append(tuples, t)
+		off += used
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after row chunk", len(buf)-off)
+	}
+	return tuples, nil
+}
+
+// ResultEnd closes a streamed result.
+type ResultEnd struct {
+	// Rows is the total number of tuples streamed.
+	Rows int64
+	// SimTime is the simulated 1988-machine response time.
+	SimTime time.Duration
+	// WallTime is the server's real execution time.
+	WallTime time.Duration
+}
+
+// EncodeResultEnd encodes e for a ResultEnd frame.
+func EncodeResultEnd(e *ResultEnd) []byte {
+	buf := make([]byte, 0, 24)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Rows))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.SimTime.Nanoseconds()))
+	return binary.BigEndian.AppendUint64(buf, uint64(e.WallTime.Nanoseconds()))
+}
+
+// DecodeResultEnd decodes a ResultEnd frame payload.
+func DecodeResultEnd(buf []byte) (*ResultEnd, error) {
+	if len(buf) != 24 {
+		return nil, fmt.Errorf("wire: ResultEnd payload of %d bytes", len(buf))
+	}
+	return &ResultEnd{
+		Rows:     int64(binary.BigEndian.Uint64(buf[:8])),
+		SimTime:  time.Duration(int64(binary.BigEndian.Uint64(buf[8:16]))),
+		WallTime: time.Duration(int64(binary.BigEndian.Uint64(buf[16:24]))),
+	}, nil
 }

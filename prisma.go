@@ -49,6 +49,10 @@ type (
 	// PreparedStmt is a parse-once/plan-once statement with parameter
 	// slots ('?' or '$n'), executed via Session.ExecPrepared.
 	PreparedStmt = core.PreparedStmt
+	// Cursor drains a SELECT's result incrementally (Session.Stream):
+	// batches arrive fragment-at-a-time instead of materializing the
+	// whole relation at the coordinator.
+	Cursor = core.Cursor
 )
 
 // Value constructors, re-exported for building tuples programmatically.
@@ -181,6 +185,14 @@ func (s *Session) Exec(sql string) (*Result, error) { return s.s.Exec(sql) }
 
 // Query executes a SELECT and returns its relation.
 func (s *Session) Query(sql string) (*Relation, error) { return s.s.Query(sql) }
+
+// Stream executes one statement with cursor-based result delivery: a
+// SELECT returns a Cursor yielding batches as fragments produce them
+// (time-to-first-tuple instead of time-to-last-tuple); anything else
+// returns a materialized Result, exactly as Exec would. Exhausting or
+// closing the cursor settles an autocommit transaction; inside an
+// explicit transaction locks are held until COMMIT/ROLLBACK.
+func (s *Session) Stream(sql string) (*Cursor, *Result, error) { return s.s.Stream(sql) }
 
 // Prepare parses and plans a statement with '?' or '$n' placeholders
 // once; ExecPrepared runs it with bound values, skipping the

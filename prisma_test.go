@@ -230,6 +230,55 @@ func TestConcurrentPublicSessions(t *testing.T) {
 	}
 }
 
+func TestPublicStream(t *testing.T) {
+	db := openTest(t)
+	s := db.Session()
+	defer s.Close()
+	if _, err := s.Exec(`CREATE TABLE emp (id INT, dept VARCHAR, PRIMARY KEY (id))
+		FRAGMENT BY HASH(id) INTO 4 FRAGMENTS`); err != nil {
+		t.Fatal(err)
+	}
+	tuples := make([]Tuple, 1000)
+	for i := range tuples {
+		tuples[i] = Tuple{NewInt(int64(i)), NewString("eng")}
+	}
+	if err := db.LoadTable("emp", tuples); err != nil {
+		t.Fatal(err)
+	}
+	cur, res, err := s.Stream(`SELECT * FROM emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("SELECT produced a materialized result: %+v", res)
+	}
+	defer cur.Close()
+	n := 0
+	batches := 0
+	for {
+		rel, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel == nil {
+			break
+		}
+		n += rel.Len()
+		batches++
+	}
+	if n != 1000 {
+		t.Fatalf("streamed %d rows, want 1000", n)
+	}
+	if batches < 2 {
+		t.Fatalf("expected fragment-at-a-time batches, got %d", batches)
+	}
+	// Non-SELECT statements come back materialized.
+	_, res, err = s.Stream(`INSERT INTO emp VALUES (1000, 'ops')`)
+	if err != nil || res == nil || res.Affected != 1 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
 func TestMustOpenPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
