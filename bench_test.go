@@ -99,6 +99,12 @@ func BenchmarkE13Streaming(b *testing.B) {
 	runExperiment(b, experiments.E13Streaming)
 }
 
+// BenchmarkE14PipelinedThroughput — statement pipelining over TCP:
+// windows of point queries amortize the round trip; replies coalesce.
+func BenchmarkE14PipelinedThroughput(b *testing.B) {
+	runExperiment(b, experiments.E14PipelinedThroughput)
+}
+
 // ---------- micro-benchmarks on the public API ----------
 
 // benchDB builds a loaded database once per benchmark.

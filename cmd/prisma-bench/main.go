@@ -1,5 +1,5 @@
 // Command prisma-bench regenerates the reproduction's experiment tables
-// E1–E13. Each experiment is documented on its function in
+// E1–E14. Each experiment is documented on its function in
 // internal/experiments (the README's "Experiment suite" section lists
 // them); the root bench_test.go wraps each one as a Go benchmark.
 //
@@ -57,6 +57,7 @@ func main() {
 		{"E11", experiments.E11ConcurrentClients},
 		{"E12", experiments.E12PreparedPointQuery},
 		{"E13", experiments.E13Streaming},
+		{"E14", experiments.E14PipelinedThroughput},
 	}
 	want := map[string]bool{}
 	if *only != "" {

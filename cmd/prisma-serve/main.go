@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64]
+//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64] [-pipeline-depth 64]
 //
 // Stop with SIGINT/SIGTERM; the server drains connections (aborting
 // open transactions) before exiting.
@@ -28,6 +28,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
 	pes := flag.Int("pes", 64, "number of processing elements")
 	maxConns := flag.Int("max-conns", 64, "maximum concurrent connections")
+	pipeDepth := flag.Int("pipeline-depth", 64, "request frames a connection may queue behind the executing one")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv, err := server.New(server.Config{Engine: eng, MaxConns: *maxConns, Logf: logf})
+	srv, err := server.New(server.Config{Engine: eng, MaxConns: *maxConns, PipelineDepth: *pipeDepth, Logf: logf})
 	if err != nil {
 		log.Fatalf("prisma-serve: %v", err)
 	}

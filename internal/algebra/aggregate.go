@@ -192,10 +192,12 @@ func Aggregate(r *value.Relation, groupBy []int, specs []AggSpec) (*value.Relati
 	}
 	groups := map[string]*group{}
 	var order []string
+	var keyBuf []byte // reused per tuple; the map lookup on string(keyBuf) does not allocate
 	for _, t := range r.Tuples {
-		k := t.KeyOn(groupBy)
-		g := groups[k]
+		keyBuf = t.AppendKeyOn(keyBuf[:0], groupBy)
+		g := groups[string(keyBuf)]
 		if g == nil {
+			k := string(keyBuf) // materialize the key once per group, not per tuple
 			g = &group{key: t.Project(groupBy), states: make([]aggState, len(specs))}
 			groups[k] = g
 			order = append(order, k)
@@ -243,16 +245,18 @@ func MergeAggregates(partials []*value.Relation, groupByLen int, specs []AggSpec
 	}
 	groups := map[string]*group{}
 	var order []string
+	gb := make([]int, groupByLen)
+	for i := range gb {
+		gb[i] = i
+	}
+	var keyBuf []byte
 	for _, p := range partials {
 		stats.TuplesRead += p.Len()
 		for _, t := range p.Tuples {
-			gb := make([]int, groupByLen)
-			for i := range gb {
-				gb[i] = i
-			}
-			k := t.KeyOn(gb)
-			g := groups[k]
+			keyBuf = t.AppendKeyOn(keyBuf[:0], gb)
+			g := groups[string(keyBuf)]
 			if g == nil {
+				k := string(keyBuf)
 				g = &group{key: t.Project(gb), states: make([]aggState, len(specs))}
 				groups[k] = g
 				order = append(order, k)

@@ -148,13 +148,11 @@ func (e *Engine) LoadTable(name string, tuples []value.Tuple) error {
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
 	parts := make([][]value.Tuple, len(t.frags))
 	for _, tp := range tuples {
 		i := t.def.Scheme.FragmentOf(tp)
 		parts[i] = append(parts[i], tp)
 	}
-	t.mu.Unlock()
 	coord := e.coordinatorPE()
 	var specs []pool.CallSpec
 	for i, f := range t.frags {

@@ -57,14 +57,13 @@ func (e *Engine) execInsert(s *Session, ins *sqlparse.Insert) (int, error) {
 		tuples = append(tuples, tuple)
 	}
 
-	// Route to fragments (round-robin state needs the table lock).
-	t.mu.Lock()
+	// Route to fragments (round-robin advances the scheme's atomic
+	// cursor; no table lock needed).
 	parts := make([][]value.Tuple, len(t.frags))
 	for _, tp := range tuples {
 		i := t.def.Scheme.FragmentOf(tp)
 		parts[i] = append(parts[i], tp)
 	}
-	t.mu.Unlock()
 
 	tx, autocommit, err := s.transaction()
 	if err != nil {

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
@@ -53,11 +54,12 @@ type Config struct {
 }
 
 // table couples catalog metadata with the live fragment managers.
+// Routing (including round-robin) goes through the scheme's atomic
+// cursor, so concurrent sessions never serialize on a table mutex.
 type table struct {
 	def     *catalog.Table
 	frags   []*fragRef
 	logsRef *fragLogs
-	mu      sync.Mutex // serializes round-robin routing
 }
 
 // fragRef is one fragment's OFM plus its serving process.
@@ -85,7 +87,8 @@ type Engine struct {
 	tables map[string]*table
 	stores map[int]*machine.StableStore // disk PE -> stable store
 	rules  []prismalog.Rule             // registered PRISMAlog views
-	nextPE int                          // round-robin session coordinator
+
+	nextPE atomic.Int64 // round-robin session coordinator
 }
 
 // New builds an engine over a (possibly default) machine.
@@ -186,13 +189,10 @@ func canonical(name string) string {
 
 // coordinatorPE assigns a PE for a new session's GDH component instances
 // ("for each query a new instance is created, possibly running at its
-// own processor", §2.2).
+// own processor", §2.2). The round-robin counter is atomic so session
+// spawn and placement never serialize under concurrent connections.
 func (e *Engine) coordinatorPE() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	pe := e.nextPE % e.m.NumPEs()
-	e.nextPE++
-	return pe
+	return int((e.nextPE.Add(1) - 1) % int64(e.m.NumPEs()))
 }
 
 // ---------- OFM process plumbing ----------

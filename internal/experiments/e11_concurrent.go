@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -77,10 +78,11 @@ func E11ConcurrentClients(quick bool) (*Table, error) {
 		ID: "E11",
 		Title: fmt.Sprintf("concurrent clients over TCP, %d-row relation over 8 fragments (%d PEs)",
 			rows, numPEs),
-		Header: []string{"clients", "statements", "wall time", "stmts/sec", "p50 latency", "p99 latency"},
+		Header: []string{"clients", "statements", "wall time", "stmts/sec", "p50 latency", "p99 latency", "allocs/op"},
 		Notes: []string{
 			"mixed workload per statement: 50% point SELECT, 20% UPDATE, 10% INSERT+DELETE, 10% GROUP BY, 10% BEGIN/transfer/COMMIT",
 			"latency is client-observed round-trip over the wire protocol (length-prefixed frames, encoded relations)",
+			"allocs/op counts mallocs per statement across client and server (same process)",
 		},
 	}
 
@@ -88,6 +90,8 @@ func E11ConcurrentClients(quick bool) (*Table, error) {
 		lats := make([][]time.Duration, nc)
 		var wg sync.WaitGroup
 		errCh := make(chan error, nc)
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		for c := 0; c < nc; c++ {
 			wg.Add(1)
@@ -103,6 +107,7 @@ func E11ConcurrentClients(quick bool) (*Table, error) {
 		}
 		wg.Wait()
 		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
 		select {
 		case err := <-errCh:
 			return nil, err
@@ -121,6 +126,7 @@ func E11ConcurrentClients(quick bool) (*Table, error) {
 			float64(total)/wall.Seconds(),
 			percentile(all, 0.50).Round(time.Microsecond).String(),
 			percentile(all, 0.99).Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", float64(m1.Mallocs-m0.Mallocs)/float64(max(total, 1))),
 		)
 	}
 	return t, nil

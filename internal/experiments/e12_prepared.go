@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -70,11 +71,12 @@ func E12PreparedPointQuery(quick bool) (*Table, error) {
 		ID: "E12",
 		Title: fmt.Sprintf("prepared point queries, %d clients x %d SELECTs on a %d-row relation over 8 fragments (%d PEs)",
 			clients, queries, rows, numPEs),
-		Header: []string{"transport", "mode", "stmts/sec", "p50 latency", "p99 latency", "speedup"},
+		Header: []string{"transport", "mode", "stmts/sec", "p50 latency", "p99 latency", "speedup", "allocs/op"},
 		Notes: []string{
 			"workload: SELECT * FROM acct WHERE id = ? on the hash-fragmented primary key",
 			"in-process rows isolate the engine pipeline; tcp rows add framing, result encoding and round trips",
 			"speedup is statements/sec relative to the unprepared PR-1 configuration on the same transport",
+			"allocs/op counts mallocs per statement during the query phase (setup and load excluded)",
 		},
 	}
 
@@ -89,7 +91,7 @@ func E12PreparedPointQuery(quick bool) (*Table, error) {
 			if m.planOff {
 				cfg.PlanCache = &off
 			}
-			rate, lats, err := runE12Mode(cfg, overTCP, m.prepared, rows, queries, clients)
+			rate, lats, allocs, err := runE12Mode(cfg, overTCP, m.prepared, rows, queries, clients)
 			if err != nil {
 				return nil, fmt.Errorf("E12 %s/%s: %w", transport, m.name, err)
 			}
@@ -103,6 +105,7 @@ func E12PreparedPointQuery(quick bool) (*Table, error) {
 				percentile(lats, 0.50).Round(time.Microsecond).String(),
 				percentile(lats, 0.99).Round(time.Microsecond).String(),
 				fmt.Sprintf("%.2fx", rate/baseline),
+				fmt.Sprintf("%.0f", allocs),
 			)
 		}
 	}
@@ -112,16 +115,16 @@ func E12PreparedPointQuery(quick bool) (*Table, error) {
 // runE12Mode stands up a fresh engine (and, for the tcp transport, a
 // server) with the mode's configuration, loads the relation, and
 // hammers it with point queries.
-func runE12Mode(cfg core.Config, overTCP, prepared bool, rows, queries, clients int) (float64, []time.Duration, error) {
+func runE12Mode(cfg core.Config, overTCP, prepared bool, rows, queries, clients int) (float64, []time.Duration, float64, error) {
 	eng, err := core.New(cfg)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	defer eng.Close()
 	schema := value.MustSchema("id", "INT", "region", "VARCHAR", "balance", "INT")
 	if err := eng.CreateTable("acct", schema,
 		&fragment.Scheme{Strategy: fragment.Hash, Column: 0, N: 8}, []int{0}); err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	regions := []string{"eu", "us", "apac", "latam"}
 	tuples := make([]value.Tuple, rows)
@@ -133,18 +136,18 @@ func runE12Mode(cfg core.Config, overTCP, prepared bool, rows, queries, clients 
 		)
 	}
 	if err := eng.LoadTable("acct", tuples); err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 
 	addr := ""
 	if overTCP {
 		srv, err := server.New(server.Config{Engine: eng, MaxConns: 64})
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, 0, err
 		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, 0, err
 		}
 		serveDone := make(chan struct{})
 		go func() { srv.Serve(l); close(serveDone) }()
@@ -155,6 +158,8 @@ func runE12Mode(cfg core.Config, overTCP, prepared bool, rows, queries, clients 
 	lats := make([][]time.Duration, clients)
 	errCh := make(chan error, clients)
 	var wg sync.WaitGroup
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -176,9 +181,10 @@ func runE12Mode(cfg core.Config, overTCP, prepared bool, rows, queries, clients 
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
 	select {
 	case err := <-errCh:
-		return 0, nil, err
+		return 0, nil, 0, err
 	default:
 	}
 	var all []time.Duration
@@ -186,7 +192,8 @@ func runE12Mode(cfg core.Config, overTCP, prepared bool, rows, queries, clients 
 		all = append(all, ls...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	return float64(len(all)) / wall.Seconds(), all, nil
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(max(len(all), 1))
+	return float64(len(all)) / wall.Seconds(), all, allocs, nil
 }
 
 // runE12Session runs one in-process session's share of the point

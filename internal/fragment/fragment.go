@@ -11,6 +11,7 @@ package fragment
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/machine"
 	"repro/internal/value"
@@ -64,7 +65,9 @@ func ParseStrategy(s string) (Strategy, error) {
 	}
 }
 
-// Scheme describes how one relation is fragmented.
+// Scheme describes how one relation is fragmented. A Scheme is used in
+// place (tables share one instance); it must not be copied once routing
+// has started, because the round-robin cursor is part of its state.
 type Scheme struct {
 	Strategy Strategy
 	// Column is the fragmentation key position (Hash and Range).
@@ -75,7 +78,10 @@ type Scheme struct {
 	// holds keys in (Bounds[i-1], Bounds[i]].
 	Bounds []value.Value
 
-	rr int // round-robin cursor
+	// rr is the round-robin cursor. Atomic so concurrent sessions
+	// routing inserts through one table's scheme never serialize on a
+	// routing mutex.
+	rr atomic.Int64
 }
 
 // Validate checks the scheme against a schema.
@@ -106,9 +112,10 @@ func (sc *Scheme) Validate(schema *value.Schema) error {
 	return nil
 }
 
-// FragmentOf routes a tuple to its fragment index. RoundRobin advances an
-// internal cursor, so routing inserts through a single Scheme instance
-// spreads them evenly.
+// FragmentOf routes a tuple to its fragment index. RoundRobin advances
+// an internal atomic cursor, so routing inserts through a single Scheme
+// instance spreads them evenly — and concurrent routers never block
+// each other.
 func (sc *Scheme) FragmentOf(t value.Tuple) int {
 	switch sc.Strategy {
 	case Single:
@@ -127,9 +134,7 @@ func (sc *Scheme) FragmentOf(t value.Tuple) int {
 		})
 		return i
 	case RoundRobin:
-		i := sc.rr % sc.N
-		sc.rr++
-		return i
+		return int((sc.rr.Add(1) - 1) % int64(sc.N))
 	}
 	return 0
 }

@@ -27,7 +27,7 @@ func TestStrategyParseAndString(t *testing.T) {
 
 func TestValidate(t *testing.T) {
 	s := schema()
-	good := []Scheme{
+	good := []*Scheme{
 		{Strategy: Single, N: 1},
 		{Strategy: Hash, Column: 0, N: 8},
 		{Strategy: Range, Column: 0, N: 3, Bounds: []value.Value{value.NewInt(10), value.NewInt(20)}},
@@ -35,10 +35,10 @@ func TestValidate(t *testing.T) {
 	}
 	for _, sc := range good {
 		if err := sc.Validate(s); err != nil {
-			t.Errorf("Validate(%+v) = %v", sc, err)
+			t.Errorf("Validate(%v/%d) = %v", sc.Strategy, sc.N, err)
 		}
 	}
-	bad := []Scheme{
+	bad := []*Scheme{
 		{Strategy: Hash, Column: 0, N: 0},
 		{Strategy: Single, N: 2},
 		{Strategy: Hash, Column: 9, N: 2},
@@ -47,7 +47,7 @@ func TestValidate(t *testing.T) {
 	}
 	for _, sc := range bad {
 		if err := sc.Validate(s); err == nil {
-			t.Errorf("Validate(%+v) should fail", sc)
+			t.Errorf("Validate(%v/%d) should fail", sc.Strategy, sc.N)
 		}
 	}
 }
@@ -147,7 +147,7 @@ func TestPartitionRoundTrip(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		r.Append(value.NewTuple(value.NewInt(rng.Int63n(1000)), value.NewString("x")))
 	}
-	for _, sc := range []Scheme{
+	for _, sc := range []*Scheme{
 		{Strategy: Hash, Column: 0, N: 7},
 		{Strategy: Range, Column: 0, N: 4, Bounds: EvenRangeBounds(0, 999, 4)},
 		{Strategy: RoundRobin, N: 5},
@@ -179,7 +179,7 @@ func TestPartitionRouterAgreement(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		r.Append(value.NewTuple(value.NewInt(rng.Int63n(100)), value.NewString("x")))
 	}
-	for _, sc := range []Scheme{
+	for _, sc := range []*Scheme{
 		{Strategy: Hash, Column: 0, N: 5},
 		{Strategy: Range, Column: 0, N: 5, Bounds: EvenRangeBounds(0, 99, 5)},
 	} {

@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testStore(t *testing.T) *StableStore {
+	t.Helper()
+	m, err := New(Config{NumPEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStableStore(m.PE(m.DiskPEs()[0]), m.Disk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestGroupAppendSequential: with no concurrency, GroupAppend behaves
+// exactly like Append — one force per call, correct offsets.
+func TestGroupAppendSequential(t *testing.T) {
+	s := testStore(t)
+	off1, err := s.GroupAppend("log", []byte("aaa"))
+	if err != nil || off1 != 0 {
+		t.Fatalf("first append: off=%d err=%v", off1, err)
+	}
+	off2, err := s.GroupAppend("log", []byte("bb"))
+	if err != nil || off2 != 3 {
+		t.Fatalf("second append: off=%d err=%v", off2, err)
+	}
+	if got := s.ReadAll("log"); !bytes.Equal(got, []byte("aaabb")) {
+		t.Fatalf("segment = %q", got)
+	}
+	if s.Writes() != 2 || s.Syncs() != 2 {
+		t.Fatalf("writes=%d syncs=%d, want 2/2", s.Writes(), s.Syncs())
+	}
+}
+
+// TestGroupAppendBatchesDeterministic builds a queue while the leader
+// slot is artificially occupied, then releases the flush: every queued
+// append must land with a single disk force.
+func TestGroupAppendBatchesDeterministic(t *testing.T) {
+	s := testStore(t)
+	const n = 8
+	s.gaMu.Lock()
+	s.gaLeading = true // hold the leader slot so callers queue up
+	s.gaMu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.GroupAppend(fmt.Sprintf("log-%d", i%2), []byte{byte('0' + i)})
+		}(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.gaMu.Lock()
+		queued := len(s.gaQueue)
+		s.gaMu.Unlock()
+		if queued == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d appends queued", queued, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.leadGroupFlush()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if s.Syncs() != 1 {
+		t.Errorf("syncs = %d, want 1 (one force for the whole batch)", s.Syncs())
+	}
+	if s.Writes() != n {
+		t.Errorf("writes = %d, want %d", s.Writes(), n)
+	}
+	if got := len(s.ReadAll("log-0")) + len(s.ReadAll("log-1")); got != n {
+		t.Errorf("segments hold %d bytes, want %d", got, n)
+	}
+}
+
+// TestGroupAppendConcurrent: under real concurrency every byte still
+// lands durably and forces never exceed appends.
+func TestGroupAppendConcurrent(t *testing.T) {
+	s := testStore(t)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.GroupAppend(fmt.Sprintf("log-%d", i%4), []byte("x")); err != nil {
+				t.Errorf("append %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += len(s.ReadAll(fmt.Sprintf("log-%d", i)))
+	}
+	if total != n {
+		t.Fatalf("segments hold %d bytes, want %d", total, n)
+	}
+	if s.Writes() != n {
+		t.Fatalf("writes = %d, want %d", s.Writes(), n)
+	}
+	if s.Syncs() > s.Writes() {
+		t.Fatalf("syncs %d exceed writes %d", s.Syncs(), s.Writes())
+	}
+}

@@ -23,6 +23,24 @@ type StableStore struct {
 	segments map[string][]byte
 	writes   int
 	syncs    int
+
+	// Group commit: concurrent GroupAppend calls queue here; the first
+	// arrival leads the flush, forcing the whole batch with one disk
+	// charge (see GroupAppend).
+	gaMu      sync.Mutex
+	gaQueue   []*groupAppend
+	gaLeading bool
+}
+
+// groupAppend is one queued append awaiting the group flush. A queued
+// entry may instead be appointed leader (lead fires), making its
+// goroutine flush the batch that contains it.
+type groupAppend struct {
+	name string
+	data []byte
+	off  int64
+	done chan error
+	lead chan struct{}
 }
 
 // NewStableStore attaches stable storage to a disk-equipped PE.
@@ -55,6 +73,87 @@ func (s *StableStore) Append(name string, b []byte) (int64, error) {
 	s.mu.Unlock()
 	s.pe.Advance(s.disk.SequentialWrite(len(b)))
 	return off, nil
+}
+
+// GroupAppend durably appends b to the named segment like Append, but
+// batches the disk force with other GroupAppend calls in flight on this
+// store — the group-commit path of the disk PE. The first caller to
+// find no flush in progress becomes the leader (playing the commit
+// daemon's role for one burst): it takes the queue as a batch, applies
+// every queued append to its segment, and charges the PE a single
+// sequential write of the combined size — one force instead of one per
+// caller. A leader flushes exactly one batch (the one containing its
+// own append); if more appends queued during the flush, it appoints
+// the first of them leader of the next batch instead of looping, so no
+// caller's latency grows with other transactions' arrivals. Callers
+// return only once their bytes are down; under no concurrency the
+// behavior and cost degenerate to a plain Append.
+func (s *StableStore) GroupAppend(name string, b []byte) (int64, error) {
+	if name == "" {
+		return 0, fmt.Errorf("machine: empty segment name")
+	}
+	ga := &groupAppend{name: name, data: b, done: make(chan error, 1), lead: make(chan struct{}, 1)}
+	s.gaMu.Lock()
+	s.gaQueue = append(s.gaQueue, ga)
+	if s.gaLeading {
+		s.gaMu.Unlock()
+		select {
+		case err := <-ga.done:
+			// The running leader's batch included this append.
+			if err != nil {
+				return 0, err
+			}
+			return ga.off, nil
+		case <-ga.lead:
+			// Appointed leader of the batch containing this append.
+		}
+	} else {
+		s.gaLeading = true
+		s.gaMu.Unlock()
+	}
+	s.leadGroupFlush()
+	if err := <-ga.done; err != nil {
+		return 0, err
+	}
+	return ga.off, nil
+}
+
+// leadGroupFlush flushes the currently queued batch with one disk
+// force, then appoints the next leader (if appends queued during the
+// flush) or steps down. Called without gaMu held, by the goroutine
+// holding leadership.
+func (s *StableStore) leadGroupFlush() {
+	s.gaMu.Lock()
+	batch := s.gaQueue
+	s.gaQueue = nil
+	s.gaMu.Unlock()
+
+	total := 0
+	s.mu.Lock()
+	for _, ga := range batch {
+		seg := s.segments[ga.name]
+		ga.off = int64(len(seg))
+		s.segments[ga.name] = append(seg, ga.data...)
+		s.writes++
+		total += len(ga.data)
+	}
+	if len(batch) > 0 {
+		s.syncs++
+	}
+	s.mu.Unlock()
+	// One positioned write covers the whole batch.
+	s.pe.Advance(s.disk.SequentialWrite(total))
+	for _, ga := range batch {
+		ga.done <- nil
+	}
+
+	s.gaMu.Lock()
+	if len(s.gaQueue) > 0 {
+		s.gaQueue[0].lead <- struct{}{} // hand leadership to a queued append
+	} else {
+		s.gaLeading = false
+	}
+	s.gaMu.Unlock()
 }
 
 // ReadAll returns a copy of the named segment's full contents, charging
@@ -111,6 +210,15 @@ func (s *StableStore) Writes() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.writes
+}
+
+// Syncs returns how many disk forces the store has performed. With
+// group commit, concurrent GroupAppend calls share one force, so syncs
+// falls below writes under commit bursts.
+func (s *StableStore) Syncs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
 }
 
 // SimulatedWriteTime returns the virtual time one append of n bytes costs.

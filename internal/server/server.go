@@ -46,6 +46,14 @@ type Config struct {
 	// client asks for is clamped below MaxFrame so every chunk frame
 	// stays acceptable.
 	ChunkBytes int
+	// PipelineDepth caps the request frames a connection may have
+	// queued behind the one executing (default 64). The per-connection
+	// reader stops reading once the queue is full — natural
+	// backpressure on a client that pipelines faster than the engine
+	// drains. The unit is frames, not statements: a Batch frame
+	// occupies one slot however many statements it carries (its size,
+	// like any frame's, is bounded by MaxFrame).
+	PipelineDepth int
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -58,6 +66,7 @@ type Server struct {
 	maxPrepared int
 	chunkRows   int
 	chunkBytes  int
+	pipeDepth   int
 	logf        func(string, ...any)
 
 	mu       sync.Mutex
@@ -96,6 +105,10 @@ func New(cfg Config) (*Server, error) {
 	if chunkBytes <= 0 {
 		chunkBytes = wire.DefaultChunkBytes
 	}
+	pipeDepth := cfg.PipelineDepth
+	if pipeDepth <= 0 {
+		pipeDepth = 64
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -107,6 +120,7 @@ func New(cfg Config) (*Server, error) {
 		maxPrepared: maxPrepared,
 		chunkRows:   chunkRows,
 		chunkBytes:  chunkBytes,
+		pipeDepth:   pipeDepth,
 		logf:        logf,
 		conns:       map[net.Conn]struct{}{},
 	}, nil
@@ -206,13 +220,27 @@ func (s *Server) untrack(c net.Conn) {
 	s.mu.Unlock()
 }
 
-// serveConn runs one connection: handshake, then a statement loop. Any
+// request is one frame handed from a connection's reader to its
+// executor. A request with err set is the reader's terminal report.
+type request struct {
+	typ     byte
+	payload []byte
+	buf     *[]byte // pooled backing buffer, recycled after execution
+	err     error
+}
+
+// serveConn runs one connection: handshake, then a pipelined statement
+// loop — a reader goroutine queues frames (up to PipelineDepth) while
+// the executor drains them in order, so a client may send many
+// statements without awaiting replies. Replies are coalesced: the
+// buffered writer is flushed only when the queue is empty, so a burst
+// of pipelined statements answers in a handful of syscalls. Any
 // protocol violation closes the connection; statement errors are
-// reported in Error frames and the loop continues.
+// reported in Error frames, the rest of the pipeline still executes,
+// and the connection stays usable.
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, 32<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
 
 	fail := func(msg string) {
 		wire.WriteFrame(bw, wire.TypeError, []byte(msg))
@@ -225,19 +253,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		if errors.Is(err, wire.ErrFrameTooLarge) {
 			fail(err.Error())
 		}
+		conn.Close()
 		return
 	}
+	hsFail := func(msg string) {
+		fail(msg)
+		conn.Close()
+	}
 	if typ != wire.TypeHello {
-		fail("server: expected Hello frame")
+		hsFail("server: expected Hello frame")
 		return
 	}
 	ver, err := wire.DecodeHello(payload)
 	if err != nil {
-		fail(err.Error())
+		hsFail(err.Error())
 		return
 	}
 	if ver != wire.Version {
-		fail(fmt.Sprintf("server: unsupported protocol version %d (want %d)", ver, wire.Version))
+		hsFail(fmt.Sprintf("server: unsupported protocol version %d (want %d)", ver, wire.Version))
 		return
 	}
 	var ok []byte
@@ -246,9 +279,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	ok = append(ok, byte(len(banner)>>8), byte(len(banner)))
 	ok = append(ok, banner...)
 	if err := wire.WriteFrame(bw, wire.TypeHelloOK, ok); err != nil {
+		conn.Close()
 		return
 	}
 	if err := bw.Flush(); err != nil {
+		conn.Close()
 		return
 	}
 
@@ -256,135 +291,209 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer sess.Close() // aborts an open transaction on disconnect
 	reg := newStmtRegistry(s.maxPrepared)
 
-	for {
-		typ, payload, err := wire.ReadFrame(br, s.maxFrame)
-		if err != nil {
+	// The reader decouples frame intake from execution: it queues up to
+	// pipeDepth statements behind the executing one and parks when the
+	// queue is full (backpressure). It owns pooled payload buffers until
+	// the executor finishes with them.
+	reqs := make(chan request, s.pipeDepth)
+	go func() {
+		defer close(reqs)
+		for {
+			bp := wire.GetBuf()
+			typ, payload, err := wire.ReadFrameBuf(br, s.maxFrame, (*bp)[:0])
+			if err != nil {
+				wire.PutBuf(bp)
+				reqs <- request{err: err}
+				return
+			}
+			reqs <- request{typ: typ, payload: payload, buf: bp}
+		}
+	}()
+	defer func() {
+		// Unblock and drain the reader before returning: closing the
+		// connection fails its next read, so the channel closes.
+		conn.Close()
+		for rq := range reqs {
+			wire.PutBuf(rq.buf)
+		}
+	}()
+
+	w := &replyWriter{bw: bw, max: s.maxFrame, enc: wire.GetBuf()}
+	defer wire.PutBuf(w.enc)
+	for rq := range reqs {
+		if rq.err != nil {
 			// EOF and reset are normal disconnects; an oversized frame
 			// gets an explanation before the close.
-			if errors.Is(err, wire.ErrFrameTooLarge) {
-				fail(err.Error())
+			if errors.Is(rq.err, wire.ErrFrameTooLarge) {
+				fail(rq.err.Error())
 			}
 			return
 		}
-		var res *core.Result
-		var execErr error
-		switch typ {
-		case wire.TypeExec:
-			res, execErr = sess.Exec(string(payload))
-		case wire.TypeExecStream:
-			chunkRows, chunkBytes, sql, derr := wire.DecodeExecStream(payload)
-			if derr != nil {
-				// A malformed frame is a protocol violation.
-				fail(derr.Error())
-				return
-			}
-			cur, sres, err := sess.Stream(sql)
-			if err != nil {
-				execErr = err
-				break
-			}
-			if cur == nil {
-				// DDL / DML / transaction control: a plain Result frame,
-				// exactly as TypeExec would answer.
-				res = sres
-				break
-			}
-			if !s.streamResult(bw, cur, chunkRows, chunkBytes) {
-				return
-			}
-			continue
-		case wire.TypeDatalog:
-			r, err := s.eng.DatalogQuery(sess, string(payload))
-			if err != nil {
-				execErr = err
-			} else {
-				res = &core.Result{Rel: r}
-			}
-		case wire.TypePrepare:
-			ps, err := sess.Prepare(string(payload))
-			if err != nil {
-				execErr = err
-				break
-			}
-			id := reg.add(ps)
-			if err := wire.WriteFrame(bw, wire.TypePrepareOK, wire.EncodePrepareOK(id, ps.NumParams())); err != nil {
-				return
-			}
+		keep := s.handleFrame(sess, reg, w, rq.typ, rq.payload)
+		wire.PutBuf(rq.buf)
+		if !keep {
+			bw.Flush() // deliver a pending Error explanation, if any
+			return
+		}
+		if len(reqs) == 0 {
+			// Reply coalescing: flush only once no further statement is
+			// already queued, so a pipelined burst's replies leave in as
+			// few syscalls as possible.
 			if bw.Flush() != nil {
 				return
 			}
-			continue
-		case wire.TypeBindExec:
-			id, args, err := wire.DecodeBindExec(payload)
-			if err != nil {
-				// A malformed frame is a protocol violation.
-				fail(err.Error())
-				return
-			}
-			ps := reg.get(id)
-			if ps == nil {
-				// A stale id is a statement error, not a protocol one:
-				// the client may have raced an eviction or reused a
-				// closed handle, and the connection stays usable.
-				execErr = fmt.Errorf("server: unknown or closed prepared statement id %d", id)
-				break
-			}
-			res, execErr = sess.ExecPrepared(ps, args)
-		case wire.TypeClosePrepared:
-			id, err := wire.DecodeClosePrepared(payload)
-			if err != nil {
-				fail(err.Error())
-				return
-			}
-			if reg.close(id) {
-				res = &core.Result{Msg: fmt.Sprintf("statement %d closed", id)}
-			} else {
-				execErr = fmt.Errorf("server: unknown or closed prepared statement id %d", id)
-			}
-		case wire.TypeHello:
-			fail("server: duplicate Hello")
-			return
-		default:
-			fail(fmt.Sprintf("server: unknown frame type 0x%02x", typ))
-			return
-		}
-		if execErr != nil {
-			if werr := wire.WriteFrame(bw, wire.TypeError, []byte(execErr.Error())); werr != nil {
-				return
-			}
-			if bw.Flush() != nil {
-				return
-			}
-			continue
-		}
-		wres := &wire.Result{
-			Rel:      res.Rel,
-			Affected: res.Affected,
-			Msg:      res.Msg,
-			Plan:     res.Plan,
-			SimTime:  res.SimTime,
-			WallTime: res.WallTime,
-		}
-		buf := wire.EncodeResult(wres)
-		if len(buf)+1 > s.maxFrame {
-			// The result itself exceeds the frame limit; tell the client
-			// rather than shipping a frame it must refuse.
-			if werr := wire.WriteFrame(bw, wire.TypeError,
-				[]byte(fmt.Sprintf("server: result of %d bytes exceeds frame limit %d", len(buf), s.maxFrame))); werr != nil {
-				return
-			}
-			if bw.Flush() != nil {
-				return
-			}
-			continue
-		}
-		if err := wire.WriteFrame(bw, wire.TypeResult, buf); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
 		}
 	}
+}
+
+// replyWriter writes a connection's reply frames into its buffered
+// writer, reusing one encode buffer across results.
+type replyWriter struct {
+	bw  *bufio.Writer
+	enc *[]byte
+	max int
+}
+
+// writeError queues a statement-level Error frame.
+func (w *replyWriter) writeError(msg string) bool {
+	return wire.WriteFrame(w.bw, wire.TypeError, []byte(msg)) == nil
+}
+
+// writeResult queues a Result frame (or the over-limit Error for it).
+func (w *replyWriter) writeResult(res *core.Result) bool {
+	wres := &wire.Result{
+		Rel:      res.Rel,
+		Affected: res.Affected,
+		Msg:      res.Msg,
+		Plan:     res.Plan,
+		SimTime:  res.SimTime,
+		WallTime: res.WallTime,
+	}
+	*w.enc = wire.AppendResult((*w.enc)[:0], wres)
+	buf := *w.enc
+	if len(buf)+1 > w.max {
+		// The result itself exceeds the frame limit; tell the client
+		// rather than shipping a frame it must refuse.
+		return w.writeError(fmt.Sprintf("server: result of %d bytes exceeds frame limit %d", len(buf), w.max))
+	}
+	return wire.WriteFrame(w.bw, wire.TypeResult, buf) == nil
+}
+
+// handleFrame executes one queued frame and writes its reply frames
+// (unflushed). It returns false when the connection must close: a
+// protocol violation (after writing its Error explanation) or a
+// transport failure.
+func (s *Server) handleFrame(sess *core.Session, reg *stmtRegistry, w *replyWriter, typ byte, payload []byte) bool {
+	var res *core.Result
+	var execErr error
+	switch typ {
+	case wire.TypeExec:
+		res, execErr = sess.Exec(string(payload))
+	case wire.TypeExecStream:
+		chunkRows, chunkBytes, sql, derr := wire.DecodeExecStream(payload)
+		if derr != nil {
+			// A malformed frame is a protocol violation.
+			w.writeError(derr.Error())
+			return false
+		}
+		cur, sres, err := sess.Stream(sql)
+		if err != nil {
+			execErr = err
+			break
+		}
+		if cur == nil {
+			// DDL / DML / transaction control: a plain Result frame,
+			// exactly as TypeExec would answer.
+			res = sres
+			break
+		}
+		return s.streamResult(w.bw, cur, chunkRows, chunkBytes)
+	case wire.TypeBatch:
+		stmts, derr := wire.DecodeBatch(payload)
+		if derr != nil {
+			w.writeError(derr.Error())
+			return false
+		}
+		// One reply per statement, in order; an error fails its
+		// statement only (for transaction semantics mid-batch, see the
+		// package doc of internal/client's Pipeline).
+		for i := range stmts {
+			st := &stmts[i]
+			var bres *core.Result
+			var berr error
+			if st.Bind {
+				if ps := reg.get(st.ID); ps != nil {
+					bres, berr = sess.ExecPrepared(ps, st.Args)
+				} else {
+					berr = fmt.Errorf("server: unknown or closed prepared statement id %d", st.ID)
+				}
+			} else {
+				bres, berr = sess.Exec(st.SQL)
+			}
+			if berr != nil {
+				if !w.writeError(berr.Error()) {
+					return false
+				}
+				continue
+			}
+			if !w.writeResult(bres) {
+				return false
+			}
+		}
+		return true
+	case wire.TypeDatalog:
+		r, err := s.eng.DatalogQuery(sess, string(payload))
+		if err != nil {
+			execErr = err
+		} else {
+			res = &core.Result{Rel: r}
+		}
+	case wire.TypePrepare:
+		ps, err := sess.Prepare(string(payload))
+		if err != nil {
+			execErr = err
+			break
+		}
+		id := reg.add(ps)
+		return wire.WriteFrame(w.bw, wire.TypePrepareOK, wire.EncodePrepareOK(id, ps.NumParams())) == nil
+	case wire.TypeBindExec:
+		id, args, err := wire.DecodeBindExec(payload)
+		if err != nil {
+			// A malformed frame is a protocol violation.
+			w.writeError(err.Error())
+			return false
+		}
+		ps := reg.get(id)
+		if ps == nil {
+			// A stale id is a statement error, not a protocol one:
+			// the client may have raced an eviction or reused a
+			// closed handle, and the connection stays usable.
+			execErr = fmt.Errorf("server: unknown or closed prepared statement id %d", id)
+			break
+		}
+		res, execErr = sess.ExecPrepared(ps, args)
+	case wire.TypeClosePrepared:
+		id, err := wire.DecodeClosePrepared(payload)
+		if err != nil {
+			w.writeError(err.Error())
+			return false
+		}
+		if reg.close(id) {
+			res = &core.Result{Msg: fmt.Sprintf("statement %d closed", id)}
+		} else {
+			execErr = fmt.Errorf("server: unknown or closed prepared statement id %d", id)
+		}
+	case wire.TypeHello:
+		w.writeError("server: duplicate Hello")
+		return false
+	default:
+		w.writeError(fmt.Sprintf("server: unknown frame type 0x%02x", typ))
+		return false
+	}
+	if execErr != nil {
+		return w.writeError(execErr.Error())
+	}
+	return w.writeResult(res)
 }
 
 // streamResult drains one cursor onto the wire as ResultHead, RowChunk

@@ -52,22 +52,63 @@ type lockState struct {
 	queue   []*waiter
 }
 
-// LockManager grants fragment-granularity locks under strict 2PL: locks
-// accumulate during the transaction and are released together at end.
-type LockManager struct {
+// lockShards partitions the lock table so unrelated fragments never
+// contend on one mutex. Power of two; small enough that a per-shard
+// sweep at transaction end stays cheap.
+const lockShards = 16
+
+// lockShard is one partition of the lock table: the lock states of the
+// resources hashing here plus, per transaction, the locks it holds in
+// this shard.
+type lockShard struct {
 	mu    sync.Mutex
 	locks map[string]*lockState
 	held  map[ID]map[string]LockMode
-	waits map[ID]map[ID]struct{} // edge tx -> txs it waits for
+}
+
+// LockManager grants fragment-granularity locks under strict 2PL: locks
+// accumulate during the transaction and are released together at end.
+//
+// The lock table is sharded by a hash of the resource name, so point
+// DML against different fragments takes different mutexes — the shared
+// hot path of concurrent pipelined statements. The waits-for graph
+// stays global (guarded by waitMu): a deadlock cycle can span shards,
+// and every edge insertion plus its cycle check is serialized on
+// waitMu, so whichever transaction adds the closing edge of a genuine
+// cycle is guaranteed to see the whole cycle and become the victim.
+// The lock order is always shard mutex → waitMu, never the reverse.
+//
+// Detection is conservatively eager: a cycle check may observe an edge
+// whose waiter is concurrently being granted on another shard, making
+// that transaction a victim of a cycle that was just breaking up. Such
+// spurious victims are rare, safe (the victim aborts and retries, as
+// deadlock victims must anyway), and the price of not serializing
+// every grant behind one global mutex; a true cycle is never missed.
+type LockManager struct {
+	shards [lockShards]lockShard
+
+	waitMu sync.Mutex
+	waits  map[ID]map[ID]struct{} // edge tx -> txs it waits for
 }
 
 // NewLockManager creates an empty lock manager.
 func NewLockManager() *LockManager {
-	return &LockManager{
-		locks: map[string]*lockState{},
-		held:  map[ID]map[string]LockMode{},
-		waits: map[ID]map[ID]struct{}{},
+	lm := &LockManager{waits: map[ID]map[ID]struct{}{}}
+	for i := range lm.shards {
+		lm.shards[i].locks = map[string]*lockState{}
+		lm.shards[i].held = map[ID]map[string]LockMode{}
 	}
+	return lm
+}
+
+// shardOf routes a resource name to its shard (FNV-1a).
+func (lm *LockManager) shardOf(resource string) *lockShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(resource); i++ {
+		h ^= uint32(resource[i])
+		h *= 16777619
+	}
+	return &lm.shards[h&(lockShards-1)]
 }
 
 // compatible reports whether a request can be granted alongside holders.
@@ -87,14 +128,15 @@ func compatible(st *lockState, tx ID, mode LockMode) bool {
 // returns ErrDeadlock if waiting would create a waits-for cycle. A
 // shared lock held by tx upgrades to exclusive when requested.
 func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
-	lm.mu.Lock()
-	st := lm.locks[resource]
+	sh := lm.shardOf(resource)
+	sh.mu.Lock()
+	st := sh.locks[resource]
 	if st == nil {
 		st = &lockState{holders: map[ID]LockMode{}}
-		lm.locks[resource] = st
+		sh.locks[resource] = st
 	}
 	if cur, mine := st.holders[tx]; mine && (cur == Exclusive || cur == mode) {
-		lm.mu.Unlock()
+		sh.mu.Unlock()
 		return nil // already strong enough
 	}
 	// An S→X upgrade of an existing hold may bypass the queue (it can
@@ -106,11 +148,14 @@ func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
 	_, held := st.holders[tx]
 	upgrade := held && mode == Exclusive
 	if compatible(st, tx, mode) && (upgrade || len(st.queue) == 0) {
-		lm.grant(st, tx, resource, mode)
-		lm.mu.Unlock()
+		lm.grant(sh, st, tx, resource, mode)
+		sh.mu.Unlock()
 		return nil
 	}
-	// Must wait: record waits-for edges and check for a cycle.
+	// Must wait: record waits-for edges and check for a cycle. The edges
+	// are published and checked under waitMu while the shard mutex is
+	// still held, so the blockers read from this shard cannot change
+	// underneath the check.
 	blockers := map[ID]struct{}{}
 	for holder := range st.holders {
 		if holder != tx {
@@ -126,12 +171,15 @@ func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
 			}
 		}
 	}
+	lm.waitMu.Lock()
 	lm.waits[tx] = blockers
 	if lm.wouldDeadlock(tx) {
 		delete(lm.waits, tx)
-		lm.mu.Unlock()
+		lm.waitMu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %d requesting %s on %q", ErrDeadlock, tx, mode, resource)
 	}
+	lm.waitMu.Unlock()
 	w := &waiter{tx: tx, mode: mode, granted: make(chan error, 1)}
 	if upgrade {
 		// Upgraders park at the front: they are granted the moment the
@@ -141,30 +189,32 @@ func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
 	} else {
 		st.queue = append(st.queue, w)
 	}
-	lm.mu.Unlock()
+	sh.mu.Unlock()
 
 	return <-w.granted
 }
 
 // grant records the lock, upgrading S to X but never downgrading.
-// Caller holds lm.mu.
-func (lm *LockManager) grant(st *lockState, tx ID, resource string, mode LockMode) {
+// Caller holds sh.mu.
+func (lm *LockManager) grant(sh *lockShard, st *lockState, tx ID, resource string, mode LockMode) {
 	if cur, mine := st.holders[tx]; !mine || (mode == Exclusive && cur == Shared) {
 		st.holders[tx] = mode
 	}
-	h := lm.held[tx]
+	h := sh.held[tx]
 	if h == nil {
 		h = map[string]LockMode{}
-		lm.held[tx] = h
+		sh.held[tx] = h
 	}
 	if cur, ok := h[resource]; !ok || (mode == Exclusive && cur == Shared) {
 		h[resource] = mode
 	}
+	lm.waitMu.Lock()
 	delete(lm.waits, tx)
+	lm.waitMu.Unlock()
 }
 
 // wouldDeadlock reports whether tx participates in a waits-for cycle.
-// Caller holds lm.mu.
+// Caller holds lm.waitMu.
 func (lm *LockManager) wouldDeadlock(tx ID) bool {
 	// DFS from tx through the waits-for graph looking for a path back.
 	seen := map[ID]struct{}{}
@@ -192,43 +242,53 @@ func (lm *LockManager) wouldDeadlock(tx ID) bool {
 // ReleaseAll frees every lock tx holds and cancels its queued waits
 // (strict 2PL end-of-transaction release).
 func (lm *LockManager) ReleaseAll(tx ID) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
+	lm.waitMu.Lock()
 	delete(lm.waits, tx)
-	for resource := range lm.held[tx] {
-		st := lm.locks[resource]
-		if st == nil {
-			continue
-		}
-		delete(st.holders, tx)
-		lm.pump(st, resource)
-		if len(st.holders) == 0 && len(st.queue) == 0 {
-			delete(lm.locks, resource)
-		}
-	}
-	delete(lm.held, tx)
-	// Remove tx from queues it might still sit in (abort while waiting),
-	// and drop waits-for edges pointing at tx.
-	for resource, st := range lm.locks {
-		filtered := st.queue[:0]
-		for _, w := range st.queue {
-			if w.tx == tx {
-				w.granted <- ErrAborted
+	lm.waitMu.Unlock()
+	for i := range lm.shards {
+		sh := &lm.shards[i]
+		sh.mu.Lock()
+		for resource := range sh.held[tx] {
+			st := sh.locks[resource]
+			if st == nil {
 				continue
 			}
-			filtered = append(filtered, w)
+			delete(st.holders, tx)
+			lm.pump(sh, st, resource)
+			if len(st.holders) == 0 && len(st.queue) == 0 {
+				delete(sh.locks, resource)
+			}
 		}
-		st.queue = filtered
-		lm.pump(st, resource)
+		delete(sh.held, tx)
+		// Remove tx from queues it might still sit in (abort while
+		// waiting) in this shard.
+		for resource, st := range sh.locks {
+			filtered := st.queue[:0]
+			for _, w := range st.queue {
+				if w.tx == tx {
+					w.granted <- ErrAborted
+					continue
+				}
+				filtered = append(filtered, w)
+			}
+			st.queue = filtered
+			lm.pump(sh, st, resource)
+		}
+		sh.mu.Unlock()
 	}
+	// Drop waits-for edges pointing at tx: anything that was queued
+	// behind it has been pumped (or still waits on remaining holders,
+	// whose edges it also recorded).
+	lm.waitMu.Lock()
 	for _, blockers := range lm.waits {
 		delete(blockers, tx)
 	}
+	lm.waitMu.Unlock()
 }
 
 // pump grants queued requests that are now compatible, preserving FIFO
-// order with shared batching. Caller holds lm.mu.
-func (lm *LockManager) pump(st *lockState, resource string) {
+// order with shared batching. Caller holds sh.mu.
+func (lm *LockManager) pump(sh *lockShard, st *lockState, resource string) {
 	for len(st.queue) > 0 {
 		w := st.queue[0]
 		if !compatible(st, w.tx, w.mode) {
@@ -240,7 +300,7 @@ func (lm *LockManager) pump(st *lockState, resource string) {
 			}
 		}
 		st.queue = st.queue[1:]
-		lm.grant(st, w.tx, resource, w.mode)
+		lm.grant(sh, st, w.tx, resource, w.mode)
 		w.granted <- nil
 		if w.mode == Exclusive {
 			return
@@ -250,24 +310,39 @@ func (lm *LockManager) pump(st *lockState, resource string) {
 
 // HeldBy returns the resources tx currently holds with their modes.
 func (lm *LockManager) HeldBy(tx ID) map[string]LockMode {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
 	out := map[string]LockMode{}
-	for r, m := range lm.held[tx] {
-		out[r] = m
+	for i := range lm.shards {
+		sh := &lm.shards[i]
+		sh.mu.Lock()
+		for r, m := range sh.held[tx] {
+			out[r] = m
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Holders returns the transactions holding the resource.
 func (lm *LockManager) Holders(resource string) map[ID]LockMode {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
+	sh := lm.shardOf(resource)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	out := map[ID]LockMode{}
-	if st := lm.locks[resource]; st != nil {
+	if st := sh.locks[resource]; st != nil {
 		for tx, m := range st.holders {
 			out[tx] = m
 		}
 	}
 	return out
+}
+
+// queuedOn reports how many waiters are queued on the resource (tests).
+func (lm *LockManager) queuedOn(resource string) int {
+	sh := lm.shardOf(resource)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st := sh.locks[resource]; st != nil {
+		return len(st.queue)
+	}
+	return 0
 }

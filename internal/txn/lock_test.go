@@ -328,13 +328,7 @@ func waitForQueued(t *testing.T, lm *LockManager, resource string, n int) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		lm.mu.Lock()
-		queued := 0
-		if st := lm.locks[resource]; st != nil {
-			queued = len(st.queue)
-		}
-		lm.mu.Unlock()
-		if queued >= n {
+		if lm.queuedOn(resource) >= n {
 			return
 		}
 		time.Sleep(time.Millisecond)

@@ -138,6 +138,28 @@ func (l *Log) Append(recs ...Record) error {
 	return nil
 }
 
+// AppendCommit durably appends tx's commit marker through the stable
+// store's group-commit path: the disk force is shared with whatever
+// other logs on the same disk PE are forcing commit markers at that
+// moment (concurrent pipelined DML commits on different fragments land
+// on the same stable store). The caller returns only after its marker
+// is durable, so commit semantics are unchanged; under concurrency the
+// number of disk forces drops from one per commit toward one per burst.
+// Different transactions committing on the *same* fragment never
+// overlap here (strict 2PL serializes them), which is exactly why the
+// batching lives on the shared store rather than the per-fragment log.
+func (l *Log) AppendCommit(tx txn.ID) error {
+	buf := appendRecord(nil, Record{Type: RecCommit, Txn: tx})
+	if _, err := l.store.GroupAppend(l.name, buf); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.records++
+	l.bytes += int64(len(buf))
+	l.mu.Unlock()
+	return nil
+}
+
 // Records returns how many records this Log instance has appended.
 func (l *Log) Records() int {
 	l.mu.Lock()

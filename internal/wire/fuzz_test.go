@@ -129,6 +129,34 @@ func FuzzDecodeBindExec(f *testing.F) {
 	})
 }
 
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(EncodeBatch([]BatchStmt{{SQL: "SELECT 1"}}))
+	f.Add(EncodeBatch([]BatchStmt{
+		{SQL: "BEGIN"},
+		{Bind: true, ID: 3, Args: []value.Value{value.NewInt(7), value.NewString("x"), value.Null}},
+		{SQL: "COMMIT"},
+	}))
+	f.Add(EncodeBatch(nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0})             // hostile count
+	f.Add([]byte{0, 0, 0, 1, 1, 0, 0, 0, 1, 0xff, 0xff}) // bind, arity 65535, no values
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stmts, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		// Value payloads are not byte-canonical; assert the canonical
+		// fixed point after one re-encode round trip.
+		enc := EncodeBatch(stmts)
+		stmts2, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !bytes.Equal(EncodeBatch(stmts2), enc) {
+			t.Fatalf("Batch of %d statements is not an encoding fixed point", len(stmts))
+		}
+	})
+}
+
 func FuzzDecodeResult(f *testing.F) {
 	f.Add(EncodeResult(sampleResult()))
 	f.Add(EncodeResult(&Result{Msg: "table t created"}))

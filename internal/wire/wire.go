@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/value"
@@ -72,6 +73,12 @@ const (
 	// and a ResultEnd; anything else (DDL, DML, transaction control) by
 	// a single Result frame, exactly as TypeExec would.
 	TypeExecStream byte = 0x07
+	// TypeBatch carries N statements in one frame, each either SQL text
+	// or a prepared-statement execution (see BatchStmt). The server
+	// answers with exactly N frames, one Result or Error per statement
+	// in order; a statement-level error fails that statement only — the
+	// rest of the batch still executes and the connection stays usable.
+	TypeBatch byte = 0x08
 
 	// TypeHelloOK acknowledges the handshake: a version byte then a
 	// length-prefixed server banner.
@@ -104,6 +111,38 @@ const (
 // reader's limit.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
+// ---------- frame/encode buffer reuse ----------
+
+// maxPooledBuf caps the capacity of buffers returned to the pool so a
+// single giant frame cannot pin its allocation forever.
+const maxPooledBuf = 1 << 20
+
+// bufPool recycles frame payload and encode buffers. Pipelined
+// workloads read and encode thousands of frames per second; without
+// reuse every frame is a fresh allocation the GC must chase.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf takes a reusable byte buffer (length 0) from the pool.
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuf returns a buffer to the pool. Safe only once nothing aliases
+// the buffer's bytes — all Decode* helpers copy what they keep, so a
+// frame payload may be recycled as soon as its statement has executed.
+func PutBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
 // WriteFrame writes one frame to w.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	var hdr [5]byte
@@ -123,6 +162,15 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 // ReadFrame reads one frame from r, refusing payloads larger than max
 // (DefaultMaxFrame when max <= 0) before allocating anything.
 func ReadFrame(r io.Reader, max int) (byte, []byte, error) {
+	return ReadFrameBuf(r, max, nil)
+}
+
+// ReadFrameBuf is ReadFrame with payload-buffer reuse: when buf has
+// enough capacity the payload is read into it (the returned slice
+// aliases buf); otherwise a new buffer is allocated. Callers recycling
+// buffers through GetBuf/PutBuf must not return one to the pool while
+// its payload is still referenced.
+func ReadFrameBuf(r io.Reader, max int, buf []byte) (byte, []byte, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
 	}
@@ -137,7 +185,12 @@ func ReadFrame(r io.Reader, max int) (byte, []byte, error) {
 	if n > max {
 		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n, max)
 	}
-	payload := make([]byte, n-1)
+	var payload []byte
+	if cap(buf) >= n-1 {
+		payload = buf[:n-1]
+	} else {
+		payload = make([]byte, n-1)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("wire: truncated frame body: %w", err)
 	}
@@ -265,14 +318,25 @@ func decodeString(buf []byte) (string, int, error) {
 
 // EncodeResult encodes r for a Result frame.
 func EncodeResult(r *Result) []byte {
+	return AppendResult(nil, r)
+}
+
+// AppendResult appends r's Result-frame encoding to dst and returns it
+// — the allocation-free form of EncodeResult for callers that reuse an
+// encode buffer across statements (the server's reply writer).
+func AppendResult(dst []byte, r *Result) []byte {
 	var flags byte
 	size := 33 + len(r.Msg) + len(r.Plan)
 	if r.Rel != nil {
 		flags |= resultHasRel
 		size += r.Rel.Size() + 64
 	}
-	buf := make([]byte, 1, size)
-	buf[0] = flags
+	if cap(dst)-len(dst) < size {
+		grown := make([]byte, len(dst), len(dst)+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := append(dst, flags)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(r.Affected)))
 	buf = appendString(buf, r.Msg)
 	buf = appendString(buf, r.Plan)
@@ -453,4 +517,104 @@ func DecodeResultEnd(buf []byte) (*ResultEnd, error) {
 		SimTime:  time.Duration(int64(binary.BigEndian.Uint64(buf[8:16]))),
 		WallTime: time.Duration(int64(binary.BigEndian.Uint64(buf[16:24]))),
 	}, nil
+}
+
+// ---------- batched execution ----------
+
+// BatchStmt is one statement of a Batch frame: either SQL text or the
+// execution of an already-prepared statement with bound values.
+type BatchStmt struct {
+	// SQL is the statement text (used when Bind is false).
+	SQL string
+	// Bind selects prepared-statement execution: ID names a statement
+	// prepared on this connection and Args carries the bound values.
+	Bind bool
+	ID   uint32
+	Args []value.Value
+}
+
+// Batch sub-statement kinds on the wire.
+const (
+	batchKindSQL  byte = 0
+	batchKindBind byte = 1
+)
+
+// EncodeBatch builds a Batch payload: a uint32 statement count, then
+// per statement a kind byte followed by either a length-prefixed SQL
+// string or a BindExec-style id/arity/values block. Callers keep each
+// statement's len(Args) within MaxBindArgs.
+func EncodeBatch(stmts []BatchStmt) []byte {
+	size := 4
+	for i := range stmts {
+		size += 11 + len(stmts[i].SQL) + 8*len(stmts[i].Args)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(stmts)))
+	for i := range stmts {
+		st := &stmts[i]
+		if !st.Bind {
+			buf = append(buf, batchKindSQL)
+			buf = appendString(buf, st.SQL)
+			continue
+		}
+		buf = append(buf, batchKindBind)
+		buf = binary.BigEndian.AppendUint32(buf, st.ID)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(st.Args)))
+		for _, v := range st.Args {
+			buf = value.AppendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// DecodeBatch reads a Batch payload. Decoded statements never alias
+// the payload buffer.
+func DecodeBatch(payload []byte) ([]BatchStmt, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("wire: truncated Batch header")
+	}
+	n := int(binary.BigEndian.Uint32(payload))
+	off := 4
+	// Every encoded statement is at least 5 bytes; never trust the
+	// count beyond what the payload could possibly hold.
+	stmts := make([]BatchStmt, 0, min(n, (len(payload)-off)/5+1))
+	for i := 0; i < n; i++ {
+		if off >= len(payload) {
+			return nil, fmt.Errorf("wire: truncated Batch statement %d", i)
+		}
+		kind := payload[off]
+		off++
+		switch kind {
+		case batchKindSQL:
+			sql, used, err := decodeString(payload[off:])
+			if err != nil {
+				return nil, fmt.Errorf("wire: Batch statement %d: %w", i, err)
+			}
+			off += used
+			stmts = append(stmts, BatchStmt{SQL: sql})
+		case batchKindBind:
+			if len(payload)-off < 6 {
+				return nil, fmt.Errorf("wire: truncated Batch bind header at statement %d", i)
+			}
+			id := binary.BigEndian.Uint32(payload[off:])
+			nargs := int(binary.BigEndian.Uint16(payload[off+4:]))
+			off += 6
+			args := make([]value.Value, 0, min(nargs, len(payload)-off+1))
+			for j := 0; j < nargs; j++ {
+				v, used, err := value.DecodeValue(payload[off:])
+				if err != nil {
+					return nil, fmt.Errorf("wire: Batch statement %d value %d: %w", i, j, err)
+				}
+				off += used
+				args = append(args, v)
+			}
+			stmts = append(stmts, BatchStmt{Bind: true, ID: id, Args: args})
+		default:
+			return nil, fmt.Errorf("wire: Batch statement %d has unknown kind 0x%02x", i, kind)
+		}
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after Batch", len(payload)-off)
+	}
+	return stmts, nil
 }
