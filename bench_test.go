@@ -105,6 +105,12 @@ func BenchmarkE14PipelinedThroughput(b *testing.B) {
 	runExperiment(b, experiments.E14PipelinedThroughput)
 }
 
+// BenchmarkE15MultiJoinParallelism — the partitioned dataflow executor
+// on a 3-table star join + GROUP BY, central vs exchange-based.
+func BenchmarkE15MultiJoinParallelism(b *testing.B) {
+	runExperiment(b, experiments.E15MultiJoinParallelism)
+}
+
 // ---------- micro-benchmarks on the public API ----------
 
 // benchDB builds a loaded database once per benchmark.

@@ -88,6 +88,15 @@ func runSQL(s *core.Session, sql string) {
 	}
 	if cur == nil {
 		switch {
+		case res.Rel != nil:
+			// Materialized relation without a cursor: EXPLAIN output.
+			for _, t := range res.Rel.Tuples {
+				fields := make([]string, len(t))
+				for i, v := range t {
+					fields[i] = v.String()
+				}
+				fmt.Println(strings.Join(fields, "  "))
+			}
 		case res.Msg != "":
 			fmt.Println(res.Msg)
 		default:

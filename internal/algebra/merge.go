@@ -1,0 +1,102 @@
+package algebra
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/fragment"
+	"repro/internal/value"
+)
+
+// SplitByHash partitions tuples into n hash buckets on the key columns —
+// the splitter behind a hash Exchange. It delegates to
+// fragment.PartitionByHash so exchange bucketing and repartitioning
+// share one hash assignment: sibling exchanges with equal n are always
+// bucket-compatible (tuples that agree on their respective key values
+// land in the same bucket index on both sides). Tuples are
+// redistributed by reference, never copied or mutated (CSE-shared
+// inputs stay intact). Stats counts one hash per input tuple so the
+// caller can charge the owning PE.
+func SplitByHash(tuples []value.Tuple, cols []int, n int) ([][]value.Tuple, Stats) {
+	return fragment.PartitionByHash(tuples, cols, n), Stats{TuplesRead: len(tuples), Hashes: len(tuples)}
+}
+
+// runHeap is the k-way merge frontier: one cursor per sorted run,
+// ordered by the current tuple under the sort key.
+type runHeap struct {
+	runs [][]value.Tuple
+	pos  []int
+	ord  []int // heap of run indices
+	cols []int
+	desc []bool
+}
+
+func (h *runHeap) Len() int { return len(h.ord) }
+func (h *runHeap) Less(i, j int) bool {
+	a, b := h.ord[i], h.ord[j]
+	// value.CompareOnDesc is the same comparator Relation.SortOn (and
+	// therefore algebra.Sort) ordered the runs with.
+	c := value.CompareOnDesc(h.runs[a][h.pos[a]], h.runs[b][h.pos[b]], h.cols, h.desc)
+	if c != 0 {
+		return c < 0
+	}
+	return a < b // stable across runs for deterministic output
+}
+func (h *runHeap) Swap(i, j int)         { h.ord[i], h.ord[j] = h.ord[j], h.ord[i] }
+func (h *runHeap) Push(x any)            { h.ord = append(h.ord, x.(int)) }
+func (h *runHeap) Pop() any              { x := h.ord[len(h.ord)-1]; h.ord = h.ord[:len(h.ord)-1]; return x }
+func (h *runHeap) top() int              { return h.ord[0] }
+func (h *runHeap) cur(r int) value.Tuple { return h.runs[r][h.pos[r]] }
+
+// MergeSortedRuns k-way-merges per-partition sorted runs into one
+// ordered relation — the coordinator side of a partitioned Sort. Each
+// run must already be ordered on (cols, desc); the output interleaves
+// them with a loser heap, so merging costs O(N log k) comparisons
+// (counted in Stats.Compares) instead of a full re-sort.
+func MergeSortedRuns(runs []*value.Relation, cols []int, desc []bool) (*value.Relation, Stats, error) {
+	if len(runs) == 0 {
+		return nil, Stats{}, fmt.Errorf("algebra: no sorted runs to merge")
+	}
+	for _, r := range runs {
+		for _, c := range cols {
+			if c < 0 || c >= r.Schema.Len() {
+				return nil, Stats{}, fmt.Errorf("algebra: merge column %d out of range for %s", c, r.Schema)
+			}
+		}
+	}
+	out := value.NewRelation(runs[0].Schema)
+	total := 0
+	for _, r := range runs {
+		total += r.Len()
+	}
+	out.Tuples = make([]value.Tuple, 0, total)
+	h := &runHeap{cols: cols, desc: desc}
+	for _, r := range runs {
+		h.runs = append(h.runs, r.Tuples)
+		h.pos = append(h.pos, 0)
+	}
+	for i, run := range h.runs {
+		if len(run) > 0 {
+			h.ord = append(h.ord, i)
+		}
+	}
+	heap.Init(h)
+	stats := Stats{TuplesRead: total}
+	for h.Len() > 0 {
+		r := h.top()
+		out.Tuples = append(out.Tuples, h.cur(r))
+		h.pos[r]++
+		stats.Compares++ // frontier comparison per emitted tuple (log k sift below)
+		if h.pos[r] < len(h.runs[r]) {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+		// Approximate the sift cost: log2(k) comparisons per fix.
+		for k := h.Len(); k > 1; k >>= 1 {
+			stats.Compares++
+		}
+	}
+	stats.TuplesEmitted = out.Len()
+	return out, stats, nil
+}

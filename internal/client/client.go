@@ -256,6 +256,11 @@ func (c *Client) Query(sql string) (*value.Relation, error) {
 	}
 	defer rows.Close()
 	if rows.Schema() == nil {
+		// Statements that materialize without a cursor (EXPLAIN) answer
+		// with a plain Result frame carrying the relation.
+		if res := rows.Result(); res != nil && res.Rel != nil {
+			return res.Rel, nil
+		}
 		return nil, fmt.Errorf("client: statement produced no relation")
 	}
 	rel := value.NewRelation(rows.Schema())

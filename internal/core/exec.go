@@ -53,9 +53,20 @@ func (e *Engine) exec(ctx *execCtx, n plan.Node) (*value.Relation, error) {
 		return e.execProject(ctx, t)
 	case *plan.Join:
 		return e.execJoin(ctx, t)
+	case *plan.Exchange:
+		// An exchange at the materialization root: run the partitioned
+		// pipeline below it and gather at the coordinator.
+		pr, err := e.execPart(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		return e.gatherPart(ctx, pr, t.Schema()), nil
 	case *plan.Aggregate:
 		return e.execAggregate(ctx, t)
 	case *plan.Sort:
+		if t.Parallel {
+			return e.execPartSort(ctx, t)
+		}
 		rel, err := e.exec(ctx, t.Child)
 		if err != nil {
 			return nil, err
@@ -67,6 +78,9 @@ func (e *Engine) exec(ctx *execCtx, n plan.Node) (*value.Relation, error) {
 		e.m.PE(ctx.s.pe).Advance(e.m.Cost().CompareCost(st.Compares))
 		return out, nil
 	case *plan.Distinct:
+		if t.Parallel {
+			return e.execPartDistinct(ctx, t)
+		}
 		rel, err := e.exec(ctx, t.Child)
 		if err != nil {
 			return nil, err
@@ -278,61 +292,20 @@ func (e *Engine) execProject(ctx *execCtx, p *plan.Project) (*value.Relation, er
 	return out, nil
 }
 
-// execJoin dispatches on the optimizer's chosen method.
+// execJoin dispatches on the optimizer's chosen method. Distributed
+// methods run on the partitioned dataflow path — over base-table scans
+// and over arbitrary intermediates alike — and gather only the finished
+// join output at the coordinator.
 func (e *Engine) execJoin(ctx *execCtx, j *plan.Join) (*value.Relation, error) {
-	method := j.Method
-	// Only scan-over-table children can run distributed.
-	ls, lok := j.Left.(*plan.Scan)
-	rs, rok := j.Right.(*plan.Scan)
-	if method == plan.JoinColocated || method == plan.JoinRepartition {
-		if !lok || !rok {
-			method = plan.JoinCentral
-		}
-	}
-	if method == plan.JoinBroadcast && !lok && !rok {
-		method = plan.JoinCentral
-	}
-	var out *value.Relation
-	var err error
-	switch method {
-	case plan.JoinColocated:
-		out, err = e.execColocatedJoin(ctx, j, ls, rs)
-	case plan.JoinRepartition:
-		out, err = e.execRepartitionJoin(ctx, j, ls, rs)
-	case plan.JoinBroadcast:
-		out, err = e.execBroadcastJoin(ctx, j, ls, rs)
-	default:
-		out, err = e.execCentralJoin(ctx, j)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if j.Swapped {
-		// The sides were exchanged for a smaller build table; put the
-		// columns back in the order Out (and bound parents) expect.
-		lw := j.Left.Schema().Len()
-		for i, t := range out.Tuples {
-			restored := make(value.Tuple, 0, len(t))
-			restored = append(restored, t[lw:]...)
-			restored = append(restored, t[:lw]...)
-			out.Tuples[i] = restored
-		}
-	}
-	out.Schema = j.Out
-	if j.Residual != nil {
-		pred, err := expr.CompilePredicate(expr.Clone(j.Residual), out.Schema)
+	switch j.Method {
+	case plan.JoinColocated, plan.JoinRepartition, plan.JoinBroadcast:
+		pr, err := e.execPartJoin(ctx, j)
 		if err != nil {
 			return nil, err
 		}
-		filtered, st, err := algebra.Select(out, pred)
-		if err != nil {
-			return nil, err
-		}
-		e.m.PE(ctx.s.pe).Advance(e.m.Cost().ScanCost(st.TuplesRead, true))
-		out = filtered
-		out.Schema = j.Out
+		return e.gatherPart(ctx, pr, j.Out), nil
 	}
-	return out, nil
+	return e.execCentralJoin(ctx, j)
 }
 
 // execCentralJoin collects both inputs at the coordinator and hash-joins
@@ -346,314 +319,74 @@ func (e *Engine) execCentralJoin(ctx *execCtx, j *plan.Join) (*value.Relation, e
 	if err != nil {
 		return nil, err
 	}
+	return e.joinRelsCentral(ctx, j, l, r)
+}
+
+// joinRelsCentral hash-joins two materialized inputs at the
+// coordinator and finishes the output (swap restore, residual).
+func (e *Engine) joinRelsCentral(ctx *execCtx, j *plan.Join, l, r *value.Relation) (*value.Relation, error) {
 	out, st, err := algebra.HashJoin(l, r, j.LeftKeys, j.RightKeys)
 	if err != nil {
 		return nil, err
 	}
 	cost := e.m.Cost()
 	e.m.PE(ctx.s.pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
+	return e.finishJoinPart(j, out, ctx.s.pe)
+}
+
+// finishJoinPart finishes one join output (a partition or the whole
+// central result) on PE pe: restores the pre-swap column order, stamps
+// the output schema, and applies the residual predicate.
+func (e *Engine) finishJoinPart(j *plan.Join, out *value.Relation, pe int) (*value.Relation, error) {
+	if j.Swapped {
+		restoreSwapped(out.Tuples, j.Left.Schema().Len())
+	}
+	out.Schema = j.Out
+	if j.Residual != nil {
+		pred, err := expr.CompilePredicate(expr.Clone(j.Residual), j.Out)
+		if err != nil {
+			return nil, err
+		}
+		filtered, st, err := algebra.Select(out, pred)
+		if err != nil {
+			return nil, err
+		}
+		e.m.PE(pe).Advance(e.m.Cost().ScanCost(st.TuplesRead, true))
+		filtered.Schema = j.Out
+		out = filtered
+	}
 	return out, nil
 }
 
-// execColocatedJoin joins fragment pairs in place: both tables are
-// hash-fragmented identically on the join key, so matching tuples are
-// guaranteed to live on corresponding fragments. Only results travel.
-func (e *Engine) execColocatedJoin(ctx *execCtx, j *plan.Join, ls, rs *plan.Scan) (*value.Relation, error) {
-	lt, err := e.lookupTable(ls.Table)
-	if err != nil {
-		return nil, err
+// restoreSwapped rotates each tuple left by lw in place, undoing the
+// optimizer's build-side swap: tuple t[:lw] ++ t[lw:] becomes
+// t[lw:] ++ t[:lw]. One scratch buffer is reused across the whole
+// relation instead of allocating a fresh tuple per row. Safe only
+// because join outputs are always freshly concatenated tuples — never
+// aliases of fragment storage or the CSE scan cache.
+func restoreSwapped(tuples []value.Tuple, lw int) {
+	if lw == 0 || len(tuples) == 0 || lw >= len(tuples[0]) {
+		return
 	}
-	rt, err := e.lookupTable(rs.Table)
-	if err != nil {
-		return nil, err
+	scratch := make(value.Tuple, lw)
+	for _, t := range tuples {
+		copy(scratch, t[:lw])
+		copy(t, t[lw:])
+		copy(t[len(t)-lw:], scratch)
 	}
-	if lt.def.Scheme.N != rt.def.Scheme.N {
-		return nil, fmt.Errorf("core: colocated join over mismatched fragment counts")
-	}
-	all := make([]int, lt.def.Scheme.N)
-	for i := range all {
-		all[i] = i
-	}
-	if err := e.lockFragments(ctx, lt, all); err != nil {
-		return nil, err
-	}
-	if err := e.lockFragments(ctx, rt, all); err != nil {
-		return nil, err
-	}
-
-	results := make([]*value.Relation, lt.def.Scheme.N)
-	errs := make([]error, lt.def.Scheme.N)
-	var wg sync.WaitGroup
-	for i := 0; i < lt.def.Scheme.N; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			lf, rf := lt.frags[i], rt.frags[i]
-			// Fragment-local work: direct scans charge the fragment PEs,
-			// the join charges the left fragment's PE, and only the
-			// result ships to the coordinator.
-			lrel, err := lf.ofm.Scan(ls.Pred, nil)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			rrel, err := rf.ofm.Scan(rs.Pred, nil)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if lf.pe != rf.pe {
-				// Mismatched placement: ship the right fragment over.
-				e.m.Send(rf.pe, lf.pe, rrel.Size())
-			}
-			out, st, err := algebra.HashJoin(lrel, rrel, j.LeftKeys, j.RightKeys)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			cost := e.m.Cost()
-			e.m.PE(lf.pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
-			e.m.Send(lf.pe, ctx.s.pe, out.Size())
-			results[i] = out
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	merged := value.NewRelation(j.Out)
-	for _, r := range results {
-		merged.Tuples = append(merged.Tuples, r.Tuples...)
-	}
-	return merged, nil
-}
-
-// execBroadcastJoin ships the small input to every fragment of the big
-// (scanned) input and joins in place: only the small relation and the
-// join results travel. The classic small-dimension-table strategy.
-func (e *Engine) execBroadcastJoin(ctx *execCtx, j *plan.Join, ls, rs *plan.Scan) (*value.Relation, error) {
-	// Decide which side is the fragmented big scan.
-	bigLeft := false
-	var big *plan.Scan
-	var small plan.Node
-	if ls != nil {
-		if t, err := e.lookupTable(ls.Table); err == nil && len(t.frags) > 1 {
-			big, small, bigLeft = ls, j.Right, true
-		}
-	}
-	if big == nil && rs != nil {
-		if t, err := e.lookupTable(rs.Table); err == nil && len(t.frags) > 1 {
-			big, small = rs, j.Left
-		}
-	}
-	if big == nil {
-		return e.execCentralJoin(ctx, j)
-	}
-	smallRel, err := e.exec(ctx, small)
-	if err != nil {
-		return nil, err
-	}
-	// Hash the broadcast side once at the coordinator; every fragment
-	// probes the same table instead of re-hashing the build input.
-	smallKeys, bigKeys := j.LeftKeys, j.RightKeys
-	if bigLeft {
-		smallKeys, bigKeys = j.RightKeys, j.LeftKeys
-	}
-	ht, bst, err := algebra.BuildHashTable(smallRel, smallKeys)
-	if err != nil {
-		return nil, err
-	}
-	e.m.PE(ctx.s.pe).Advance(e.m.Cost().HashCost(bst.Hashes))
-	bt, err := e.lookupTable(big.Table)
-	if err != nil {
-		return nil, err
-	}
-	all := make([]int, len(bt.frags))
-	for i := range all {
-		all[i] = i
-	}
-	if err := e.lockFragments(ctx, bt, all); err != nil {
-		return nil, err
-	}
-	// Stamp the broadcast sends sequentially (deterministic timing).
-	smallBytes := smallRel.Size()
-	for _, f := range bt.frags {
-		if f.pe != ctx.s.pe {
-			e.m.Send(ctx.s.pe, f.pe, smallBytes)
-		}
-	}
-	results := make([]*value.Relation, len(bt.frags))
-	errs := make([]error, len(bt.frags))
-	var wg sync.WaitGroup
-	for i, f := range bt.frags {
-		wg.Add(1)
-		go func(i int, f *fragRef) {
-			defer wg.Done()
-			bigRel, err := f.ofm.Scan(big.Pred, nil)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			out, st, err := ht.ProbeJoin(bigRel, bigKeys, bigLeft)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			cost := e.m.Cost()
-			e.m.PE(f.pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
-			e.m.Send(f.pe, ctx.s.pe, out.Size())
-			results[i] = out
-		}(i, f)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	merged := value.NewRelation(j.Out)
-	for _, r := range results {
-		merged.Tuples = append(merged.Tuples, r.Tuples...)
-	}
-	return merged, nil
-}
-
-// execRepartitionJoin hash-partitions both inputs on the join keys
-// across the left table's fragment PEs, joins each bucket at its PE in
-// parallel, and ships only results to the coordinator — the classic
-// distributed hash join.
-func (e *Engine) execRepartitionJoin(ctx *execCtx, j *plan.Join, ls, rs *plan.Scan) (*value.Relation, error) {
-	lt, err := e.lookupTable(ls.Table)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := e.lookupTable(rs.Table)
-	if err != nil {
-		return nil, err
-	}
-	lAll := make([]int, lt.def.Scheme.N)
-	for i := range lAll {
-		lAll[i] = i
-	}
-	rAll := make([]int, rt.def.Scheme.N)
-	for i := range rAll {
-		rAll[i] = i
-	}
-	if err := e.lockFragments(ctx, lt, lAll); err != nil {
-		return nil, err
-	}
-	if err := e.lockFragments(ctx, rt, rAll); err != nil {
-		return nil, err
-	}
-
-	// Bucket targets: the left table's fragment PEs.
-	buckets := lt.def.Scheme.N
-	targetPE := make([]int, buckets)
-	for i := range targetPE {
-		targetPE[i] = lt.frags[i].pe
-	}
-
-	type sideResult struct {
-		parts [][]value.Tuple // [bucket][]tuples
-		err   error
-	}
-	partition := func(t *table, pred expr.Expr, keys []int) sideResult {
-		parts := make([][]value.Tuple, buckets)
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		errs := make([]error, len(t.frags))
-		for fi, f := range t.frags {
-			wg.Add(1)
-			go func(fi int, f *fragRef) {
-				defer wg.Done()
-				rel, err := f.ofm.Scan(pred, nil)
-				if err != nil {
-					errs[fi] = err
-					return
-				}
-				local := fragment.PartitionByHash(rel.Tuples, keys, buckets)
-				// Ship each bucket to its target PE.
-				for b, tuples := range local {
-					if len(tuples) == 0 {
-						continue
-					}
-					if f.pe != targetPE[b] {
-						e.m.Send(f.pe, targetPE[b], relBytes(tuples))
-					}
-					mu.Lock()
-					parts[b] = append(parts[b], tuples...)
-					mu.Unlock()
-				}
-			}(fi, f)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return sideResult{err: err}
-			}
-		}
-		return sideResult{parts: parts}
-	}
-
-	var lres, rres sideResult
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { defer wg.Done(); lres = partition(lt, ls.Pred, j.LeftKeys) }()
-	go func() { defer wg.Done(); rres = partition(rt, rs.Pred, j.RightKeys) }()
-	wg.Wait()
-	if lres.err != nil {
-		return nil, lres.err
-	}
-	if rres.err != nil {
-		return nil, rres.err
-	}
-
-	// Join each bucket at its PE.
-	results := make([]*value.Relation, buckets)
-	errs := make([]error, buckets)
-	var jwg sync.WaitGroup
-	for b := 0; b < buckets; b++ {
-		jwg.Add(1)
-		go func(b int) {
-			defer jwg.Done()
-			l := value.NewRelation(ls.Out)
-			l.Tuples = lres.parts[b]
-			r := value.NewRelation(rs.Out)
-			r.Tuples = rres.parts[b]
-			out, st, err := algebra.HashJoin(l, r, j.LeftKeys, j.RightKeys)
-			if err != nil {
-				errs[b] = err
-				return
-			}
-			cost := e.m.Cost()
-			e.m.PE(targetPE[b]).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
-			e.m.Send(targetPE[b], ctx.s.pe, out.Size())
-			results[b] = out
-		}(b)
-	}
-	jwg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	merged := value.NewRelation(j.Out)
-	for _, r := range results {
-		merged.Tuples = append(merged.Tuples, r.Tuples...)
-	}
-	return merged, nil
 }
 
 // execAggregate runs two-phase distributed aggregation when the
-// optimizer marked pushdown (per-fragment partials, coordinator merge),
-// else aggregates the child at the coordinator.
+// optimizer marked pushdown: per-fragment partials inside the OFMs for
+// bare table scans, partial-per-partition on the dataflow path for any
+// other partitioned child (joins of joins included), with a coordinator
+// merge either way. Unmarked aggregates run at the coordinator.
 func (e *Engine) execAggregate(ctx *execCtx, a *plan.Aggregate) (*value.Relation, error) {
 	if a.Pushdown {
 		if sc, ok := a.Child.(*plan.Scan); ok {
 			return e.execPushdownAggregate(ctx, a, sc)
 		}
+		return e.execPartAggregate(ctx, a)
 	}
 	rel, err := e.exec(ctx, a.Child)
 	if err != nil {

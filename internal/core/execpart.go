@@ -1,0 +1,559 @@
+package core
+
+// The partitioned dataflow executor. execPart produces a partitioned
+// intermediate (partRel): per-PE tuple partitions that stay where they
+// were computed until a plan.Exchange moves them or the plan root
+// gathers them at the coordinator. Between exchanges, Select / Project /
+// Join / partial aggregation run partition-parallel on the owning PEs,
+// charging their virtual clocks — the coordinator materializes only at
+// the root. This replaces the old executor's scan-children-only gate:
+// joins of joins, filters between scan and join, grouped aggregation,
+// Sort and Distinct over arbitrary children all run distributed.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// partRel is a partitioned intermediate result: parts[i] lives on PE
+// pes[i]. Slots align positionally between sibling partRels: exchanges
+// with equal fan-out target the same PE list, and natively co-fragmented
+// scans pair fragment-by-fragment.
+type partRel struct {
+	parts []*value.Relation
+	pes   []int
+}
+
+// partSingleton wraps a coordinator-materialized relation as one
+// partition at the session's PE.
+func (e *Engine) partSingleton(ctx *execCtx, rel *value.Relation) *partRel {
+	return &partRel{parts: []*value.Relation{rel}, pes: []int{ctx.s.pe}}
+}
+
+// exchangeTargets maps n partition slots onto PEs, deterministically
+// spread over the machine — sibling exchanges with equal n always agree,
+// which is what keeps hash buckets of a repartitioned join aligned.
+func (e *Engine) exchangeTargets(n int) []int {
+	num := e.m.NumPEs()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i * num / n
+	}
+	return out
+}
+
+// eachPart runs fn once per partition slot concurrently and returns the
+// first error. Per-slot work charges only that slot's PE, so virtual
+// cost accounting is independent of host scheduling.
+func eachPart(n int, fn func(i int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gatherPart materializes a partitioned result at the coordinator,
+// charging the network for every remote partition — the root (and only
+// root) data collection of a partitioned plan.
+func (e *Engine) gatherPart(ctx *execCtx, pr *partRel, schema *value.Schema) *value.Relation {
+	out := value.NewRelation(schema)
+	total := 0
+	for _, p := range pr.parts {
+		total += p.Len()
+	}
+	out.Tuples = make([]value.Tuple, 0, total)
+	for i, p := range pr.parts {
+		if p.Len() == 0 {
+			continue
+		}
+		if pr.pes[i] != ctx.s.pe {
+			e.m.Send(pr.pes[i], ctx.s.pe, p.Size())
+		}
+		out.Tuples = append(out.Tuples, p.Tuples...)
+	}
+	return out
+}
+
+// execPart evaluates a subtree into a partitioned intermediate. Nodes
+// without a partitioned implementation (index probes, central joins,
+// aggregates, sorts) materialize through the ordinary executor and enter
+// the dataflow as a coordinator singleton, which a parent Exchange can
+// then spread back out.
+func (e *Engine) execPart(ctx *execCtx, n plan.Node) (*partRel, error) {
+	switch t := n.(type) {
+	case *plan.Exchange:
+		return e.execPartExchange(ctx, t)
+	case *plan.Scan:
+		return e.execPartScan(ctx, t)
+	case *plan.Select:
+		return e.execPartSelect(ctx, t)
+	case *plan.Project:
+		return e.execPartProject(ctx, t)
+	case *plan.Join:
+		switch t.Method {
+		case plan.JoinColocated, plan.JoinRepartition, plan.JoinBroadcast:
+			return e.execPartJoin(ctx, t)
+		}
+	}
+	rel, err := e.exec(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return e.partSingleton(ctx, rel), nil
+}
+
+// execPartScan scans a table's fragments in place: each fragment's OFM
+// filters locally (charging its own PE) and the tuples stay on the
+// fragment PE — no shipping until an exchange or the root gather asks
+// for it. CSE-shared scans keep their materialized cache semantics and
+// enter as a coordinator singleton; downstream splitters redistribute
+// the cached tuples by reference without mutating them.
+func (e *Engine) execPartScan(ctx *execCtx, sc *plan.Scan) (*partRel, error) {
+	if sc.Shared {
+		rel, err := e.execScan(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		return e.partSingleton(ctx, rel), nil
+	}
+	t, err := e.lookupTable(sc.Table)
+	if err != nil {
+		return nil, err
+	}
+	frags := e.pruneFragments(t, sc.Pred)
+	if err := e.lockFragments(ctx, t, frags); err != nil {
+		return nil, err
+	}
+	parts := make([]*value.Relation, len(frags))
+	pes := make([]int, len(frags))
+	for i, fi := range frags {
+		pes[i] = t.frags[fi].pe
+	}
+	err = eachPart(len(frags), func(i int) error {
+		rel, err := t.frags[frags[i]].ofm.Scan(sc.Pred, nil)
+		if err != nil {
+			return err
+		}
+		out := value.NewRelation(sc.Out)
+		out.Tuples = rel.Tuples
+		parts[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &partRel{parts: parts, pes: pes}, nil
+}
+
+// execPartExchange moves a partitioned intermediate: hash exchanges
+// split every source partition and ship each bucket to its target PE;
+// singleton exchanges gather at the coordinator. (Broadcast exchanges
+// under a join are consumed by execPartBroadcastJoin, which builds the
+// replicated hash table once; a standalone broadcast replicates the
+// gathered input to every target.)
+func (e *Engine) execPartExchange(ctx *execCtx, x *plan.Exchange) (*partRel, error) {
+	child, err := e.execPart(ctx, x.Child)
+	if err != nil {
+		return nil, err
+	}
+	schema := x.Child.Schema()
+	switch x.Part.Kind {
+	case plan.PartHash:
+		n := x.Part.N
+		if n < 1 {
+			n = len(child.parts)
+		}
+		targets := e.exchangeTargets(n)
+		// Phase 1: every source splits its partition and stamps all of
+		// its bucket departures on its own clock — before any receiver
+		// advances. A PE that is both source and target of this exchange
+		// (the common case when consecutive exchanges share a fan-out)
+		// therefore sends from its pre-receive clock; without the
+		// two-phase stamping, arrivals would cascade sender-to-sender
+		// and serialize the whole stage. Source slots are grouped by
+		// owning PE and processed in slot order within one goroutine:
+		// Depart is an Advance plus a separate clock read, so stamps on
+		// a shared PE are only deterministic when serialized.
+		perSrc := make([][][]value.Tuple, len(child.parts))
+		departs := make([][]int64, len(child.parts)) // ns on the source clock, 0 = nothing sent
+		srcsByPE := map[int][]int{}
+		var peOrder []int
+		for i, pe := range child.pes {
+			if _, seen := srcsByPE[pe]; !seen {
+				peOrder = append(peOrder, pe)
+			}
+			srcsByPE[pe] = append(srcsByPE[pe], i)
+		}
+		err := eachPart(len(peOrder), func(k int) error {
+			pe := peOrder[k]
+			for _, i := range srcsByPE[pe] {
+				rel := child.parts[i]
+				if rel.Len() == 0 {
+					continue
+				}
+				buckets, st := algebra.SplitByHash(rel.Tuples, x.Part.Keys, n)
+				e.m.PE(pe).Advance(e.m.Cost().HashCost(st.Hashes))
+				dep := make([]int64, n)
+				for b, tuples := range buckets {
+					if len(tuples) == 0 || pe == targets[b] {
+						continue
+					}
+					dep[b] = int64(e.m.Depart(pe, relBytes(tuples)))
+				}
+				perSrc[i] = buckets
+				departs[i] = dep
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Phase 2: each target advances to the latest arrival headed its
+		// way and assembles its partition in source order (deterministic
+		// tuple order regardless of host scheduling).
+		parts := make([]*value.Relation, n)
+		for b := 0; b < n; b++ {
+			out := value.NewRelation(schema)
+			for i := range perSrc {
+				if perSrc[i] == nil {
+					continue
+				}
+				if tuples := perSrc[i][b]; len(tuples) > 0 && departs[i][b] > 0 {
+					e.m.Arrive(child.pes[i], targets[b], relBytes(tuples), time.Duration(departs[i][b]))
+				}
+				out.Tuples = append(out.Tuples, perSrc[i][b]...)
+			}
+			parts[b] = out
+		}
+		return &partRel{parts: parts, pes: targets}, nil
+
+	case plan.PartBroadcast:
+		// Broadcast exchanges only exist as the small side of a
+		// broadcast join, and execPartBroadcastJoin consumes them before
+		// execution reaches here (it builds the replicated hash table
+		// once instead of replicating raw tuples). Reaching this arm
+		// means the optimizer produced a shape the executor has no
+		// semantics for — fail loudly rather than guess.
+		return nil, fmt.Errorf("core: standalone broadcast exchange outside a broadcast join")
+
+	default: // PartSingleton
+		rel := e.gatherPart(ctx, child, schema)
+		return e.partSingleton(ctx, rel), nil
+	}
+}
+
+// execPartSelect filters every partition where it lives. The predicate
+// is compiled per partition (compiled forms keep scratch state, so they
+// are not shared across goroutines).
+func (e *Engine) execPartSelect(ctx *execCtx, s *plan.Select) (*partRel, error) {
+	child, err := e.execPart(ctx, s.Child)
+	if err != nil {
+		return nil, err
+	}
+	schema := s.Child.Schema()
+	parts := make([]*value.Relation, len(child.parts))
+	err = eachPart(len(child.parts), func(i int) error {
+		rel := child.parts[i]
+		if rel.Len() == 0 {
+			parts[i] = rel
+			return nil
+		}
+		var out *value.Relation
+		var st algebra.Stats
+		if e.compiled {
+			pred, err := expr.CompilePredicate(expr.Clone(s.Pred), schema)
+			if err != nil {
+				return err
+			}
+			out, st, err = algebra.Select(rel, pred)
+			if err != nil {
+				return err
+			}
+			e.m.PE(child.pes[i]).Advance(e.m.Cost().ScanCost(st.TuplesRead, true))
+		} else {
+			bound := expr.Clone(s.Pred)
+			if _, err := expr.Bind(bound, schema); err != nil {
+				return err
+			}
+			out, st, err = algebra.SelectInterpreted(rel, bound)
+			if err != nil {
+				return err
+			}
+			e.m.PE(child.pes[i]).Advance(e.m.Cost().ScanCost(st.TuplesRead, false))
+		}
+		parts[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &partRel{parts: parts, pes: child.pes}, nil
+}
+
+// execPartProject computes output expressions on every partition where
+// it lives, compiling the projector per partition.
+func (e *Engine) execPartProject(ctx *execCtx, p *plan.Project) (*partRel, error) {
+	child, err := e.execPart(ctx, p.Child)
+	if err != nil {
+		return nil, err
+	}
+	schema := p.Child.Schema()
+	parts := make([]*value.Relation, len(child.parts))
+	err = eachPart(len(child.parts), func(i int) error {
+		rel := child.parts[i]
+		exprs := make([]expr.Expr, len(p.Exprs))
+		for k, ex := range p.Exprs {
+			exprs[k] = expr.Clone(ex)
+		}
+		proj, err := expr.CompileProjector(exprs, p.Names, schema)
+		if err != nil {
+			return err
+		}
+		out, st, err := algebra.ProjectExprs(rel, proj)
+		if err != nil {
+			return err
+		}
+		out.Schema = p.Out
+		e.m.PE(child.pes[i]).Advance(e.m.Cost().BuildCost(st.TuplesEmitted))
+		parts[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &partRel{parts: parts, pes: child.pes}, nil
+}
+
+// execPartJoin runs a distributed join over partitioned inputs: the
+// children (including any Exchange nodes the optimizer inserted) are
+// evaluated partitioned, aligned slots join in parallel on the left
+// slot's PE, and each output partition is finished in place — swapped
+// column order restored, residual predicate applied — so parents see
+// j.Out without any coordinator round trip.
+func (e *Engine) execPartJoin(ctx *execCtx, j *plan.Join) (*partRel, error) {
+	if j.Method == plan.JoinBroadcast {
+		return e.execPartBroadcastJoin(ctx, j)
+	}
+	l, err := e.execPart(ctx, j.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.execPart(ctx, j.Right)
+	if err != nil {
+		return nil, err
+	}
+	if len(l.parts) != len(r.parts) {
+		// Misaligned shapes (an optimizer the executor doesn't fully
+		// trust): degrade to a coordinator join of the gathered sides.
+		lrel := e.gatherPart(ctx, l, j.Left.Schema())
+		rrel := e.gatherPart(ctx, r, j.Right.Schema())
+		out, err := e.joinRelsCentral(ctx, j, lrel, rrel)
+		if err != nil {
+			return nil, err
+		}
+		return e.partSingleton(ctx, out), nil
+	}
+	parts := make([]*value.Relation, len(l.parts))
+	err = eachPart(len(l.parts), func(i int) error {
+		pe := l.pes[i]
+		if r.parts[i].Len() > 0 && r.pes[i] != pe {
+			// Mismatched placement: ship the right slot over.
+			e.m.Send(r.pes[i], pe, r.parts[i].Size())
+		}
+		out, st, err := algebra.HashJoin(l.parts[i], r.parts[i], j.LeftKeys, j.RightKeys)
+		if err != nil {
+			return err
+		}
+		cost := e.m.Cost()
+		e.m.PE(pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
+		out, err = e.finishJoinPart(j, out, pe)
+		if err != nil {
+			return err
+		}
+		parts[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &partRel{parts: parts, pes: append([]int(nil), l.pes...)}, nil
+}
+
+// execPartBroadcastJoin ships the small side — marked by the optimizer
+// with an Exchange(broadcast) — to every partition of the big side and
+// joins in place. The hash table is built once at the coordinator; only
+// the small relation and nothing else travels.
+func (e *Engine) execPartBroadcastJoin(ctx *execCtx, j *plan.Join) (*partRel, error) {
+	bigNode, smallNode := j.Left, j.Right
+	smallLeft := false
+	if x, ok := j.Left.(*plan.Exchange); ok && x.Part.Kind == plan.PartBroadcast {
+		bigNode, smallNode, smallLeft = j.Right, x.Child, true
+	} else if x, ok := j.Right.(*plan.Exchange); ok && x.Part.Kind == plan.PartBroadcast {
+		smallNode = x.Child
+	} else {
+		// No broadcast marker: join centrally.
+		out, err := e.execCentralJoin(ctx, j)
+		if err != nil {
+			return nil, err
+		}
+		return e.partSingleton(ctx, out), nil
+	}
+	smallRel, err := e.exec(ctx, smallNode)
+	if err != nil {
+		return nil, err
+	}
+	big, err := e.execPart(ctx, bigNode)
+	if err != nil {
+		return nil, err
+	}
+	smallKeys, bigKeys := j.RightKeys, j.LeftKeys
+	if smallLeft {
+		smallKeys, bigKeys = j.LeftKeys, j.RightKeys
+	}
+	ht, bst, err := algebra.BuildHashTable(smallRel, smallKeys)
+	if err != nil {
+		return nil, err
+	}
+	e.m.PE(ctx.s.pe).Advance(e.m.Cost().HashCost(bst.Hashes))
+	// Stamp the broadcast sends sequentially (deterministic timing).
+	smallBytes := smallRel.Size()
+	for _, pe := range big.pes {
+		if pe != ctx.s.pe {
+			e.m.Send(ctx.s.pe, pe, smallBytes)
+		}
+	}
+	parts := make([]*value.Relation, len(big.parts))
+	err = eachPart(len(big.parts), func(i int) error {
+		out, st, err := ht.ProbeJoin(big.parts[i], bigKeys, !smallLeft)
+		if err != nil {
+			return err
+		}
+		cost := e.m.Cost()
+		e.m.PE(big.pes[i]).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
+		out, err = e.finishJoinPart(j, out, big.pes[i])
+		if err != nil {
+			return err
+		}
+		parts[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &partRel{parts: parts, pes: append([]int(nil), big.pes...)}, nil
+}
+
+// execPartAggregate runs grouped aggregation over any partitioned child
+// as partial-per-partition plus coordinator merge: each partition
+// pre-aggregates where it lives, and only the (much smaller) partials
+// travel.
+func (e *Engine) execPartAggregate(ctx *execCtx, a *plan.Aggregate) (*value.Relation, error) {
+	pr, err := e.execPart(ctx, a.Child)
+	if err != nil {
+		return nil, err
+	}
+	partialSpecs := algebra.PartialSpecs(a.Specs)
+	partials := make([]*value.Relation, len(pr.parts))
+	err = eachPart(len(pr.parts), func(i int) error {
+		out, st, err := algebra.Aggregate(pr.parts[i], a.GroupBy, partialSpecs)
+		if err != nil {
+			return err
+		}
+		cost := e.m.Cost()
+		e.m.PE(pr.pes[i]).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
+		partials[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range partials {
+		if p.Len() > 0 && pr.pes[i] != ctx.s.pe {
+			e.m.Send(pr.pes[i], ctx.s.pe, p.Size())
+		}
+	}
+	out, st, err := algebra.MergeAggregates(partials, len(a.GroupBy), a.Specs)
+	if err != nil {
+		return nil, err
+	}
+	cost := e.m.Cost()
+	e.m.PE(ctx.s.pe).Advance(cost.HashCost(st.TuplesRead) + cost.BuildCost(st.TuplesEmitted))
+	out.Schema = a.Out
+	return out, nil
+}
+
+// execPartSort sorts each partition where it lives and k-way-merges the
+// sorted runs at the coordinator — the merge costs O(N log k) there
+// instead of a full O(N log N) central sort.
+func (e *Engine) execPartSort(ctx *execCtx, t *plan.Sort) (*value.Relation, error) {
+	pr, err := e.execPart(ctx, t.Child)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]*value.Relation, len(pr.parts))
+	err = eachPart(len(pr.parts), func(i int) error {
+		run, st, err := algebra.Sort(pr.parts[i], t.Cols, t.Desc)
+		if err != nil {
+			return err
+		}
+		e.m.PE(pr.pes[i]).Advance(e.m.Cost().CompareCost(st.Compares))
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, run := range runs {
+		if run.Len() > 0 && pr.pes[i] != ctx.s.pe {
+			e.m.Send(pr.pes[i], ctx.s.pe, run.Size())
+		}
+	}
+	out, st, err := algebra.MergeSortedRuns(runs, t.Cols, t.Desc)
+	if err != nil {
+		return nil, err
+	}
+	e.m.PE(ctx.s.pe).Advance(e.m.Cost().CompareCost(st.Compares))
+	return out, nil
+}
+
+// execPartDistinct dedups each partition in place before the
+// coordinator's final merge dedup, so duplicate-heavy inputs shrink
+// before they travel.
+func (e *Engine) execPartDistinct(ctx *execCtx, t *plan.Distinct) (*value.Relation, error) {
+	pr, err := e.execPart(ctx, t.Child)
+	if err != nil {
+		return nil, err
+	}
+	deduped := make([]*value.Relation, len(pr.parts))
+	err = eachPart(len(pr.parts), func(i int) error {
+		out, st := algebra.Distinct(pr.parts[i])
+		e.m.PE(pr.pes[i]).Advance(e.m.Cost().HashCost(st.Hashes))
+		deduped[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := e.gatherPart(ctx, &partRel{parts: deduped, pes: pr.pes}, t.Child.Schema())
+	out, st := algebra.Distinct(merged)
+	e.m.PE(ctx.s.pe).Advance(e.m.Cost().HashCost(st.Hashes))
+	return out, nil
+}

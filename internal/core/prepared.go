@@ -504,6 +504,13 @@ func bindPlan(n plan.Node, args []value.Value) (plan.Node, error) {
 			return nil, err
 		}
 		return &c, nil
+	case *plan.Exchange:
+		c := *t
+		var err error
+		if c.Child, err = bindPlan(t.Child, args); err != nil {
+			return nil, err
+		}
+		return &c, nil
 	case *plan.Aggregate:
 		c := *t
 		var err error

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
+	"repro/internal/plan"
 	"repro/internal/sqlparse"
 	"repro/internal/txn"
 	"repro/internal/value"
@@ -168,6 +170,9 @@ func (s *Session) execStmt(st sqlparse.Stmt) (*Result, error) {
 	case *sqlparse.Select:
 		return s.execSelect(t)
 
+	case *sqlparse.Explain:
+		return s.execExplain(t)
+
 	case *sqlparse.Begin:
 		if s.tx != nil {
 			return nil, fmt.Errorf("core: transaction already open")
@@ -195,6 +200,30 @@ func (s *Session) execStmt(st sqlparse.Stmt) (*Result, error) {
 		return &Result{Msg: "rolled back"}, nil
 	}
 	return nil, fmt.Errorf("core: unhandled statement %T", st)
+}
+
+// execExplain answers EXPLAIN <stmt>: translate and optimize the
+// wrapped statement exactly as execution would, but return the plan's
+// rendering as a one-column relation instead of running it — no
+// fragments are scanned and no locks are taken, so EXPLAIN is safe
+// against any workload. The chosen join methods and Exchange
+// partitioning annotations are exactly what execution will do.
+func (s *Session) execExplain(ex *sqlparse.Explain) (*Result, error) {
+	sel, ok := ex.Stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: EXPLAIN supports SELECT statements, got %T", ex.Stmt)
+	}
+	root, err := s.e.translateSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	root = s.e.opt.Optimize(root)
+	planStr := plan.Format(root)
+	rel := value.NewRelation(value.MustSchema("QUERY PLAN", "VARCHAR"))
+	for _, line := range strings.Split(strings.TrimRight(planStr, "\n"), "\n") {
+		rel.Append(value.NewTuple(value.NewString(line)))
+	}
+	return &Result{Rel: rel, Plan: planStr}, nil
 }
 
 // execSelect translates, optimizes and runs a SELECT.

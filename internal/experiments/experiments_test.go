@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -48,6 +49,40 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 		if !strings.Contains(s, tb.ID) || !strings.Contains(s, tb.Header[0]) {
 			t.Errorf("%s renders badly:\n%s", tb.ID, s)
 		}
+	}
+}
+
+// TestE15ExchangeBeatsCentral pins the partitioned-executor acceptance
+// bar: on the 3-table star join + GROUP BY at 64 PEs the exchange-based
+// executor must answer at least 2x faster (simulated response time)
+// than the central fallback. E15 itself fails if EXPLAIN still shows a
+// central join in the exchange plan, so a passing run also proves the
+// tree executes partitioned.
+func TestE15ExchangeBeatsCentral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tb, err := E15MultiJoinParallelism(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedupCol := len(tb.Header) - 1
+	checked := false
+	for _, row := range tb.Rows {
+		if row[0] != "64" || row[1] != "exchange" {
+			continue
+		}
+		checked = true
+		var speedup float64
+		if _, err := fmt.Sscanf(row[speedupCol], "%f", &speedup); err != nil {
+			t.Fatalf("bad speedup cell %q: %v", row[speedupCol], err)
+		}
+		if speedup < 2 {
+			t.Errorf("exchange executor speedup at 64 PEs = %.2fx, want >= 2x\n%s", speedup, tb)
+		}
+	}
+	if !checked {
+		t.Fatalf("no 64-PE exchange row in E15:\n%s", tb)
 	}
 }
 

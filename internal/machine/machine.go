@@ -48,9 +48,10 @@ const (
 
 // Machine is a simulated multi-computer.
 type Machine struct {
-	cfg Config
-	pes []*PE
-	net *simnet.Network
+	cfg      Config
+	pes      []*PE
+	net      *simnet.Network
+	netBytes atomic.Int64 // cross-PE bytes shipped since construction
 }
 
 // New builds a Machine, validating and defaulting the Config.
@@ -199,9 +200,48 @@ func (m *Machine) Send(src, dst int, bytes int) time.Duration {
 	if src == dst {
 		return sp.Clock()
 	}
+	m.netBytes.Add(int64(bytes))
 	transfer := m.net.TransferTime(src, dst, bytes)
 	arrive := sp.Clock() + transfer
 	return m.pes[dst].AdvanceTo(arrive)
+}
+
+// NetBytes returns the total bytes shipped between distinct PEs since
+// the machine was built — the data-movement bill of scans, exchanges
+// and result gathering. Monotonic; diff around a statement to meter it.
+func (m *Machine) NetBytes() int64 { return m.netBytes.Load() }
+
+// Depart charges src's CPU for marshalling one message and returns its
+// departure time on src's clock. Paired with Arrive, it splits Send into
+// two phases so a fan-out stage (an exchange) can stamp every departure
+// before any receiver advances — the same determinism discipline as the
+// POOL runtime's CallAll: no message's start may depend on another
+// message's arrival, even when a PE is both sender and receiver of the
+// same stage.
+func (m *Machine) Depart(src, bytes int) time.Duration {
+	sp := m.pes[src]
+	sp.Advance(m.cfg.Cost.MsgCost(bytes))
+	return sp.Clock()
+}
+
+// Arrive completes a Depart-stamped transfer: dst's clock advances to
+// the message's arrival (departure plus network transfer) and the
+// cross-PE traffic is counted. Returns the arrival time.
+func (m *Machine) Arrive(src, dst, bytes int, depart time.Duration) time.Duration {
+	if src == dst {
+		return m.pes[dst].AdvanceTo(depart)
+	}
+	m.netBytes.Add(int64(bytes))
+	return m.pes[dst].AdvanceTo(depart + m.net.TransferTime(src, dst, bytes))
+}
+
+// CountReplyBytes records cross-PE reply traffic whose clock accounting
+// the caller performs itself (the POOL runtime's batched fan-outs
+// advance the caller once, to the latest arrival, instead of per reply).
+func (m *Machine) CountReplyBytes(src, dst, bytes int) {
+	if src != dst {
+		m.netBytes.Add(int64(bytes))
+	}
 }
 
 // PE is one processing element. The virtual clock is an atomic counter:

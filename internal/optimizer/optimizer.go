@@ -72,7 +72,7 @@ func (o *Optimizer) Optimize(root plan.Node) plan.Node {
 		o.markCommonScans(root)
 	}
 	if o.opts.Parallel {
-		o.parallelize(root)
+		root = o.parallelize(root)
 	}
 	if o.opts.PointProbe {
 		root = o.probeRewrite(root)
@@ -344,26 +344,250 @@ func (o *Optimizer) markCommonScans(root plan.Node) {
 
 // ---------- rule group: parallelism ----------
 
-// parallelize picks distributed join methods and enables aggregate
-// pushdown — "applying parallelism to minimize response time".
-func (o *Optimizer) parallelize(root plan.Node) {
-	plan.Walk(root, func(n plan.Node) {
-		switch t := n.(type) {
-		case *plan.Aggregate:
-			// Push partial aggregation to the fragments when the child is
-			// a bare (possibly filtered) scan of a fragmented table.
-			if sc, ok := t.Child.(*plan.Scan); ok {
-				if tab, err := o.cat.Get(sc.Table); err == nil && tab.NumFragments() > 1 {
-					t.Pushdown = true
-				}
-			}
-		case *plan.Join:
-			if t.Method != plan.JoinAuto {
-				return
-			}
-			t.Method = o.chooseJoinMethod(t)
+// parallelize plans partitioned dataflow for the whole tree — "applying
+// parallelism to minimize response time". It walks bottom-up computing
+// the partitioning property each subtree's output can be produced with,
+// inserts plan.Exchange nodes where a join needs its inputs
+// repartitioned or broadcast, picks distributed join methods for
+// arbitrary children (not just base-table scans), and marks grouped
+// aggregation, Sort and Distinct over partitioned children to run
+// partial-per-partition with a coordinator merge.
+func (o *Optimizer) parallelize(root plan.Node) plan.Node {
+	root, _ = o.partition(root)
+	return root
+}
+
+// partProp is the partitioning property a subtree's output carries on
+// the partitioned execution path.
+type partProp struct {
+	// n is the number of partitions the output is spread over (1 =
+	// materialized at the coordinator, i.e. not partitioned).
+	n int
+	// keys are the output columns the partitions are hash-disjoint on.
+	// Only exchange-established hash partitionings are recorded here:
+	// native fragmentation schemes may hash differently, so they align
+	// only through the scheme-equality colocated check, never with an
+	// exchange.
+	keys []int
+}
+
+func (p partProp) partitioned() bool { return p.n > 1 }
+
+// defaultExchangeParts is the partition fan-out when neither join input
+// is fragmented (e.g. both sides are materialized intermediates).
+const defaultExchangeParts = 8
+
+// partition rewrites one subtree and reports its output partitioning.
+func (o *Optimizer) partition(n plan.Node) (plan.Node, partProp) {
+	none := partProp{n: 1}
+	switch t := n.(type) {
+	case *plan.Scan:
+		if tab, err := o.cat.Get(t.Table); err == nil && tab.NumFragments() > 1 {
+			return t, partProp{n: tab.NumFragments()}
 		}
-	})
+		return t, none
+	case *plan.Select:
+		var p partProp
+		t.Child, p = o.partition(t.Child)
+		return t, p // filters preserve the child's partitioning
+	case *plan.Project:
+		var p partProp
+		t.Child, p = o.partition(t.Child)
+		return t, partProp{n: p.n, keys: remapProjectKeys(p.keys, t)}
+	case *plan.Join:
+		var lp, rp partProp
+		t.Left, lp = o.partition(t.Left)
+		t.Right, rp = o.partition(t.Right)
+		return o.planJoin(t, lp, rp)
+	case *plan.Aggregate:
+		var p partProp
+		t.Child, p = o.partition(t.Child)
+		if sc, ok := t.Child.(*plan.Scan); ok {
+			// Bare (possibly filtered) scan of a fragmented table: the
+			// OFMs aggregate their fragments in place.
+			if tab, err := o.cat.Get(sc.Table); err == nil && tab.NumFragments() > 1 {
+				t.Pushdown = true
+			}
+		} else if p.partitioned() {
+			// Any other partitioned child: partial aggregation runs on
+			// each partition where it lives; the coordinator merges.
+			t.Pushdown = true
+		}
+		return t, none
+	case *plan.Sort:
+		var p partProp
+		t.Child, p = o.partition(t.Child)
+		t.Parallel = p.partitioned()
+		return t, none
+	case *plan.Distinct:
+		var p partProp
+		t.Child, p = o.partition(t.Child)
+		t.Parallel = p.partitioned()
+		return t, none
+	case *plan.Limit:
+		t.Child, _ = o.partition(t.Child)
+		return t, none
+	}
+	return n, none
+}
+
+// remapProjectKeys maps hash-partitioning key columns through a
+// projection: a key survives only if some output expression is exactly
+// that column. Lost keys drop the hash property (the output is still
+// partitioned, just not provably disjoint on any columns).
+func remapProjectKeys(keys []int, p *plan.Project) []int {
+	if keys == nil {
+		return nil
+	}
+	out := make([]int, len(keys))
+	for ki, k := range keys {
+		pos := -1
+		for i, ex := range p.Exprs {
+			if c, ok := ex.(*expr.Col); ok && c.Index == k {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return nil
+		}
+		out[ki] = pos
+	}
+	return out
+}
+
+// planJoin picks a distributed method for one join given its children's
+// partitioning, inserting Exchange nodes as needed, and reports the
+// partitioning of the join's output (in restored column order — the
+// executor undoes Swapped before parents see the tuples).
+func (o *Optimizer) planJoin(j *plan.Join, lp, rp partProp) (plan.Node, partProp) {
+	none := partProp{n: 1}
+	if j.Method != plan.JoinAuto {
+		return j, none
+	}
+
+	// Native colocation: both inputs are scans of tables hash-fragmented
+	// identically on the single join key — fragment pairs join in place.
+	ls, lok := j.Left.(*plan.Scan)
+	rs, rok := j.Right.(*plan.Scan)
+	if lok && rok && len(j.LeftKeys) == 1 && len(j.RightKeys) == 1 {
+		lt, lerr := o.cat.Get(ls.Table)
+		rt, rerr := o.cat.Get(rs.Table)
+		if lerr == nil && rerr == nil &&
+			lt.Scheme.Strategy == fragment.Hash && rt.Scheme.Strategy == fragment.Hash &&
+			lt.Scheme.N == rt.Scheme.N &&
+			lt.Scheme.Column == j.LeftKeys[0] && rt.Scheme.Column == j.RightKeys[0] {
+			j.Method = plan.JoinColocated
+			// Output is partitioned, but by the native scheme hash —
+			// no exchange-compatible key property.
+			return j, partProp{n: lt.Scheme.N}
+		}
+	}
+
+	// Exchange colocation: both inputs already hash-partitioned by
+	// exchanges on exactly the join keys with matching fan-out — join
+	// the aligned partitions in place, no data movement.
+	if lp.keys != nil && rp.keys != nil && lp.n == rp.n &&
+		keysEqual(lp.keys, j.LeftKeys) && keysEqual(rp.keys, j.RightKeys) {
+		j.Method = plan.JoinColocated
+		return j, partProp{n: lp.n, keys: joinOutKeys(j)}
+	}
+
+	// A tiny input joined with a partitioned one: replicate the small
+	// side to every partition of the big one and join in place.
+	const broadcastThreshold = 512
+	lSmall := plan.EstRows(j.Left) <= broadcastThreshold
+	rSmall := plan.EstRows(j.Right) <= broadcastThreshold
+	if rSmall && lp.partitioned() && !rp.partitioned() {
+		j.Right = &plan.Exchange{Child: j.Right,
+			Part:    plan.Partitioning{Kind: plan.PartBroadcast, N: lp.n},
+			EstRows: plan.EstRows(j.Right)}
+		j.Method = plan.JoinBroadcast
+		return j, partProp{n: lp.n, keys: mapThroughJoin(lp.keys, j, true)}
+	}
+	if lSmall && rp.partitioned() && !lp.partitioned() {
+		j.Left = &plan.Exchange{Child: j.Left,
+			Part:    plan.Partitioning{Kind: plan.PartBroadcast, N: rp.n},
+			EstRows: plan.EstRows(j.Left)}
+		j.Method = plan.JoinBroadcast
+		return j, partProp{n: rp.n, keys: mapThroughJoin(rp.keys, j, false)}
+	}
+
+	// Two large inputs: hash-repartition each side that is not already
+	// partitioned on its join keys and join the buckets in parallel.
+	const repartitionThreshold = 2000
+	if plan.EstRows(j.Left) > repartitionThreshold && plan.EstRows(j.Right) > repartitionThreshold {
+		n := lp.n
+		if rp.n > n {
+			n = rp.n
+		}
+		if n < 2 {
+			n = defaultExchangeParts
+		}
+		if !(lp.keys != nil && lp.n == n && keysEqual(lp.keys, j.LeftKeys)) {
+			j.Left = &plan.Exchange{Child: j.Left,
+				Part:    plan.Partitioning{Kind: plan.PartHash, Keys: append([]int(nil), j.LeftKeys...), N: n},
+				EstRows: plan.EstRows(j.Left)}
+		}
+		if !(rp.keys != nil && rp.n == n && keysEqual(rp.keys, j.RightKeys)) {
+			j.Right = &plan.Exchange{Child: j.Right,
+				Part:    plan.Partitioning{Kind: plan.PartHash, Keys: append([]int(nil), j.RightKeys...), N: n},
+				EstRows: plan.EstRows(j.Right)}
+		}
+		j.Method = plan.JoinRepartition
+		return j, partProp{n: n, keys: joinOutKeys(j)}
+	}
+	j.Method = plan.JoinCentral
+	return j, none
+}
+
+// keysEqual reports positional equality (hash order matters).
+func keysEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinOutKeys returns the join-key positions in the join's restored
+// output order (the executor undoes Swapped before parents run).
+func joinOutKeys(j *plan.Join) []int {
+	offset := 0
+	if j.Swapped {
+		// The tree's left side is the original right: after restore its
+		// columns sit past the original-left (tree-right) width.
+		offset = j.Right.Schema().Len()
+	}
+	out := make([]int, len(j.LeftKeys))
+	for i, k := range j.LeftKeys {
+		out[i] = k + offset
+	}
+	return out
+}
+
+// mapThroughJoin maps key positions of one join input into the restored
+// output order. treeLeft says the keys index the tree's left child.
+func mapThroughJoin(keys []int, j *plan.Join, treeLeft bool) []int {
+	if keys == nil {
+		return nil
+	}
+	offset := 0
+	switch {
+	case treeLeft && j.Swapped:
+		offset = j.Right.Schema().Len()
+	case !treeLeft && !j.Swapped:
+		offset = j.Left.Schema().Len()
+	}
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = k + offset
+	}
+	return out
 }
 
 // ---------- rule group: point-query index probes ----------
@@ -376,6 +600,10 @@ func (o *Optimizer) probeRewrite(n plan.Node) plan.Node {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return o.tryProbe(t)
+	case *plan.Exchange:
+		// Partitioned pipelines keep their scan shape: an IndexProbe
+		// under an exchange would serialize the repartition source.
+		return t
 	case *plan.Select:
 		t.Child = o.probeRewrite(t.Child)
 	case *plan.Project:
@@ -452,46 +680,4 @@ func (o *Optimizer) tryProbe(sc *plan.Scan) plan.Node {
 		}
 	}
 	return sc
-}
-
-// chooseJoinMethod selects colocated when both inputs are scans of
-// tables hash-fragmented identically on the join keys; repartition when
-// both inputs are large; central otherwise.
-func (o *Optimizer) chooseJoinMethod(j *plan.Join) plan.JoinMethod {
-	ls, lok := j.Left.(*plan.Scan)
-	rs, rok := j.Right.(*plan.Scan)
-	if lok && rok && len(j.LeftKeys) == 1 && len(j.RightKeys) == 1 {
-		lt, lerr := o.cat.Get(ls.Table)
-		rt, rerr := o.cat.Get(rs.Table)
-		if lerr == nil && rerr == nil &&
-			lt.Scheme.Strategy == fragment.Hash && rt.Scheme.Strategy == fragment.Hash &&
-			lt.Scheme.N == rt.Scheme.N &&
-			lt.Scheme.Column == j.LeftKeys[0] && rt.Scheme.Column == j.RightKeys[0] {
-			return plan.JoinColocated
-		}
-	}
-	// A tiny input joined with a fragmented scan: ship the small side to
-	// every fragment and join in place.
-	const broadcastThreshold = 512
-	fragmentedScan := func(n plan.Node) bool {
-		sc, ok := n.(*plan.Scan)
-		if !ok {
-			return false
-		}
-		tab, err := o.cat.Get(sc.Table)
-		return err == nil && tab.NumFragments() > 1
-	}
-	lSmall := plan.EstRows(j.Left) <= broadcastThreshold
-	rSmall := plan.EstRows(j.Right) <= broadcastThreshold
-	if lSmall && fragmentedScan(j.Right) && !fragmentedScan(j.Left) {
-		return plan.JoinBroadcast
-	}
-	if rSmall && fragmentedScan(j.Left) && !fragmentedScan(j.Right) {
-		return plan.JoinBroadcast
-	}
-	const repartitionThreshold = 2000
-	if plan.EstRows(j.Left) > repartitionThreshold && plan.EstRows(j.Right) > repartitionThreshold {
-		return plan.JoinRepartition
-	}
-	return plan.JoinCentral
 }

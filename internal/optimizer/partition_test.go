@@ -1,0 +1,155 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// TestPartitionJoinOfJoins: the partition pass must plan the whole
+// tree — an outer join whose left child is itself a join gets Exchange
+// children and a distributed method instead of degrading to central.
+func TestPartitionJoinOfJoins(t *testing.T) {
+	c := testCatalog(t)
+	o := New(c, AllRules())
+	a, b, d := scan(t, c, "emp"), scan(t, c, "emp"), scan(t, c, "emp")
+	inner := &plan.Join{Left: a, Right: b, LeftKeys: []int{2}, RightKeys: []int{2},
+		Out: a.Out.Concat(b.Out)}
+	// Outer joins the inner's salary-typed output col 1 (dept would be
+	// col 1 of inner.Out) against emp col 1: a different key than the
+	// inner join's, forcing a re-exchange of the intermediate.
+	outer := &plan.Join{Left: inner, Right: d, LeftKeys: []int{1}, RightKeys: []int{1},
+		Out: inner.Out.Concat(d.Out)}
+	root := o.Optimize(outer)
+	f := plan.Format(root)
+	if strings.Contains(f, "method=central") {
+		t.Fatalf("join of joins degraded to central:\n%s", f)
+	}
+	if outer.Method != plan.JoinRepartition {
+		t.Errorf("outer method = %v, want repartition\n%s", outer.Method, f)
+	}
+	if _, ok := outer.Left.(*plan.Exchange); !ok {
+		t.Errorf("outer left child is %T, want *plan.Exchange\n%s", outer.Left, f)
+	}
+	if inner.Method != plan.JoinRepartition {
+		t.Errorf("inner method = %v, want repartition\n%s", inner.Method, f)
+	}
+}
+
+// TestPartitionChainedJoinSameKey: when the outer join's key is exactly
+// the inner join's output partitioning, the intermediate is consumed in
+// place — no exchange above the inner join (colocated over
+// intermediates; the method stays "repartition" because the scan side
+// still exchanges).
+func TestPartitionChainedJoinSameKey(t *testing.T) {
+	c := testCatalog(t)
+	o := New(c, AllRules())
+	a, b, d := scan(t, c, "emp"), scan(t, c, "emp"), scan(t, c, "emp")
+	inner := &plan.Join{Left: a, Right: b, LeftKeys: []int{2}, RightKeys: []int{2},
+		Out: a.Out.Concat(b.Out)}
+	outer := &plan.Join{Left: inner, Right: d, LeftKeys: []int{2}, RightKeys: []int{2},
+		Out: inner.Out.Concat(d.Out)}
+	root := o.Optimize(outer)
+	f := plan.Format(root)
+	if _, ok := outer.Left.(*plan.Exchange); ok {
+		t.Errorf("outer re-exchanges an already-aligned intermediate:\n%s", f)
+	}
+	if _, ok := outer.Right.(*plan.Exchange); !ok {
+		t.Errorf("outer right child is %T, want *plan.Exchange\n%s", outer.Right, f)
+	}
+	if outer.Method != plan.JoinRepartition {
+		t.Errorf("outer method = %v\n%s", outer.Method, f)
+	}
+}
+
+// TestPartitionBroadcastOverIntermediate: a tiny side joined against a
+// partitioned intermediate broadcasts — marked by an
+// Exchange(broadcast) over the small side.
+func TestPartitionBroadcastOverIntermediate(t *testing.T) {
+	c := testCatalog(t)
+	o := New(c, AllRules())
+	a, b := scan(t, c, "emp"), scan(t, c, "emp")
+	inner := &plan.Join{Left: a, Right: b, LeftKeys: []int{2}, RightKeys: []int{2},
+		Out: a.Out.Concat(b.Out)}
+	small := scan(t, c, "dept") // 10 rows, single fragment
+	outer := &plan.Join{Left: inner, Right: small, LeftKeys: []int{1}, RightKeys: []int{0},
+		Out: inner.Out.Concat(small.Out)}
+	root := o.Optimize(outer)
+	f := plan.Format(root)
+	if outer.Method != plan.JoinBroadcast {
+		t.Fatalf("method = %v, want broadcast\n%s", outer.Method, f)
+	}
+	// orderJoins may have swapped the small side to the left; the
+	// Exchange(broadcast) marker identifies it on either side.
+	x, ok := outer.Right.(*plan.Exchange)
+	if !ok {
+		x, ok = outer.Left.(*plan.Exchange)
+	}
+	if !ok || x.Part.Kind != plan.PartBroadcast {
+		t.Fatalf("no Exchange(broadcast) side on the join:\n%s", f)
+	}
+}
+
+// TestPartitionProjectKeyRemap: a projection between the inner join and
+// the outer join keeps the partitioning property when it passes the key
+// column through (no re-exchange), and loses it when the key is
+// projected away (re-exchange required).
+func TestPartitionProjectKeyRemap(t *testing.T) {
+	c := testCatalog(t)
+	for _, keep := range []bool{true, false} {
+		o := New(c, AllRules())
+		a, b, d := scan(t, c, "emp"), scan(t, c, "emp"), scan(t, c, "emp")
+		inner := &plan.Join{Left: a, Right: b, LeftKeys: []int{2}, RightKeys: []int{2},
+			Out: a.Out.Concat(b.Out)}
+		// Project either [salary(2), id(0)] (key kept, now at 0... key 2
+		// moves to position 0) or [id(0)] (key dropped).
+		exprs := []expr.Expr{expr.NewColIdx(2, value.KindInt)}
+		names := []string{"salary"}
+		out := []value.Column{{Name: "salary", Kind: value.KindInt}}
+		if !keep {
+			exprs = []expr.Expr{expr.NewColIdx(0, value.KindInt)}
+			names = []string{"id"}
+			out = []value.Column{{Name: "id", Kind: value.KindInt}}
+		}
+		proj := &plan.Project{Child: inner, Exprs: exprs, Names: names, Out: value.NewSchema(out...)}
+		key := 0 // both variants put their single column at position 0
+		outer := &plan.Join{Left: proj, Right: d, LeftKeys: []int{key}, RightKeys: []int{2},
+			Out: proj.Out.Concat(d.Out)}
+		root := o.Optimize(outer)
+		f := plan.Format(root)
+		_, exchanged := outer.Left.(*plan.Exchange)
+		if keep && exchanged {
+			t.Errorf("key-preserving projection re-exchanged:\n%s", f)
+		}
+		if !keep && !exchanged {
+			t.Errorf("key-dropping projection not re-exchanged:\n%s", f)
+		}
+	}
+}
+
+// TestPartitionSortDistinctFlags: Sort and Distinct run parallel over
+// partitioned children only.
+func TestPartitionSortDistinctFlags(t *testing.T) {
+	c := testCatalog(t)
+	o := New(c, AllRules())
+	srt := &plan.Sort{Child: scan(t, c, "emp"), Cols: []int{0}}
+	o.Optimize(srt)
+	if !srt.Parallel {
+		t.Error("sort over fragmented scan not parallel")
+	}
+	o2 := New(c, AllRules())
+	srt2 := &plan.Sort{Child: scan(t, c, "dept"), Cols: []int{0}}
+	o2.Optimize(srt2)
+	if srt2.Parallel {
+		t.Error("sort over single-fragment scan marked parallel")
+	}
+	o3 := New(c, AllRules())
+	dst := &plan.Distinct{Child: scan(t, c, "emp")}
+	o3.Optimize(dst)
+	if !dst.Parallel {
+		t.Error("distinct over fragmented scan not parallel")
+	}
+}

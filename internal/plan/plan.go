@@ -183,6 +183,78 @@ func (j *Join) String() string {
 	return fmt.Sprintf("Join(l=%v, r=%v, method=%s%s) est=%d", j.LeftKeys, j.RightKeys, j.Method, swapped, j.EstRows)
 }
 
+// PartKind describes how an Exchange distributes its input across
+// processing elements.
+type PartKind uint8
+
+// Exchange partitionings.
+const (
+	// PartHash splits tuples by hash of the key columns, so rows that
+	// agree on the keys land in the same partition — the repartitioning
+	// step of a distributed join or aggregate.
+	PartHash PartKind = iota
+	// PartBroadcast replicates the full input to every consumer
+	// partition (the small side of a broadcast join).
+	PartBroadcast
+	// PartSingleton gathers everything to the coordinator.
+	PartSingleton
+)
+
+func (k PartKind) String() string {
+	switch k {
+	case PartHash:
+		return "hash"
+	case PartBroadcast:
+		return "broadcast"
+	case PartSingleton:
+		return "singleton"
+	default:
+		return "?"
+	}
+}
+
+// Partitioning is the partitioning property an Exchange establishes:
+// how its output tuples are distributed over PEs.
+type Partitioning struct {
+	Kind PartKind
+	// Keys are the hash key columns (positions in the child schema)
+	// when Kind is PartHash.
+	Keys []int
+	// N is the number of output partitions (PartHash); the executor
+	// maps partition slots onto PEs deterministically so sibling
+	// exchanges with equal N are always aligned.
+	N int
+}
+
+func (p Partitioning) String() string {
+	switch p.Kind {
+	case PartHash:
+		return fmt.Sprintf("hash%v x%d", p.Keys, p.N)
+	default:
+		return p.Kind.String()
+	}
+}
+
+// Exchange repartitions the stream of its child across processing
+// elements — the dataflow boundary of the partitioned executor. Between
+// exchanges, operators run partition-parallel where the data lives; the
+// coordinator materializes only at the plan root.
+type Exchange struct {
+	Child   Node
+	Part    Partitioning
+	EstRows int
+}
+
+// Schema implements Node.
+func (x *Exchange) Schema() *value.Schema { return x.Child.Schema() }
+
+// Children implements Node.
+func (x *Exchange) Children() []Node { return []Node{x.Child} }
+
+func (x *Exchange) String() string {
+	return fmt.Sprintf("Exchange(%s) est=%d", x.Part, x.EstRows)
+}
+
 // Aggregate groups and aggregates; the executor pushes partials to the
 // fragments when Pushdown is set.
 type Aggregate struct {
@@ -204,11 +276,14 @@ func (a *Aggregate) String() string {
 	return fmt.Sprintf("Aggregate(groupBy=%v, %d specs, pushdown=%v) est=%d", a.GroupBy, len(a.Specs), a.Pushdown, a.EstRows)
 }
 
-// Sort orders its input.
+// Sort orders its input. With Parallel set the executor sorts each
+// partition of the child where it lives and k-way-merges the sorted
+// runs at the coordinator.
 type Sort struct {
-	Child Node
-	Cols  []int
-	Desc  []bool
+	Child    Node
+	Cols     []int
+	Desc     []bool
+	Parallel bool
 }
 
 // Schema implements Node.
@@ -217,10 +292,21 @@ func (s *Sort) Schema() *value.Schema { return s.Child.Schema() }
 // Children implements Node.
 func (s *Sort) Children() []Node { return []Node{s.Child} }
 
-func (s *Sort) String() string { return fmt.Sprintf("Sort(%v desc=%v)", s.Cols, s.Desc) }
+func (s *Sort) String() string {
+	par := ""
+	if s.Parallel {
+		par = " parallel"
+	}
+	return fmt.Sprintf("Sort(%v desc=%v%s)", s.Cols, s.Desc, par)
+}
 
-// Distinct removes duplicates.
-type Distinct struct{ Child Node }
+// Distinct removes duplicates. With Parallel set the executor dedups
+// each partition of the child in place before the coordinator's final
+// merge dedup.
+type Distinct struct {
+	Child    Node
+	Parallel bool
+}
 
 // Schema implements Node.
 func (d *Distinct) Schema() *value.Schema { return d.Child.Schema() }
@@ -228,7 +314,12 @@ func (d *Distinct) Schema() *value.Schema { return d.Child.Schema() }
 // Children implements Node.
 func (d *Distinct) Children() []Node { return []Node{d.Child} }
 
-func (d *Distinct) String() string { return "Distinct" }
+func (d *Distinct) String() string {
+	if d.Parallel {
+		return "Distinct parallel"
+	}
+	return "Distinct"
+}
 
 // Limit truncates its input.
 type Limit struct {
@@ -282,6 +373,8 @@ func EstRows(n Node) int {
 	case *Join:
 		return t.EstRows
 	case *Aggregate:
+		return t.EstRows
+	case *Exchange:
 		return t.EstRows
 	case *Sort:
 		return EstRows(t.Child)

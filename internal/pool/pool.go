@@ -225,9 +225,9 @@ func (rt *Runtime) Call(srcPE int, to *Process, kind string, body any, bytes int
 		if r.err != nil {
 			return nil, r.err
 		}
-		// Charge the reply transfer to the caller's clock.
-		arrive := r.sent + rt.m.Net().TransferTime(r.srcPE, srcPE, r.bytes)
-		rt.m.PE(srcPE).AdvanceTo(arrive)
+		// Charge the reply transfer to the caller's clock (and the
+		// machine's cross-PE byte meter).
+		rt.m.Arrive(r.srcPE, srcPE, r.bytes, r.sent)
 		return r.body, nil
 	case <-to.done:
 		// The callee exited without replying.
@@ -283,6 +283,7 @@ func (rt *Runtime) CallAll(srcPE int, specs []CallSpec) ([]any, []error) {
 					return
 				}
 				arrive := r.sent + rt.m.Net().TransferTime(r.srcPE, srcPE, r.bytes)
+				rt.m.CountReplyBytes(r.srcPE, srcPE, r.bytes)
 				mu.Lock()
 				if arrive > maxArrive {
 					maxArrive = arrive
@@ -341,8 +342,7 @@ func (rt *Runtime) CallEach(srcPE int, specs []CallSpec) []func() (any, error) {
 				if r.err != nil {
 					return nil, r.err
 				}
-				arrive := r.sent + rt.m.Net().TransferTime(r.srcPE, srcPE, r.bytes)
-				rt.m.PE(srcPE).AdvanceTo(arrive)
+				rt.m.Arrive(r.srcPE, srcPE, r.bytes, r.sent)
 				return r.body, nil
 			case <-p.done:
 				if err := p.Err(); err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/value"
 	"repro/internal/wire"
 )
 
@@ -85,6 +86,53 @@ func TestEndToEndStatements(t *testing.T) {
 	}
 	if _, err := c.Query(`SELECT * FROM emp WHERE id = 2`); err != nil {
 		t.Fatalf("connection unusable after statement error: %v", err)
+	}
+}
+
+// TestExplainOverWire pins EXPLAIN end-to-end: the plan arrives as a
+// one-column relation over both the materialized (Exec) and streaming
+// (Query → ExecStream) request paths, and shows the optimizer's join
+// method annotations.
+func TestExplainOverWire(t *testing.T) {
+	addr := startServer(t, Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(`CREATE TABLE emp (id INT, dept VARCHAR, PRIMARY KEY (id))
+		FRAGMENT BY HASH(id) INTO 4 FRAGMENTS`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`CREATE TABLE dept (name VARCHAR, budget INT, PRIMARY KEY (name))`); err != nil {
+		t.Fatal(err)
+	}
+	const q = `EXPLAIN SELECT e.id FROM emp e JOIN dept d ON e.dept = d.name`
+	for _, path := range []string{"exec", "stream"} {
+		var rel *value.Relation
+		if path == "exec" {
+			res, err := c.Exec(q)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			rel = res.Rel
+		} else {
+			rel, err = c.Query(q)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+		}
+		if rel == nil || rel.Len() == 0 || rel.Schema.Len() != 1 {
+			t.Fatalf("%s: EXPLAIN relation = %v", path, rel)
+		}
+		var all strings.Builder
+		for _, row := range rel.Tuples {
+			all.WriteString(row[0].Str())
+			all.WriteByte('\n')
+		}
+		if !strings.Contains(all.String(), "Join(") || !strings.Contains(all.String(), "method=") {
+			t.Fatalf("%s: plan output missing join annotations:\n%s", path, all.String())
+		}
 	}
 }
 

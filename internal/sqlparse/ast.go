@@ -106,6 +106,11 @@ type Delete struct {
 	Where expr.Expr
 }
 
+// Explain is EXPLAIN <stmt>: return the optimized plan of the wrapped
+// statement as a one-column result, without executing it or taking any
+// locks.
+type Explain struct{ Stmt Stmt }
+
 // Begin, Commit and Rollback control explicit transactions in the shell.
 type Begin struct{}
 
@@ -116,6 +121,7 @@ type Commit struct{}
 type Rollback struct{}
 
 func (*CreateTable) stmt() {}
+func (*Explain) stmt()     {}
 func (*DropTable) stmt()   {}
 func (*Insert) stmt()      {}
 func (*Select) stmt()      {}

@@ -42,6 +42,7 @@ var keywords = map[string]bool{
 	"TRUE": true, "FALSE": true, "LIKE": true, "IN": true, "AS": true,
 	"JOIN": true, "ON": true, "DISTINCT": true, "UNION": true, "ALL": true,
 	"INNER": true, "BEGIN": true, "COMMIT": true, "ABORT": true, "ROLLBACK": true,
+	"EXPLAIN": true,
 }
 
 type lexer struct {

@@ -58,7 +58,23 @@ type parser struct {
 
 	qmarks    int // '?' placeholders seen so far
 	maxDollar int // largest '$n' slot seen
+	depth     int // expression nesting, bounded by maxExprDepth
 }
+
+// maxExprDepth bounds expression-grammar recursion so hostile input
+// (kilobytes of '((((' or 'NOT NOT NOT') fails with a parse error
+// instead of exhausting the goroutine stack.
+const maxExprDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return p.errf("expression nested deeper than %d levels", maxExprDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // param consumes the current tokParam token and returns its expression.
 func (p *parser) param() (expr.Expr, error) {
@@ -122,6 +138,15 @@ func (p *parser) errf(format string, args ...any) error {
 
 func (p *parser) parseStmt() (Stmt, error) {
 	switch {
+	case p.accept(tokKeyword, "EXPLAIN"):
+		if p.at(tokKeyword, "EXPLAIN") {
+			return nil, p.errf("EXPLAIN cannot be nested")
+		}
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: inner}, nil
 	case p.at(tokKeyword, "SELECT"):
 		return p.parseSelect()
 	case p.at(tokKeyword, "INSERT"):
@@ -660,8 +685,12 @@ func (p *parser) literal() (value.Value, error) {
 		p.next()
 		return value.Null, nil
 	case t.kind == tokOp && t.text == "-":
+		if err := p.enter(); err != nil {
+			return value.Null, err
+		}
 		p.next()
 		v, err := p.literal()
+		p.leave()
 		if err != nil {
 			return value.Null, err
 		}
@@ -678,6 +707,10 @@ func (p *parser) literal() (value.Value, error) {
 
 // parseExpr parses OR-level expressions.
 func (p *parser) parseExpr() (expr.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	left, err := p.parseAnd()
 	if err != nil {
 		return nil, err
@@ -708,6 +741,10 @@ func (p *parser) parseAnd() (expr.Expr, error) {
 }
 
 func (p *parser) parseNot() (expr.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.accept(tokKeyword, "NOT") {
 		sub, err := p.parseNot()
 		if err != nil {
@@ -844,6 +881,10 @@ func (p *parser) parseMultiplicative() (expr.Expr, error) {
 }
 
 func (p *parser) parseUnary() (expr.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.accept(tokOp, "-") {
 		sub, err := p.parseUnary()
 		if err != nil {

@@ -43,18 +43,7 @@ func (r *Relation) Sort() {
 // reverses the i-th sort column. desc may be nil (all ascending).
 func (r *Relation) SortOn(idxs []int, desc []bool) {
 	sort.SliceStable(r.Tuples, func(i, j int) bool {
-		a, b := r.Tuples[i], r.Tuples[j]
-		for k, ix := range idxs {
-			c := Compare(a[ix], b[ix])
-			if c == 0 {
-				continue
-			}
-			if desc != nil && k < len(desc) && desc[k] {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return CompareOnDesc(r.Tuples[i], r.Tuples[j], idxs, desc) < 0
 	})
 }
 

@@ -70,6 +70,25 @@ func CompareOn(a, b Tuple, idxs []int) int {
 	return 0
 }
 
+// CompareOnDesc orders a against b on the given column positions with
+// per-column direction (desc[i] reverses key i; nil = all ascending).
+// This is THE sort-key comparator: Relation.SortOn and the k-way run
+// merge both use it, so per-partition sorts and the coordinator merge
+// can never disagree on ordering semantics.
+func CompareOnDesc(a, b Tuple, idxs []int, desc []bool) int {
+	for k, ix := range idxs {
+		c := Compare(a[ix], b[ix])
+		if c == 0 {
+			continue
+		}
+		if desc != nil && k < len(desc) && desc[k] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
 // Size returns the approximate in-memory footprint of t in bytes.
 func (t Tuple) Size() int {
 	n := 24 // slice header
