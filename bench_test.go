@@ -111,6 +111,12 @@ func BenchmarkE15MultiJoinParallelism(b *testing.B) {
 	runExperiment(b, experiments.E15MultiJoinParallelism)
 }
 
+// BenchmarkE16SnapshotReads — MVCC snapshot reads vs the all-2PL
+// baseline: reader throughput across a growing writer population.
+func BenchmarkE16SnapshotReads(b *testing.B) {
+	runExperiment(b, experiments.E16SnapshotReads)
+}
+
 // ---------- micro-benchmarks on the public API ----------
 
 // benchDB builds a loaded database once per benchmark.

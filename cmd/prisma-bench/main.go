@@ -67,6 +67,7 @@ func main() {
 		{"E13", experiments.E13Streaming},
 		{"E14", experiments.E14PipelinedThroughput},
 		{"E15", experiments.E15MultiJoinParallelism},
+		{"E16", experiments.E16SnapshotReads},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -214,7 +215,7 @@ func rowKey(header []string, row []string) string {
 // a concurrent workload's statement count varies run to run.
 func isKeyColumn(h string) bool {
 	switch strings.ToLower(h) {
-	case "clients", "pes", "executor", "mode", "depth", "window", "rule set":
+	case "clients", "pes", "executor", "mode", "depth", "window", "rule set", "writers":
 		return true
 	}
 	return false

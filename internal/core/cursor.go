@@ -10,7 +10,6 @@ import (
 	"repro/internal/plan"
 	"repro/internal/pool"
 	"repro/internal/sqlparse"
-	"repro/internal/txn"
 	"repro/internal/value"
 )
 
@@ -21,31 +20,37 @@ import (
 // Project / Limit applied per batch); other roots (joins, aggregates,
 // sorts) materialize once and stream as a single batch.
 //
-// Locks are taken in full before the cursor is returned (strict 2PL is
-// preserved: nothing is acquired mid-stream). For an autocommit
-// statement the transaction — and with it the fragment S-locks — stays
-// open until the cursor is exhausted or closed: Next returning (nil,
-// nil) commits it, Close before exhaustion aborts it. Inside an
-// explicit transaction the cursor leaves the transaction untouched and
-// locks live until COMMIT/ROLLBACK, exactly as for a materialized
-// statement.
+// Under MVCC the cursor reads a snapshot pinned when it opened: the
+// stream observes one consistent version of the database for its whole
+// lifetime, no locks are held, and concurrent writers are never blocked
+// by (nor block) the stream. The snapshot pin — which only holds back
+// version garbage collection — is released when the cursor is exhausted
+// or closed.
+//
+// Under the 2PL baseline, locks are taken in full before the cursor is
+// returned (strict 2PL is preserved: nothing is acquired mid-stream).
+// For an autocommit statement the transaction — and with it the
+// fragment S-locks — stays open until the cursor is exhausted or
+// closed: Next returning (nil, nil) commits it, Close before exhaustion
+// aborts it. Inside an explicit transaction the cursor leaves the
+// transaction untouched and locks live until COMMIT/ROLLBACK, exactly
+// as for a materialized statement.
 //
 // A Cursor is not safe for concurrent use, mirroring the Session that
 // produced it.
 type Cursor struct {
-	s          *Session
-	tx         *txn.Txn
-	autocommit bool
-	schema     *value.Schema
-	planStr    string
-	iter       *relIter
-	done       bool
-	err        error
-	rows       int64
-	simStart   time.Duration
-	wallStart  time.Time
-	simTime    time.Duration
-	wallTime   time.Duration
+	s         *Session
+	settle    func(error) error // from readView: settles txn / releases pin
+	schema    *value.Schema
+	planStr   string
+	iter      *relIter
+	done      bool
+	err       error
+	rows      int64
+	simStart  time.Duration
+	wallStart time.Time
+	simTime   time.Duration
+	wallTime  time.Duration
 }
 
 // Schema returns the result schema (known before the first tuple).
@@ -103,8 +108,13 @@ func (c *Cursor) Close() error {
 	return nil
 }
 
+// errCursorClosed marks a cursor abandoned before exhaustion, routing
+// settle down its abort/release path.
+var errCursorClosed = errors.New("core: cursor closed before exhaustion")
+
 // finish ends the stream exactly once: waits out any in-flight fragment
-// calls, settles the autocommit transaction, and stamps the timings.
+// calls, settles the read (autocommit commit/abort under 2PL, snapshot
+// pin release under MVCC), and stamps the timings.
 func (c *Cursor) finish(commit bool) error {
 	if c.done {
 		return nil
@@ -112,12 +122,10 @@ func (c *Cursor) finish(commit bool) error {
 	c.done = true
 	c.iter.wait()
 	var err error
-	if c.autocommit {
-		if commit {
-			err = c.tx.Commit()
-		} else {
-			c.tx.Abort()
-		}
+	if commit {
+		err = c.settle(nil)
+	} else {
+		c.settle(errCursorClosed) // abort path; the sentinel is discarded
 	}
 	c.simTime = c.s.e.m.MaxClock() - c.simStart
 	c.wallTime = time.Since(c.wallStart)
@@ -253,27 +261,23 @@ func (s *Session) execStmtTimed(st sqlparse.Stmt) (*Result, error) {
 func (s *Session) streamPlanStr(root plan.Node, planStr string) (*Cursor, error) {
 	wallStart := time.Now()
 	simStart := s.e.m.MaxClock()
-	tx, autocommit, err := s.transaction()
+	tx, view, settle, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
-	ctx := &execCtx{s: s, tx: tx, shared: map[string]*value.Relation{}}
+	ctx := &execCtx{s: s, tx: tx, view: view, shared: map[string]*value.Relation{}}
 	iter, err := s.e.execStream(ctx, root)
 	if err != nil {
-		if autocommit {
-			tx.Abort()
-		}
-		return nil, err
+		return nil, settle(err)
 	}
 	return &Cursor{
-		s:          s,
-		tx:         tx,
-		autocommit: autocommit,
-		schema:     root.Schema(),
-		planStr:    planStr,
-		iter:       iter,
-		simStart:   simStart,
-		wallStart:  wallStart,
+		s:         s,
+		settle:    settle,
+		schema:    root.Schema(),
+		planStr:   planStr,
+		iter:      iter,
+		simStart:  simStart,
+		wallStart: wallStart,
 	}, nil
 }
 
@@ -359,7 +363,7 @@ func (e *Engine) streamScan(ctx *execCtx, sc *plan.Scan) (*relIter, error) {
 	}
 	specs := make([]pool.CallSpec, len(frags))
 	for i, fi := range frags {
-		specs[i] = pool.CallSpec{To: t.frags[fi].proc, Kind: "scan", Body: scanReq{pred: sc.Pred}, Bytes: 128}
+		specs[i] = pool.CallSpec{To: t.frags[fi].proc, Kind: "scan", Body: scanReq{view: ctx.view, pred: sc.Pred}, Bytes: 128}
 	}
 	waits := e.rt.CallEach(ctx.s.pe, specs)
 	i := 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/ofm"
 	"repro/internal/prismalog"
 	"repro/internal/txn"
 	"repro/internal/value"
@@ -37,13 +38,15 @@ func (e *Engine) ClearRules() {
 	e.mu.Unlock()
 }
 
-// engineEDB resolves extensional predicates as base-table scans, with
+// engineEDB resolves extensional predicates as base-table scans — under
+// MVCC at the evaluation's pinned snapshot, under the 2PL baseline with
 // shared-lock isolation through the query's transaction. Scanned tables
 // are cached for the duration of one evaluation.
 type engineEDB struct {
-	e  *Engine
-	s  *Session
-	tx *txn.Txn
+	e    *Engine
+	s    *Session
+	tx   *txn.Txn
+	view ofm.View
 
 	mu    sync.Mutex
 	cache map[string]*value.Relation
@@ -67,7 +70,7 @@ func (edb *engineEDB) Relation(pred string) (*value.Relation, bool) {
 	for i := range all {
 		all[i] = i
 	}
-	ctx := &execCtx{s: edb.s, tx: edb.tx, shared: map[string]*value.Relation{}}
+	ctx := &execCtx{s: edb.s, tx: edb.tx, view: edb.view, shared: map[string]*value.Relation{}}
 	if err := edb.e.lockFragments(ctx, t, all); err != nil {
 		edb.recordErr(err)
 		return nil, false
@@ -108,25 +111,17 @@ func (e *Engine) DatalogQuery(s *Session, query string) (*value.Relation, error)
 	e.mu.Unlock()
 	prog := &prismalog.Program{Rules: rules}
 
-	tx, autocommit, err := s.transaction()
+	tx, view, finish, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
-	edb := &engineEDB{e: e, s: s, tx: tx, cache: map[string]*value.Relation{}}
+	edb := &engineEDB{e: e, s: s, tx: tx, view: view, cache: map[string]*value.Relation{}}
 	rel, _, evalErr := prismalog.EvalQuery(prog, q, edb, prismalog.Options{SemiNaive: e.semiNaive})
 	if edb.err != nil {
 		evalErr = edb.err
 	}
-	if evalErr != nil {
-		if autocommit {
-			tx.Abort()
-		}
-		return nil, evalErr
-	}
-	if autocommit {
-		if err := tx.Commit(); err != nil {
-			return nil, err
-		}
+	if err := finish(evalErr); err != nil {
+		return nil, err
 	}
 	return rel, nil
 }
@@ -144,11 +139,11 @@ func (e *Engine) DatalogProgram(s *Session, src string) ([]*value.Relation, erro
 	combined := &prismalog.Program{Rules: append(append([]prismalog.Rule(nil), e.rules...), prog.Rules...)}
 	e.mu.Unlock()
 
-	tx, autocommit, err := s.transaction()
+	tx, view, finish, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
-	edb := &engineEDB{e: e, s: s, tx: tx, cache: map[string]*value.Relation{}}
+	edb := &engineEDB{e: e, s: s, tx: tx, view: view, cache: map[string]*value.Relation{}}
 	var answers []*value.Relation
 	for i := range prog.Queries {
 		rel, _, evalErr := prismalog.EvalQuery(combined, &prog.Queries[i], edb, prismalog.Options{SemiNaive: e.semiNaive})
@@ -156,17 +151,12 @@ func (e *Engine) DatalogProgram(s *Session, src string) ([]*value.Relation, erro
 			evalErr = edb.err
 		}
 		if evalErr != nil {
-			if autocommit {
-				tx.Abort()
-			}
-			return nil, evalErr
+			return nil, finish(evalErr)
 		}
 		answers = append(answers, rel)
 	}
-	if autocommit {
-		if err := tx.Commit(); err != nil {
-			return nil, err
-		}
+	if err := finish(nil); err != nil {
+		return nil, err
 	}
 	return answers, nil
 }

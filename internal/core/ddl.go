@@ -51,6 +51,7 @@ func (e *Engine) CreateTable(name string, schema *value.Schema, scheme *fragment
 			Kind:     ofm.Persistent,
 			Log:      log,
 			Compiled: e.compiled,
+			Horizon:  e.txns.Horizon,
 			StatsFn: func(rd int, bd int64) {
 				def.AddStats(frag, rd, bd)
 			},

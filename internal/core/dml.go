@@ -5,11 +5,26 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/fragment"
+	"repro/internal/ofm"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
+
+// writeView is the view a DML statement matches rows under. An explicit
+// transaction under MVCC matches at its pinned snapshot: a matched row
+// superseded by a later committer aborts the statement with a retryable
+// write-write conflict (first-committer-wins). Autocommit DML and the
+// 2PL baseline match the latest committed state — under the exclusive
+// fragment lock no committed writer can have intervened, so there is
+// nothing to conflict with.
+func (e *Engine) writeView(tx *txn.Txn, autocommit bool) ofm.View {
+	if e.mvcc && !autocommit {
+		return ofm.View{TS: tx.Snapshot(), Tx: tx.ID()}
+	}
+	return ofm.View{TS: ofm.LatestTS, Tx: tx.ID()}
+}
 
 // execInsert routes literal rows to their fragments, locks them
 // exclusively, buffers the inserts and commits via two-phase commit
@@ -112,6 +127,7 @@ func (e *Engine) execDelete(s *Session, del *sqlparse.Delete) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	view := e.writeView(tx, autocommit)
 	total := 0
 	for _, fi := range frags {
 		f := t.frags[fi]
@@ -122,7 +138,7 @@ func (e *Engine) execDelete(s *Session, del *sqlparse.Delete) (int, error) {
 			return 0, err
 		}
 		tx.Enlist(&ofmParticipant{eng: e, frag: f, coordPE: s.pe})
-		res, err := e.rt.Call(s.pe, f.proc, "delete", deleteReq{tx: tx.ID(), pred: pred}, 128)
+		res, err := e.rt.Call(s.pe, f.proc, "delete", deleteReq{tx: tx.ID(), pred: pred, view: view}, 128)
 		if err != nil {
 			tx.Abort()
 			return 0, err
@@ -172,6 +188,7 @@ func (e *Engine) execUpdate(s *Session, up *sqlparse.Update) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	view := e.writeView(tx, autocommit)
 	total := 0
 	for _, fi := range frags {
 		f := t.frags[fi]
@@ -182,7 +199,7 @@ func (e *Engine) execUpdate(s *Session, up *sqlparse.Update) (int, error) {
 			return 0, err
 		}
 		tx.Enlist(&ofmParticipant{eng: e, frag: f, coordPE: s.pe})
-		res, err := e.rt.Call(s.pe, f.proc, "update", updateReq{tx: tx.ID(), pred: pred, set: set}, 192)
+		res, err := e.rt.Call(s.pe, f.proc, "update", updateReq{tx: tx.ID(), pred: pred, set: set, view: view}, 192)
 		if err != nil {
 			tx.Abort()
 			return 0, err

@@ -51,6 +51,12 @@ type Config struct {
 	PlanCache *bool
 	// PlanCacheSize caps cached statement shapes (default 256).
 	PlanCacheSize int
+	// MVCC toggles multiversion snapshot reads (default true): SELECTs
+	// pin a snapshot timestamp and take no locks, writers keep strict
+	// 2PL X-locks plus first-committer-wins validation. False restores
+	// the all-2PL baseline (S-locks on reads) — experiment E16 measures
+	// the difference.
+	MVCC *bool
 }
 
 // table couples catalog metadata with the live fragment managers.
@@ -81,6 +87,7 @@ type Engine struct {
 	compiled  bool
 	tcAlgo    algebra.TCAlgorithm
 	semiNaive bool
+	mvcc      bool
 	plans     *planCache // nil when the plan cache is disabled
 
 	mu     sync.RWMutex // read-locked on the per-statement table lookup
@@ -121,6 +128,10 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.PlanCache != nil {
 		planCacheOn = *cfg.PlanCache
 	}
+	mvcc := true
+	if cfg.MVCC != nil {
+		mvcc = *cfg.MVCC
+	}
 	planCacheSize := cfg.PlanCacheSize
 	if planCacheSize <= 0 {
 		planCacheSize = 256
@@ -136,6 +147,7 @@ func New(cfg Config) (*Engine, error) {
 		compiled:  compiled,
 		tcAlgo:    cfg.TCAlgorithm,
 		semiNaive: semiNaive,
+		mvcc:      mvcc,
 		tables:    map[string]*table{},
 		stores:    map[int]*machine.StableStore{},
 	}
@@ -199,17 +211,20 @@ func (e *Engine) coordinatorPE() int {
 
 // Request kinds served by an OFM process.
 type scanReq struct {
+	view ofm.View
 	pred expr.Expr
 	cols []int
 }
 
 type aggReq struct {
+	view    ofm.View
 	pred    expr.Expr
 	groupBy []int
 	specs   []algebra.AggSpec
 }
 
 type closureReq struct {
+	view           ofm.View
 	fromCol, toCol int
 	algo           algebra.TCAlgorithm
 }
@@ -222,12 +237,20 @@ type insertReq struct {
 type deleteReq struct {
 	tx   txn.ID
 	pred expr.Expr
+	view ofm.View
 }
 
 type updateReq struct {
 	tx   txn.ID
 	pred expr.Expr
 	set  map[int]expr.Expr
+	view ofm.View
+}
+
+// commitReq carries the commit timestamp versions are stamped with.
+type commitReq struct {
+	tx txn.ID
+	ts uint64
 }
 
 type loadReq struct{ tuples []value.Tuple }
@@ -246,19 +269,19 @@ func (e *Engine) spawnOFMProcess(o *ofm.OFM, pe int) (*pool.Process, error) {
 			switch req := msg.Body.(type) {
 			case scanReq:
 				var rel *value.Relation
-				rel, err = o.Scan(req.pred, req.cols)
+				rel, err = o.Scan(req.view, req.pred, req.cols)
 				if rel != nil {
 					body, bytes = rel, rel.Size()
 				}
 			case aggReq:
 				var rel *value.Relation
-				rel, err = o.Aggregate(req.pred, req.groupBy, req.specs)
+				rel, err = o.Aggregate(req.view, req.pred, req.groupBy, req.specs)
 				if rel != nil {
 					body, bytes = rel, rel.Size()
 				}
 			case closureReq:
 				var rel *value.Relation
-				rel, err = o.Closure(req.fromCol, req.toCol, req.algo)
+				rel, err = o.Closure(req.view, req.fromCol, req.toCol, req.algo)
 				if rel != nil {
 					body, bytes = rel, rel.Size()
 				}
@@ -267,21 +290,22 @@ func (e *Engine) spawnOFMProcess(o *ofm.OFM, pe int) (*pool.Process, error) {
 				body, bytes = len(req.tuples), 16
 			case deleteReq:
 				var n int
-				n, err = o.DeleteTx(req.tx, req.pred)
+				n, err = o.DeleteTx(req.tx, req.pred, req.view)
 				body, bytes = n, 16
 			case updateReq:
 				var n int
-				n, err = o.UpdateTx(req.tx, req.pred, req.set)
+				n, err = o.UpdateTx(req.tx, req.pred, req.set, req.view)
 				body, bytes = n, 16
 			case loadReq:
 				err = o.Load(req.tuples)
 				body, bytes = len(req.tuples), 16
+			case commitReq:
+				err = o.Commit(req.tx, req.ts)
+				bytes = 16
 			case txn.ID:
 				switch msg.Kind {
 				case "prepare":
 					err = o.Prepare(req)
-				case "commit":
-					err = o.Commit(req)
 				case "abort":
 					err = o.Abort(req)
 				default:
@@ -315,9 +339,10 @@ func (p *ofmParticipant) Prepare(tx txn.ID) error {
 	return err
 }
 
-// Commit implements txn.Participant.
-func (p *ofmParticipant) Commit(tx txn.ID) error {
-	_, err := p.eng.rt.Call(p.coordPE, p.frag.proc, "commit", tx, 64)
+// Commit implements txn.Participant. The commit timestamp rides along so
+// the OFM stamps every applied version with it.
+func (p *ofmParticipant) Commit(tx txn.ID, ts uint64) error {
+	_, err := p.eng.rt.Call(p.coordPE, p.frag.proc, "commit", commitReq{tx: tx, ts: ts}, 64)
 	return err
 }
 
@@ -350,13 +375,21 @@ func (e *Engine) RecoverTable(name string) (int, error) {
 		return 0, err
 	}
 	total := 0
+	var maxTS uint64
 	for _, f := range t.frags {
 		n, err := f.ofm.Recover()
 		if err != nil {
 			return total, err
 		}
 		total += n
+		if ts := f.ofm.RecoveredTS(); ts > maxTS {
+			maxTS = ts
+		}
 	}
+	// The restarted commit clock must move past every recovered commit
+	// timestamp before allocating new ones, or fresh commits would be
+	// invisible to (or collide with) recovered versions.
+	e.txns.AdvanceTo(maxTS)
 	// Refresh catalog statistics.
 	for i, f := range t.frags {
 		t.def.UpdateStats(i, f.ofm.Rows(), f.ofm.MemSize())

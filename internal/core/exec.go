@@ -7,17 +7,21 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/expr"
 	"repro/internal/fragment"
+	"repro/internal/ofm"
 	"repro/internal/plan"
 	"repro/internal/pool"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
 
-// execCtx carries per-query state: the session (locks, coordinator PE)
-// and the common-subexpression cache the optimizer's CSE rule feeds.
+// execCtx carries per-query state: the session (locks, coordinator PE),
+// the read view, and the common-subexpression cache the optimizer's CSE
+// rule feeds. Under MVCC tx is nil for reads — the view alone selects
+// the visible versions and no locks are taken.
 type execCtx struct {
 	s      *Session
 	tx     *txn.Txn
+	view   ofm.View
 	shared map[string]*value.Relation
 	mu     sync.Mutex
 }
@@ -35,9 +39,9 @@ func (ctx *execCtx) cachePut(key string, r *value.Relation) {
 	ctx.mu.Unlock()
 }
 
-// execPlan runs an optimized plan under the given transaction.
-func (e *Engine) execPlan(s *Session, tx *txn.Txn, root plan.Node) (*value.Relation, error) {
-	ctx := &execCtx{s: s, tx: tx, shared: map[string]*value.Relation{}}
+// execPlan runs an optimized plan under the given transaction and view.
+func (e *Engine) execPlan(s *Session, tx *txn.Txn, view ofm.View, root plan.Node) (*value.Relation, error) {
+	ctx := &execCtx{s: s, tx: tx, view: view, shared: map[string]*value.Relation{}}
 	return e.exec(ctx, root)
 }
 
@@ -100,7 +104,13 @@ func (e *Engine) exec(ctx *execCtx, n plan.Node) (*value.Relation, error) {
 }
 
 // lockFragments S-locks the listed fragments of a table for the query.
+// Under MVCC it is a no-op: snapshot reads are resolved purely by the
+// view's timestamp, so readers never touch the lock manager and never
+// block (or are blocked by) writers.
 func (e *Engine) lockFragments(ctx *execCtx, t *table, frags []int) error {
+	if e.mvcc {
+		return nil
+	}
 	for _, fi := range frags {
 		if err := ctx.tx.Lock(t.frags[fi].ofm.Name(), txn.Shared); err != nil {
 			return err
@@ -210,7 +220,7 @@ func (e *Engine) probeFragment(ctx *execCtx, f *fragRef, pr *plan.IndexProbe, ke
 	if f.pe != ctx.s.pe {
 		e.m.Send(ctx.s.pe, f.pe, 64) // the probe request
 	}
-	rel, err := f.ofm.ProbeEq(pr.Col, key, pr.Rest)
+	rel, err := f.ofm.ProbeEq(ctx.view, pr.Col, key, pr.Rest)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +236,7 @@ func (e *Engine) probeFragment(ctx *execCtx, f *fragRef, pr *plan.IndexProbe, ke
 func (e *Engine) parallelScan(ctx *execCtx, t *table, frags []int, pred expr.Expr) ([]*value.Relation, error) {
 	specs := make([]pool.CallSpec, len(frags))
 	for i, fi := range frags {
-		specs[i] = pool.CallSpec{To: t.frags[fi].proc, Kind: "scan", Body: scanReq{pred: pred}, Bytes: 128}
+		specs[i] = pool.CallSpec{To: t.frags[fi].proc, Kind: "scan", Body: scanReq{view: ctx.view, pred: pred}, Bytes: 128}
 	}
 	results, errs := e.rt.CallAll(ctx.s.pe, specs)
 	out := make([]*value.Relation, len(frags))
@@ -415,7 +425,7 @@ func (e *Engine) execPushdownAggregate(ctx *execCtx, a *plan.Aggregate, sc *plan
 	specs := make([]pool.CallSpec, len(frags))
 	for i, fi := range frags {
 		specs[i] = pool.CallSpec{To: t.frags[fi].proc, Kind: "aggregate",
-			Body: aggReq{pred: sc.Pred, groupBy: a.GroupBy, specs: partialSpecs}, Bytes: 192}
+			Body: aggReq{view: ctx.view, pred: sc.Pred, groupBy: a.GroupBy, specs: partialSpecs}, Bytes: 192}
 	}
 	results, errs := e.rt.CallAll(ctx.s.pe, specs)
 	partials := make([]*value.Relation, len(frags))

@@ -148,7 +148,7 @@ func (e *Engine) execPartScan(ctx *execCtx, sc *plan.Scan) (*partRel, error) {
 		pes[i] = t.frags[fi].pe
 	}
 	err = eachPart(len(frags), func(i int) error {
-		rel, err := t.frags[frags[i]].ofm.Scan(sc.Pred, nil)
+		rel, err := t.frags[frags[i]].ofm.Scan(ctx.view, sc.Pred, nil)
 		if err != nil {
 			return err
 		}

@@ -188,13 +188,25 @@ func TestExplainTakesNoLocks(t *testing.T) {
 	mustExec(t, s, `ROLLBACK`)
 }
 
-// TestExplainRejectsNonSelect pins the contract: only SELECTs have
-// optimizer plans to show.
-func TestExplainRejectsNonSelect(t *testing.T) {
+// TestExplainAccessAnnotations pins the EXPLAIN contract: SELECT plans
+// carry the snapshot-read access line under MVCC, DML statements report
+// the locked-write discipline, and nested EXPLAIN stays rejected.
+func TestExplainAccessAnnotations(t *testing.T) {
 	e := newEngine(t)
 	s := setupEmp(t, e)
-	if _, err := s.Exec(`EXPLAIN INSERT INTO dept VALUES ('x', 1)`); err == nil {
-		t.Fatal("EXPLAIN INSERT succeeded")
+	res, err := s.Exec(`EXPLAIN SELECT * FROM emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "snapshot read (no locks)") {
+		t.Fatalf("EXPLAIN SELECT plan lacks snapshot-read access line:\n%s", res.Plan)
+	}
+	res, err = s.Exec(`EXPLAIN INSERT INTO dept VALUES ('x', 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "locked write (2PL exclusive + first-committer-wins)") {
+		t.Fatalf("EXPLAIN INSERT plan lacks locked-write access line:\n%s", res.Plan)
 	}
 	if _, err := s.Exec(`EXPLAIN EXPLAIN SELECT * FROM emp`); err == nil {
 		t.Fatal("nested EXPLAIN succeeded")

@@ -253,22 +253,17 @@ func (s *Session) runSelectPlan(root plan.Node) (*Result, error) {
 
 // runSelectPlanStr is runSelectPlan with a pre-rendered plan string
 // (prepared executions render once at compile time, not per execution).
+// Under MVCC the read runs against a pinned snapshot with no
+// transaction and no locks; under 2PL it runs inside a (possibly
+// autocommit) transaction holding shared locks.
 func (s *Session) runSelectPlanStr(root plan.Node, planStr string) (*Result, error) {
-	tx, autocommit, err := s.transaction()
+	tx, view, finish, err := s.readView()
 	if err != nil {
 		return nil, err
 	}
-	rel, err := s.e.execPlan(s, tx, root)
-	if err != nil {
-		if autocommit {
-			tx.Abort()
-		}
+	rel, execErr := s.e.execPlan(s, tx, view, root)
+	if err := finish(execErr); err != nil {
 		return nil, err
-	}
-	if autocommit {
-		if err := tx.Commit(); err != nil {
-			return nil, err
-		}
 	}
 	return &Result{Rel: rel, Plan: planStr}, nil
 }

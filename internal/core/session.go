@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ofm"
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
 	"repro/internal/txn"
@@ -42,6 +43,49 @@ func (s *Session) transaction() (*txn.Txn, bool, error) {
 		return s.tx, false, nil
 	}
 	return s.e.txns.Begin(), true, nil
+}
+
+// readView establishes the version view for one read-only statement and
+// returns the transaction to execute under (nil when MVCC needs none),
+// the view, and a finish func the caller invokes exactly once with the
+// execution error; finish settles autocommit transactions, releases the
+// snapshot pin, and returns the final error.
+//
+// Under MVCC a read inside an explicit transaction sees the snapshot
+// pinned at the transaction's first read (plus its own pending writes);
+// a standalone SELECT pins a fresh snapshot for just that statement. In
+// both cases no transaction work happens on the read path and no locks
+// are taken. Under the 2PL baseline reads run inside a (possibly
+// autocommit) transaction holding shared fragment locks and observe the
+// latest committed state.
+func (s *Session) readView() (*txn.Txn, ofm.View, func(error) error, error) {
+	if s.e.mvcc {
+		if s.tx != nil {
+			if s.tx.State() != txn.Active {
+				return nil, ofm.View{}, nil, fmt.Errorf("core: transaction is %s; ROLLBACK to continue", s.tx.State())
+			}
+			view := ofm.View{TS: s.tx.Snapshot(), Tx: s.tx.ID()}
+			return s.tx, view, func(err error) error { return err }, nil
+		}
+		ts, release := s.e.txns.PinSnapshot()
+		return nil, ofm.View{TS: ts}, func(err error) error { release(); return err }, nil
+	}
+	tx, autocommit, err := s.transaction()
+	if err != nil {
+		return nil, ofm.View{}, nil, err
+	}
+	view := ofm.View{TS: ofm.LatestTS, Tx: tx.ID()}
+	finish := func(err error) error {
+		if !autocommit {
+			return err
+		}
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+	return tx, view, finish, nil
 }
 
 // Result is the outcome of one statement.
@@ -207,23 +251,46 @@ func (s *Session) execStmt(st sqlparse.Stmt) (*Result, error) {
 // rendering as a one-column relation instead of running it — no
 // fragments are scanned and no locks are taken, so EXPLAIN is safe
 // against any workload. The chosen join methods and Exchange
-// partitioning annotations are exactly what execution will do.
+// partitioning annotations are exactly what execution will do, and a
+// trailing access line states the concurrency-control discipline the
+// statement runs under (snapshot read vs locked read vs locked write).
 func (s *Session) execExplain(ex *sqlparse.Explain) (*Result, error) {
-	sel, ok := ex.Stmt.(*sqlparse.Select)
-	if !ok {
-		return nil, fmt.Errorf("core: EXPLAIN supports SELECT statements, got %T", ex.Stmt)
+	var planStr string
+	switch t := ex.Stmt.(type) {
+	case *sqlparse.Select:
+		root, err := s.e.translateSelect(t)
+		if err != nil {
+			return nil, err
+		}
+		root = s.e.opt.Optimize(root)
+		planStr = plan.Format(root)
+		if s.e.mvcc {
+			planStr += "access: snapshot read (no locks)\n"
+		} else {
+			planStr += "access: locked read (2PL shared)\n"
+		}
+	case *sqlparse.Insert:
+		planStr = fmt.Sprintf("Insert %s\n%s", t.Table, s.writeAccessLine())
+	case *sqlparse.Update:
+		planStr = fmt.Sprintf("Update %s\n%s", t.Table, s.writeAccessLine())
+	case *sqlparse.Delete:
+		planStr = fmt.Sprintf("Delete %s\n%s", t.Table, s.writeAccessLine())
+	default:
+		return nil, fmt.Errorf("core: EXPLAIN supports SELECT and DML statements, got %T", ex.Stmt)
 	}
-	root, err := s.e.translateSelect(sel)
-	if err != nil {
-		return nil, err
-	}
-	root = s.e.opt.Optimize(root)
-	planStr := plan.Format(root)
 	rel := value.NewRelation(value.MustSchema("QUERY PLAN", "VARCHAR"))
 	for _, line := range strings.Split(strings.TrimRight(planStr, "\n"), "\n") {
 		rel.Append(value.NewTuple(value.NewString(line)))
 	}
 	return &Result{Rel: rel, Plan: planStr}, nil
+}
+
+// writeAccessLine renders the EXPLAIN access annotation for DML.
+func (s *Session) writeAccessLine() string {
+	if s.e.mvcc {
+		return "access: locked write (2PL exclusive + first-committer-wins)\n"
+	}
+	return "access: locked write (2PL exclusive)\n"
 }
 
 // execSelect translates, optimizes and runs a SELECT.

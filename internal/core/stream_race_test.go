@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/txn"
+)
+
+// TestStreamedCursorsUnderWriterStorm is the MVCC stream/writer race
+// net, meant to run under -race: 16 long-lived streamed cursors drain a
+// fragmented table batch-by-batch while writer sessions storm it with
+// balanced transfers. Every cursor must observe one consistent
+// snapshot — the transfer invariant (total balance is constant in every
+// committed state) must hold over each cursor's streamed rows even
+// though hundreds of commits land mid-stream — and the writers, who
+// share no locks with the readers, must all complete.
+func TestStreamedCursorsUnderWriterStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const (
+		rows     = 256
+		initBal  = 100
+		total    = rows * initBal
+		readers  = 16
+		cursors  = 3 // streams per reader, back to back
+		writers  = 8
+		transfer = 25 // committed transfers per writer
+	)
+	eng, err := New(Config{NumPEs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	setup := eng.NewSession()
+	mustExec(t, setup, `CREATE TABLE acct (id INT, bal INT, PRIMARY KEY (id))
+		FRAGMENT BY HASH(id) INTO 8 FRAGMENTS`)
+	var vals []string
+	for i := 0; i < rows; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %d)", i, initBal))
+	}
+	mustExec(t, setup, "INSERT INTO acct VALUES "+strings.Join(vals, ", "))
+	setup.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, readers*cursors+writers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := eng.NewSession()
+			defer s.Close()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfer; i++ {
+				// Balanced transfer: retried until it commits, so every
+				// committed state keeps the total at rows*initBal.
+				for {
+					a, b := r.Intn(rows), r.Intn(rows)
+					_, err := s.Exec(`BEGIN`)
+					if err == nil {
+						_, err = s.Exec(fmt.Sprintf(`UPDATE acct SET bal = bal - 5 WHERE id = %d`, a))
+					}
+					if err == nil {
+						_, err = s.Exec(fmt.Sprintf(`UPDATE acct SET bal = bal + 5 WHERE id = %d`, b))
+					}
+					if err == nil {
+						_, err = s.Exec(`COMMIT`)
+					}
+					if err == nil {
+						break
+					}
+					if !txn.IsRetryable(err) {
+						errc <- fmt.Errorf("writer %d: %w", w, err)
+						return
+					}
+					if s.InTransaction() {
+						s.Exec(`ROLLBACK`)
+					}
+				}
+			}
+		}(w)
+	}
+
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			s := eng.NewSession()
+			defer s.Close()
+			for c := 0; c < cursors; c++ {
+				cur, _, err := s.Stream(`SELECT id, bal FROM acct`)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d cursor %d: %w", rd, c, err)
+					return
+				}
+				var sum, seen int64
+				for {
+					rel, err := cur.Next()
+					if err != nil {
+						errc <- fmt.Errorf("reader %d cursor %d: %w", rd, c, err)
+						return
+					}
+					if rel == nil {
+						break
+					}
+					for _, tp := range rel.Tuples {
+						sum += tp[1].Int()
+						seen++
+					}
+					// Yield so writer commits land between batches.
+					runtime.Gosched()
+				}
+				if seen != rows || sum != total {
+					errc <- fmt.Errorf("reader %d cursor %d: torn snapshot — %d rows, sum %d (want %d rows, sum %d)",
+						rd, c, seen, sum, rows, total)
+					return
+				}
+			}
+		}(rd)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if n := eng.Txns().ActiveCount(); n != 0 {
+		t.Errorf("after storm: %d transactions still active", n)
+	}
+	// The final committed state preserved the invariant too.
+	final := eng.NewSession()
+	defer final.Close()
+	rel, err := final.Query(`SELECT SUM(bal) AS total FROM acct`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Tuples[0][0].Int(); got != total {
+		t.Errorf("final total = %d, want %d", got, total)
+	}
+}

@@ -203,10 +203,11 @@ func TestStreamEarlyCloseReleasesLocks(t *testing.T) {
 	}
 }
 
-// TestStreamExplicitTxnKeepsLocks: inside BEGIN..ROLLBACK the cursor
-// must not release the transaction's locks at close — strict 2PL holds
-// them until the transaction ends.
-func TestStreamExplicitTxnKeepsLocks(t *testing.T) {
+// TestStreamExplicitTxnSnapshot: inside BEGIN..ROLLBACK the streaming
+// reader pins a snapshot instead of locks — a concurrent writer is
+// never blocked, and the open transaction keeps seeing its snapshot
+// regardless of what committed since.
+func TestStreamExplicitTxnSnapshot(t *testing.T) {
 	eng := streamEngine(t, 2000)
 	s := eng.NewSession()
 	defer s.Close()
@@ -221,7 +222,8 @@ func TestStreamExplicitTxnKeepsLocks(t *testing.T) {
 	if err := cur.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// The reader transaction is still open: a writer must block.
+	// The reader transaction is still open, but snapshot reads hold no
+	// locks: a writer must complete promptly.
 	w := eng.NewSession()
 	defer w.Close()
 	done := make(chan error, 1)
@@ -231,20 +233,30 @@ func TestStreamExplicitTxnKeepsLocks(t *testing.T) {
 	}()
 	select {
 	case err := <-done:
-		t.Fatalf("writer finished while the streaming transaction held locks (err=%v)", err)
-	case <-time.After(100 * time.Millisecond):
-		// Blocked, as 2PL demands.
+		if err != nil {
+			t.Fatalf("writer alongside streaming transaction: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer blocked by a snapshot reader")
+	}
+	// The open transaction still sees its snapshot, not the new commit.
+	rel, err := s.Query(`SELECT salary FROM emp WHERE id = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || rel.Tuples[0][0].Int() == 1 {
+		t.Fatalf("snapshot transaction observed the concurrent write: %v", rel.Tuples)
 	}
 	if _, err := s.Exec(`ROLLBACK`); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("writer after rollback: %v", err)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("writer still blocked after the streaming transaction ended")
+	// A fresh read after the transaction ends sees the writer's commit.
+	rel, err = s.Query(`SELECT salary FROM emp WHERE id = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || rel.Tuples[0][0].Int() != 1 {
+		t.Fatalf("post-transaction read missed the committed write: %v", rel.Tuples)
 	}
 }
 

@@ -45,12 +45,14 @@ func TestConcurrentSessionsStress(t *testing.T) {
 		workers = 16
 		iters   = 40
 	)
-	// tolerable reports errors that are expected under contention.
+	// tolerable reports errors that are expected under contention:
+	// deadlock aborts, and first-committer-wins write-write conflicts
+	// (the retryable-abort contract of snapshot isolation).
 	tolerable := func(err error) bool {
 		if err == nil {
 			return true
 		}
-		if errors.Is(err, txn.ErrDeadlock) || errors.Is(err, txn.ErrAborted) {
+		if txn.IsRetryable(err) {
 			return true
 		}
 		msg := err.Error()

@@ -190,14 +190,16 @@ func runE11Client(addr string, id, nc, rows, stmts int) ([]time.Duration, error)
 	return lats, nil
 }
 
-// isContention reports deadlock-victim errors, which a concurrent
-// workload must tolerate.
+// isContention reports deadlock-victim and write-write-conflict errors
+// (first-committer-wins under snapshot isolation), which a concurrent
+// workload must tolerate by retrying or moving on.
 func isContention(err error) bool {
 	if err == nil {
 		return false
 	}
 	msg := err.Error()
-	return strings.Contains(msg, "deadlock") || strings.Contains(msg, "abort")
+	return strings.Contains(msg, "deadlock") || strings.Contains(msg, "abort") ||
+		strings.Contains(msg, "write-write conflict")
 }
 
 // percentile reads the p-quantile from sorted latencies.

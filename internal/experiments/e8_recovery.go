@@ -75,7 +75,7 @@ func E8RecoveryOverhead(quick bool) (*Table, error) {
 				tx.Enlist(o)
 				pred := expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewInt(int64(i%100))))
 				set := map[int]expr.Expr{1: expr.NewArith(expr.Add, expr.NewCol("bal"), expr.NewConst(value.NewInt(1)))}
-				if _, err := o.UpdateTx(tx.ID(), pred, set); err != nil {
+				if _, err := o.UpdateTx(tx.ID(), pred, set, ofm.Latest); err != nil {
 					return 0, err
 				}
 				if err := tx.Commit(); err != nil {

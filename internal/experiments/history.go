@@ -1,0 +1,260 @@
+// History checker: an elle-style consistency harness for the MVCC
+// engine. Concurrent register transactions (read-modify-write one key,
+// or read every key in one snapshot) run against a live engine while a
+// logical event clock brackets each operation; the recorded history is
+// then checked — deterministically, with no knowledge of the engine's
+// internals — against the snapshot-isolation contract:
+//
+//   - no lost updates: each key's committed writes form the exact
+//     contiguous value sequence 1..n (two overlapping committed
+//     read-modify-writes would duplicate or skip a value);
+//   - consistent commit-order prefix: a snapshot never sees a write W'
+//     while missing a write W that had fully committed before W'
+//     started (a torn or future-leaking snapshot shows up as exactly
+//     that pattern);
+//   - no reads from the future: a snapshot cannot observe a write whose
+//     transaction started after the reads completed.
+//
+// Recency is deliberately NOT checked: the commit clock publishes
+// snapshots by watermark (the newest prefix of commit order with no
+// commit still in flight), so a snapshot may trail the very latest
+// commits — that is the documented consistent-prefix semantics, not a
+// violation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/txn"
+)
+
+// HistoryConfig sizes a history run.
+type HistoryConfig struct {
+	Keys           int // registers (rows)
+	Writers        int // concurrent read-modify-write sessions
+	OpsPerWriter   int // committed increments each writer must land
+	Readers        int // concurrent whole-snapshot reader sessions
+	ReadsPerReader int // snapshots each reader takes
+}
+
+// WriteOp is one committed read-modify-write: the transaction read
+// Val-1 at its snapshot and committed Val. Start brackets the moment
+// before the transaction's first read (its snapshot is at least this
+// late); End the moment after COMMIT returned.
+type WriteOp struct {
+	Key   int
+	Val   int64
+	Start int64
+	End   int64
+}
+
+// ReadOp is one committed whole-table snapshot: Vals[k] is the value
+// observed for key k. Start precedes the transaction's first read; End
+// follows its last read.
+type ReadOp struct {
+	Vals  []int64
+	Start int64
+	End   int64
+}
+
+// History is a recorded run.
+type History struct {
+	Keys   int
+	Writes []WriteOp
+	Reads  []ReadOp
+}
+
+// historyRetryCap bounds per-op conflict retries; first-committer-wins
+// guarantees global progress, so hitting the cap means a livelock bug.
+const historyRetryCap = 10_000
+
+// RunHistory drives the workload against an engine whose `reg` table
+// (id INT PRIMARY KEY, val INT) holds cfg.Keys rows initialized to 0,
+// and returns the recorded history. Retryable aborts (write-write
+// conflicts, deadlocks) are rolled back and retried; any other error
+// fails the run.
+func RunHistory(eng *core.Engine, cfg HistoryConfig) (*History, error) {
+	var clock atomic.Int64
+	evt := func() int64 { return clock.Add(1) }
+
+	var mu sync.Mutex
+	h := &History{Keys: cfg.Keys}
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := eng.NewSession()
+			defer s.Close()
+			for i := 0; i < cfg.OpsPerWriter; i++ {
+				key := (w + i) % cfg.Keys
+				op, err := historyWrite(s, key, evt)
+				if err != nil {
+					fail(fmt.Errorf("writer %d op %d: %w", w, i, err))
+					return
+				}
+				mu.Lock()
+				h.Writes = append(h.Writes, op)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s := eng.NewSession()
+			defer s.Close()
+			for i := 0; i < cfg.ReadsPerReader; i++ {
+				op, err := historyRead(s, cfg.Keys, evt)
+				if err != nil {
+					fail(fmt.Errorf("reader %d op %d: %w", r, i, err))
+					return
+				}
+				mu.Lock()
+				h.Reads = append(h.Reads, op)
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return h, nil
+}
+
+// historyWrite lands one committed increment of key, retrying
+// first-committer-wins aborts from a fresh snapshot each time.
+func historyWrite(s *core.Session, key int, evt func() int64) (WriteOp, error) {
+	for attempt := 0; attempt < historyRetryCap; attempt++ {
+		start := evt()
+		if _, err := s.Exec(`BEGIN`); err != nil {
+			return WriteOp{}, err
+		}
+		rel, err := s.Query(fmt.Sprintf(`SELECT val FROM reg WHERE id = %d`, key))
+		if err == nil && rel.Len() != 1 {
+			err = fmt.Errorf("key %d: %d rows", key, rel.Len())
+		}
+		var val int64
+		if err == nil {
+			val = rel.Tuples[0][0].Int() + 1
+			_, err = s.Exec(fmt.Sprintf(`UPDATE reg SET val = %d WHERE id = %d`, val, key))
+		}
+		if err == nil {
+			_, err = s.Exec(`COMMIT`)
+			if err == nil {
+				return WriteOp{Key: key, Val: val, Start: start, End: evt()}, nil
+			}
+		}
+		if !txn.IsRetryable(err) {
+			return WriteOp{}, err
+		}
+		if s.InTransaction() {
+			if _, rerr := s.Exec(`ROLLBACK`); rerr != nil {
+				return WriteOp{}, rerr
+			}
+		}
+	}
+	return WriteOp{}, fmt.Errorf("key %d: no commit in %d attempts (livelock?)", key, historyRetryCap)
+}
+
+// historyRead takes one whole-table snapshot, one key per statement so
+// a torn snapshot would have every chance to show.
+func historyRead(s *core.Session, keys int, evt func() int64) (ReadOp, error) {
+	start := evt()
+	if _, err := s.Exec(`BEGIN`); err != nil {
+		return ReadOp{}, err
+	}
+	vals := make([]int64, keys)
+	for k := 0; k < keys; k++ {
+		rel, err := s.Query(fmt.Sprintf(`SELECT val FROM reg WHERE id = %d`, k))
+		if err != nil {
+			s.Exec(`ROLLBACK`)
+			return ReadOp{}, err
+		}
+		if rel.Len() != 1 {
+			s.Exec(`ROLLBACK`)
+			return ReadOp{}, fmt.Errorf("key %d: %d rows", k, rel.Len())
+		}
+		vals[k] = rel.Tuples[0][0].Int()
+	}
+	end := evt()
+	if _, err := s.Exec(`COMMIT`); err != nil {
+		return ReadOp{}, err
+	}
+	return ReadOp{Vals: vals, Start: start, End: end}, nil
+}
+
+// CheckHistory verifies a recorded history against the SI contract
+// described in the package comment, returning the first violation.
+func CheckHistory(h *History) error {
+	// Per-key committed writes must be the contiguous sequence 1..n.
+	perKey := make(map[int][]int64)
+	for _, w := range h.Writes {
+		perKey[w.Key] = append(perKey[w.Key], w.Val)
+	}
+	maxVal := make(map[int]int64)
+	for k, vals := range perKey {
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for i, v := range vals {
+			if v != int64(i+1) {
+				return fmt.Errorf("key %d: committed values %v are not contiguous 1..%d (lost or duplicated update at position %d)",
+					k, vals, len(vals), i)
+			}
+		}
+		maxVal[k] = int64(len(vals))
+	}
+
+	for ri, r := range h.Reads {
+		if len(r.Vals) != h.Keys {
+			return fmt.Errorf("read %d: %d values for %d keys", ri, len(r.Vals), h.Keys)
+		}
+		// Every observed value must have been committed (or be the
+		// initial 0), and not come from a transaction that started
+		// after the reads completed.
+		for k, v := range r.Vals {
+			if v < 0 || v > maxVal[k] {
+				return fmt.Errorf("read %d: key %d shows %d, never committed (max %d)", ri, k, v, maxVal[k])
+			}
+		}
+		// Consistent prefix: no write may be invisible while a write
+		// that happens-after it (started after it fully committed) is
+		// visible. A write is visible iff the snapshot's value for its
+		// key is at or past it (values are per-key monotone).
+		minEndInvisible := int64(1<<62 - 1)
+		maxStartVisible := int64(-1)
+		var wInv, wVis WriteOp
+		for _, w := range h.Writes {
+			if r.Vals[w.Key] >= w.Val {
+				if w.Start > maxStartVisible {
+					maxStartVisible, wVis = w.Start, w
+				}
+				if w.Start >= r.End {
+					return fmt.Errorf("read %d (ended %d): observed key %d ≥ %d from a write that started at %d, after the reads finished",
+						ri, r.End, w.Key, w.Val, w.Start)
+				}
+			} else if w.End < minEndInvisible {
+				minEndInvisible, wInv = w.End, w
+			}
+		}
+		if maxStartVisible > minEndInvisible {
+			return fmt.Errorf("read %d: torn snapshot — saw key %d = %d (write started %d) but missed key %d = %d (committed by %d)",
+				ri, wVis.Key, wVis.Val, wVis.Start, wInv.Key, wInv.Val, wInv.End)
+		}
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ package ofm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/expr"
@@ -67,6 +68,10 @@ type Config struct {
 	// Compiled selects the compiled scan path (default true). Set false
 	// to force the interpreter (experiment E4's baseline).
 	Compiled bool
+	// Horizon, when set, returns the multiversion garbage-collection
+	// horizon (the oldest snapshot any reader may still hold). Commits
+	// use it to opportunistically vacuum dead versions.
+	Horizon func() uint64
 	// StatsFn, when set, observes (rowDelta, byteDelta) after commits —
 	// the catalog's statistics feed.
 	StatsFn func(rowDelta int, byteDelta int64)
@@ -85,8 +90,11 @@ type OFM struct {
 	cfg   Config
 	store *storage.Store
 
-	mu      sync.Mutex
-	pending map[txn.ID]*writeSet
+	mu          sync.Mutex
+	pending     map[txn.ID]*writeSet
+	recoveredTS uint64 // highest commit TS seen by the last Recover
+
+	lastGC atomic.Uint64 // GC horizon of the last vacuum pass
 
 	predMu    sync.Mutex
 	predCache map[string]*expr.Predicate
@@ -217,21 +225,28 @@ func (o *OFM) eqIndexProbe(e expr.Expr) (idx *storage.HashIndex, key value.Value
 	return nil, value.Null, e
 }
 
-// Scan evaluates an optional predicate over the fragment and returns the
+// Scan evaluates an optional predicate over the view and returns the
 // matching tuples, optionally projected to cols (nil = all). Virtual CPU
 // time is charged per tuple examined; a hash index turns an equality
-// scan into a probe.
-func (o *OFM) Scan(pred expr.Expr, cols []int) (*value.Relation, error) {
+// scan into a probe. Only the versions visible at view.TS are read, so
+// snapshot scans need no locks; when the view carries a transaction with
+// pending writes on this fragment, the write set is merged in (and the
+// index fast path skipped, since buffered inserts are not yet indexed).
+func (o *OFM) Scan(view View, pred expr.Expr, cols []int) (*value.Relation, error) {
 	cost := o.costs()
+	del, ins := o.overlay(view)
 
 	// Index probe path.
-	if pred != nil {
+	if pred != nil && len(ins) == 0 {
 		if hash, key, rest := o.eqIndexProbe(pred); hash != nil {
 			ids := hash.Lookup([]value.Value{key})
 			o.cfg.PE.Advance(cost.HashCost(1))
 			rel := value.NewRelation(o.cfg.Schema)
 			for _, id := range ids {
-				if t, ok := o.store.Get(id); ok {
+				if _, gone := del[id]; gone {
+					continue
+				}
+				if t, ok := o.store.GetAt(id, view.TS); ok {
 					rel.Append(t)
 				}
 			}
@@ -244,7 +259,14 @@ func (o *OFM) Scan(pred expr.Expr, cols []int) (*value.Relation, error) {
 	}
 
 	snapshot := value.NewRelation(o.cfg.Schema)
-	snapshot.Tuples = o.store.Snapshot()
+	snapshot.Tuples = make([]value.Tuple, 0, o.store.Len()+len(ins))
+	o.store.ScanAt(view.TS, func(id storage.RowID, t value.Tuple) bool {
+		if _, gone := del[id]; !gone {
+			snapshot.Tuples = append(snapshot.Tuples, t)
+		}
+		return true
+	})
+	snapshot.Tuples = append(snapshot.Tuples, ins...)
 	if pred == nil {
 		o.cfg.PE.Advance(cost.BuildCost(snapshot.Len()))
 		return o.project(snapshot, cols)
@@ -256,16 +278,19 @@ func (o *OFM) Scan(pred expr.Expr, cols []int) (*value.Relation, error) {
 // hash-index lookup — the executor's IndexProbe fast path. Unlike Scan,
 // no predicate is recognized, compiled or interpreted: the key arrives
 // already resolved. rest, when non-nil, filters the probed tuples.
-// A fragment without a matching index degrades to a filtered Scan.
-func (o *OFM) ProbeEq(col int, key value.Value, rest expr.Expr) (*value.Relation, error) {
+// A fragment without a matching index degrades to a filtered Scan, as
+// does a view whose transaction has pending inserts here (they are not
+// indexed yet).
+func (o *OFM) ProbeEq(view View, col int, key value.Value, rest expr.Expr) (*value.Relation, error) {
 	if key.IsNull() {
 		// `col = NULL` is never true.
 		return value.NewRelation(o.cfg.Schema), nil
 	}
+	del, ins := o.overlay(view)
 	hash, ok := o.store.HashIndexOn([]int{col})
-	if !ok {
+	if !ok || len(ins) > 0 {
 		eq := expr.NewCmp(expr.EQ, expr.NewColIdx(col, o.cfg.Schema.Column(col).Kind), expr.NewConst(key))
-		return o.Scan(expr.Conjoin([]expr.Expr{eq, rest}), nil)
+		return o.Scan(view, expr.Conjoin([]expr.Expr{eq, rest}), nil)
 	}
 	cost := o.costs()
 	ids := hash.Lookup([]value.Value{key})
@@ -275,7 +300,10 @@ func (o *OFM) ProbeEq(col int, key value.Value, rest expr.Expr) (*value.Relation
 		rel.Tuples = make([]value.Tuple, 0, len(ids))
 	}
 	for _, id := range ids {
-		if t, ok := o.store.Get(id); ok {
+		if _, gone := del[id]; gone {
+			continue
+		}
+		if t, ok := o.store.GetAt(id, view.TS); ok {
 			rel.Append(t)
 		}
 	}
@@ -325,8 +353,8 @@ func (o *OFM) project(rel *value.Relation, cols []int) (*value.Relation, error) 
 
 // Aggregate runs a local (per-fragment) aggregation, optionally filtered
 // first — the pushdown step of distributed aggregation.
-func (o *OFM) Aggregate(pred expr.Expr, groupBy []int, specs []algebra.AggSpec) (*value.Relation, error) {
-	in, err := o.Scan(pred, nil)
+func (o *OFM) Aggregate(view View, pred expr.Expr, groupBy []int, specs []algebra.AggSpec) (*value.Relation, error) {
+	in, err := o.Scan(view, pred, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -339,9 +367,9 @@ func (o *OFM) Aggregate(pred expr.Expr, groupBy []int, specs []algebra.AggSpec) 
 }
 
 // Closure runs the transitive closure operator locally (paper §2.5).
-func (o *OFM) Closure(fromCol, toCol int, algo algebra.TCAlgorithm) (*value.Relation, error) {
+func (o *OFM) Closure(view View, fromCol, toCol int, algo algebra.TCAlgorithm) (*value.Relation, error) {
 	in := value.NewRelation(o.cfg.Schema)
-	in.Tuples = o.store.Snapshot()
+	in.Tuples = o.visibleTuples(view)
 	out, st, _, err := algebra.TransitiveClosure(in, fromCol, toCol, algo)
 	if err != nil {
 		return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)

@@ -95,7 +95,7 @@ func TestScanFullAndFiltered(t *testing.T) {
 		t.Run(fmt.Sprintf("compiled=%v", compiled), func(t *testing.T) {
 			o, m, _ := newOFM(t, compiled)
 			load(t, o, 30)
-			all, err := o.Scan(nil, nil)
+			all, err := o.Scan(Latest, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,7 +103,7 @@ func TestScanFullAndFiltered(t *testing.T) {
 				t.Errorf("full scan = %d", all.Len())
 			}
 			pred := expr.NewCmp(expr.GE, expr.NewCol("salary"), expr.NewConst(value.NewInt(150)))
-			some, err := o.Scan(pred, nil)
+			some, err := o.Scan(Latest, pred, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -111,7 +111,7 @@ func TestScanFullAndFiltered(t *testing.T) {
 				t.Errorf("filtered scan = %d, want 15", some.Len())
 			}
 			// Projection.
-			proj, err := o.Scan(pred, []int{0})
+			proj, err := o.Scan(Latest, pred, []int{0})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -139,11 +139,11 @@ func TestCompiledVsInterpretedSameResults(t *testing.T) {
 		expr.NewLike(expr.NewCol("dept"), "e%", false),
 	}
 	for _, p := range preds {
-		a, err := oc.Scan(expr.Clone(p), nil)
+		a, err := oc.Scan(Latest, expr.Clone(p), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := oi.Scan(expr.Clone(p), nil)
+		b, err := oi.Scan(Latest, expr.Clone(p), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +161,7 @@ func TestIndexProbe(t *testing.T) {
 	}
 	m.ResetClocks()
 	pred := expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewInt(42)))
-	out, err := o.Scan(pred, nil)
+	out, err := o.Scan(Latest, pred, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestIndexProbe(t *testing.T) {
 	// A non-indexed scan of the same data costs much more virtual time.
 	m.ResetClocks()
 	pred2 := expr.NewCmp(expr.EQ, expr.NewCol("salary"), expr.NewConst(value.NewInt(420)))
-	if _, err := o.Scan(pred2, nil); err != nil {
+	if _, err := o.Scan(Latest, pred2, nil); err != nil {
 		t.Fatal(err)
 	}
 	scanTime := m.PE(1).Clock()
@@ -185,7 +185,7 @@ func TestIndexProbe(t *testing.T) {
 	pred3 := expr.NewAnd(
 		expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewInt(42))),
 		expr.NewCmp(expr.GT, expr.NewCol("salary"), expr.NewConst(value.NewInt(99999))))
-	out, err = o.Scan(pred3, nil)
+	out, err = o.Scan(Latest, pred3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestIndexProbe(t *testing.T) {
 	}
 	// Constant on the left also probes.
 	pred4 := expr.NewCmp(expr.EQ, expr.NewConst(value.NewInt(7)), expr.NewCol("id"))
-	out, err = o.Scan(pred4, nil)
+	out, err = o.Scan(Latest, pred4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestIndexProbe(t *testing.T) {
 func TestAggregatePushdown(t *testing.T) {
 	o, _, _ := newOFM(t, true)
 	load(t, o, 30)
-	out, err := o.Aggregate(nil, []int{1}, []algebra.AggSpec{
+	out, err := o.Aggregate(Latest, nil, []int{1}, []algebra.AggSpec{
 		{Func: algebra.Count, Col: -1, As: "n"},
 	})
 	if err != nil {
@@ -245,7 +245,7 @@ func TestClosureOperator(t *testing.T) {
 	if err := o.Load(edges); err != nil {
 		t.Fatal(err)
 	}
-	out, err := o.Closure(0, 1, algebra.TCSemiNaive)
+	out, err := o.Closure(Latest, 0, 1, algebra.TCSemiNaive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestTransactionAbortDiscards(t *testing.T) {
 	if err := o.InsertTx(tx.ID(), emp(100, "new", 999)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.DeleteTx(tx.ID(), nil); err != nil {
+	if _, err := o.DeleteTx(tx.ID(), nil, Latest); err != nil {
 		t.Fatal(err)
 	}
 	tx.Abort()
@@ -309,7 +309,7 @@ func TestDeleteTx(t *testing.T) {
 	tx := mgr.Begin()
 	tx.Enlist(o)
 	pred := expr.NewCmp(expr.EQ, expr.NewCol("dept"), expr.NewConst(value.NewString("eng")))
-	n, err := o.DeleteTx(tx.ID(), pred)
+	n, err := o.DeleteTx(tx.ID(), pred, Latest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestDeleteTx(t *testing.T) {
 	if o.Rows() != 20 {
 		t.Errorf("rows after delete = %d", o.Rows())
 	}
-	left, err := o.Scan(pred, nil)
+	left, err := o.Scan(Latest, pred, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestUpdateTx(t *testing.T) {
 	set := map[int]expr.Expr{
 		2: expr.NewArith(expr.Add, expr.NewCol("salary"), expr.NewConst(value.NewInt(1000))),
 	}
-	n, err := o.UpdateTx(tx.ID(), pred, set)
+	n, err := o.UpdateTx(tx.ID(), pred, set, Latest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestUpdateTx(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	out, err := o.Scan(pred, nil)
+	out, err := o.Scan(Latest, pred, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestUpdateTx(t *testing.T) {
 	}
 	// Bad set column.
 	tx2 := mgr.Begin()
-	if _, err := o.UpdateTx(tx2.ID(), nil, map[int]expr.Expr{9: expr.NewConst(value.NewInt(1))}); err == nil {
+	if _, err := o.UpdateTx(tx2.ID(), nil, map[int]expr.Expr{9: expr.NewConst(value.NewInt(1))}, Latest); err == nil {
 		t.Error("bad set column should error")
 	}
 	tx2.Abort()
@@ -383,10 +383,10 @@ func TestMutationAfterPrepareRejected(t *testing.T) {
 	if err := o.InsertTx(tx.ID(), emp(2, "y", 2)); err == nil {
 		t.Error("insert after prepare should error")
 	}
-	if _, err := o.DeleteTx(tx.ID(), nil); err == nil {
+	if _, err := o.DeleteTx(tx.ID(), nil, Latest); err == nil {
 		t.Error("delete after prepare should error")
 	}
-	if err := o.Commit(tx.ID()); err != nil {
+	if err := o.Commit(tx.ID(), 0); err != nil {
 		t.Fatal(err)
 	}
 	tx.Abort() // local txn cleanup; OFM already committed via direct calls
@@ -403,7 +403,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	pred := expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewInt(5)))
-	if _, err := o.DeleteTx(tx1.ID(), pred); err != nil {
+	if _, err := o.DeleteTx(tx1.ID(), pred, Latest); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx1.Commit(); err != nil {
@@ -417,7 +417,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	before, err := o.Scan(nil, nil)
+	before, err := o.Scan(Latest, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +433,7 @@ func TestCrashRecovery(t *testing.T) {
 	if applied == 0 {
 		t.Error("no redo applied")
 	}
-	after, err := o.Scan(nil, nil)
+	after, err := o.Scan(Latest, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,7 +441,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Errorf("recovery diverged: %d rows vs %d", after.Len(), before.Len())
 	}
 	// The ghost insert is absent.
-	ghost, err := o.Scan(expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewInt(200))), nil)
+	ghost, err := o.Scan(Latest, expr.NewCmp(expr.EQ, expr.NewCol("id"), expr.NewConst(value.NewInt(200))), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -542,7 +542,7 @@ func TestStatsCallback(t *testing.T) {
 	mgr := txn.NewManager()
 	tx := mgr.Begin()
 	tx.Enlist(o)
-	if _, err := o.DeleteTx(tx.ID(), nil); err != nil {
+	if _, err := o.DeleteTx(tx.ID(), nil, Latest); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.Commit(); err != nil {
@@ -570,7 +570,7 @@ func TestMemoryBudgetEnforced(t *testing.T) {
 	mgr := txn.NewManager()
 	tx := mgr.Begin()
 	tx.Enlist(o)
-	if _, err := o.DeleteTx(tx.ID(), nil); err != nil {
+	if _, err := o.DeleteTx(tx.ID(), nil, Latest); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.Commit(); err != nil {

@@ -43,10 +43,20 @@ func (o *OFM) InsertTx(tx txn.ID, tuples ...value.Tuple) error {
 	return nil
 }
 
-// DeleteTx buffers the deletion of every committed tuple matching pred
-// (nil = all) and returns how many will be deleted.
-func (o *OFM) DeleteTx(tx txn.ID, pred expr.Expr) (int, error) {
-	matching, err := o.matchRowIDs(pred)
+// DeleteTx buffers the deletion of every tuple matching pred (nil = all)
+// in the given view and returns how many will be deleted. The view's
+// transaction overlay applies: the txn's own pending inserts are
+// un-buffered when they match, and rows it already deleted are skipped.
+// When the view is a pinned snapshot, first-committer-wins validation
+// runs: matching a version that a later committer already superseded
+// returns txn.ErrConflict and the caller must abort and retry.
+func (o *OFM) DeleteTx(tx txn.ID, pred expr.Expr, view View) (int, error) {
+	view.Tx = tx
+	matching, err := o.matchRowIDs(view, pred)
+	if err != nil {
+		return 0, err
+	}
+	pendIdx, err := o.matchPending(tx, pred)
 	if err != nil {
 		return 0, err
 	}
@@ -56,20 +66,35 @@ func (o *OFM) DeleteTx(tx txn.ID, pred expr.Expr) (int, error) {
 	if w.prepared {
 		return 0, fmt.Errorf("ofm %s: txn %d already prepared", o.cfg.Name, tx)
 	}
+	count := 0
 	for _, id := range matching {
-		if t, ok := o.store.Get(id); ok {
-			w.deletes = append(w.deletes, id)
-			w.delTuple = append(w.delTuple, t)
+		t, ok := o.store.GetAt(id, view.TS)
+		if !ok {
+			continue
 		}
+		if err := o.checkConflict(view, id); err != nil {
+			return 0, err
+		}
+		w.deletes = append(w.deletes, id)
+		w.delTuple = append(w.delTuple, t)
+		count++
 	}
-	return len(matching), nil
+	count += w.dropInserts(pendIdx)
+	return count, nil
 }
 
-// UpdateTx buffers an update: matching tuples are deleted and their
-// transformed images inserted. set maps column index to a bound
-// expression evaluated against the old tuple.
-func (o *OFM) UpdateTx(tx txn.ID, pred expr.Expr, set map[int]expr.Expr) (int, error) {
-	matching, err := o.matchRowIDs(pred)
+// UpdateTx buffers an update in the given view: matching committed
+// tuples are deleted and their transformed images inserted; the txn's
+// own matching pending inserts are rewritten in place. set maps column
+// index to an expression evaluated against the old tuple. Snapshot
+// views get first-committer-wins validation as in DeleteTx.
+func (o *OFM) UpdateTx(tx txn.ID, pred expr.Expr, set map[int]expr.Expr, view View) (int, error) {
+	view.Tx = tx
+	matching, err := o.matchRowIDs(view, pred)
+	if err != nil {
+		return 0, err
+	}
+	pendIdx, err := o.matchPending(tx, pred)
 	if err != nil {
 		return 0, err
 	}
@@ -85,6 +110,17 @@ func (o *OFM) UpdateTx(tx txn.ID, pred expr.Expr, set map[int]expr.Expr) (int, e
 		}
 		bound[col] = be
 	}
+	applySet := func(old value.Tuple) (value.Tuple, error) {
+		updated := old.Clone()
+		for col, e := range bound {
+			v, err := e.Eval(old)
+			if err != nil {
+				return nil, fmt.Errorf("ofm %s: update: %w", o.cfg.Name, err)
+			}
+			updated[col] = v
+		}
+		return updated, nil
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	w := o.ws(tx)
@@ -92,18 +128,27 @@ func (o *OFM) UpdateTx(tx txn.ID, pred expr.Expr, set map[int]expr.Expr) (int, e
 		return 0, fmt.Errorf("ofm %s: txn %d already prepared", o.cfg.Name, tx)
 	}
 	count := 0
+	// Rewrite the txn's own matching buffered inserts first: pendIdx
+	// indexes the pre-update insert list.
+	for _, i := range pendIdx {
+		updated, err := applySet(w.inserts[i])
+		if err != nil {
+			return count, err
+		}
+		w.inserts[i] = updated
+		count++
+	}
 	for _, id := range matching {
-		old, ok := o.store.Get(id)
+		old, ok := o.store.GetAt(id, view.TS)
 		if !ok {
 			continue
 		}
-		updated := old.Clone()
-		for col, e := range bound {
-			v, err := e.Eval(old)
-			if err != nil {
-				return count, fmt.Errorf("ofm %s: update: %w", o.cfg.Name, err)
-			}
-			updated[col] = v
+		if err := o.checkConflict(view, id); err != nil {
+			return count, err
+		}
+		updated, err := applySet(old)
+		if err != nil {
+			return count, err
 		}
 		w.deletes = append(w.deletes, id)
 		w.delTuple = append(w.delTuple, old)
@@ -114,16 +159,118 @@ func (o *OFM) UpdateTx(tx txn.ID, pred expr.Expr, set map[int]expr.Expr) (int, e
 	return count, nil
 }
 
-// matchRowIDs resolves pred against committed rows. An equality on a
+// checkConflict implements first-committer-wins: a snapshot-view writer
+// that matched a version another transaction has since deleted (or
+// replaced — updates are delete+insert) must abort. The fragment X-lock
+// serializes writers, so by the time this transaction got the lock any
+// competing writer has fully committed; a nonzero end timestamp on the
+// matched version is exactly a write-write conflict.
+func (o *OFM) checkConflict(view View, id storage.RowID) error {
+	if !view.isSnapshot() {
+		return nil
+	}
+	if _, end, ok := o.store.VersionTS(id); ok && end != 0 {
+		return fmt.Errorf("ofm %s: row version superseded since snapshot %d: %w",
+			o.cfg.Name, view.TS, txn.ErrConflict)
+	}
+	return nil
+}
+
+// dropInserts removes the buffered inserts at the given (sorted,
+// pre-computed) indexes. Caller holds o.mu.
+func (w *writeSet) dropInserts(idxs []int) int {
+	if len(idxs) == 0 {
+		return 0
+	}
+	gone := make(map[int]struct{}, len(idxs))
+	for _, i := range idxs {
+		gone[i] = struct{}{}
+	}
+	kept := w.inserts[:0]
+	for i, t := range w.inserts {
+		if _, g := gone[i]; !g {
+			kept = append(kept, t)
+		}
+	}
+	w.inserts = kept
+	return len(idxs)
+}
+
+// matchPending returns the indexes of tx's buffered inserts matching
+// pred (nil = all), read-your-own-writes for DML.
+func (o *OFM) matchPending(tx txn.ID, pred expr.Expr) ([]int, error) {
+	o.mu.Lock()
+	var ins []value.Tuple
+	if w := o.pending[tx]; w != nil && len(w.inserts) > 0 {
+		ins = append([]value.Tuple(nil), w.inserts...)
+	}
+	o.mu.Unlock()
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	if pred == nil {
+		idxs := make([]int, len(ins))
+		for i := range ins {
+			idxs[i] = i
+		}
+		return idxs, nil
+	}
+	match, err := o.predMatcher(pred)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for i, t := range ins {
+		hit, err := match(t)
+		if err != nil {
+			return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+		}
+		if hit {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs, nil
+}
+
+// predMatcher returns a tuple matcher for pred honoring the OFM's
+// compiled/interpreted configuration.
+func (o *OFM) predMatcher(pred expr.Expr) (func(value.Tuple) (bool, error), error) {
+	if o.cfg.Compiled {
+		p, err := o.compilePred(pred)
+		if err != nil {
+			return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+		}
+		return p.Match, nil
+	}
+	bound := expr.Clone(pred)
+	if _, err := expr.Bind(bound, o.cfg.Schema); err != nil {
+		return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+	}
+	return func(t value.Tuple) (bool, error) {
+		v, err := bound.Eval(t)
+		if err != nil {
+			return false, err
+		}
+		return expr.Truthy(v), nil
+	}, nil
+}
+
+// matchRowIDs resolves pred against the versions visible in the view,
+// skipping rows the view's transaction already deleted. An equality on a
 // hash-indexed column probes the index instead of scanning the
 // fragment — the point-UPDATE/DELETE fast path, mirroring what Scan
 // does for point SELECTs (the E11 profile showed DML spending its time
-// re-scanning fragments that the pk index answers in O(1)).
-func (o *OFM) matchRowIDs(pred expr.Expr) ([]storage.RowID, error) {
+// re-scanning fragments that the pk index answers in O(1)). The index
+// also holds dead versions until Vacuum, so probe hits are re-checked
+// against the view's visibility.
+func (o *OFM) matchRowIDs(view View, pred expr.Expr) ([]storage.RowID, error) {
+	del, _ := o.overlay(view)
 	var ids []storage.RowID
 	if pred == nil {
-		o.store.Scan(func(id storage.RowID, _ value.Tuple) bool {
-			ids = append(ids, id)
+		o.store.ScanAt(view.TS, func(id storage.RowID, _ value.Tuple) bool {
+			if _, gone := del[id]; !gone {
+				ids = append(ids, id)
+			}
 			return true
 		})
 		o.cfg.PE.Advance(o.costs().ScanCost(len(ids), o.cfg.Compiled))
@@ -132,54 +279,48 @@ func (o *OFM) matchRowIDs(pred expr.Expr) ([]storage.RowID, error) {
 	if hash, key, rest := o.eqIndexProbe(pred); hash != nil {
 		probed := hash.Lookup([]value.Value{key})
 		o.cfg.PE.Advance(o.costs().HashCost(1))
-		if rest == nil {
-			return probed, nil
-		}
-		// Filter the probed rows by the remaining conjuncts.
-		p, err := o.compilePred(rest)
-		if err != nil {
-			return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+		var match func(value.Tuple) (bool, error)
+		if rest != nil {
+			var err error
+			if match, err = o.predMatcher(rest); err != nil {
+				return nil, err
+			}
 		}
 		for _, id := range probed {
-			t, ok := o.store.Get(id)
+			if _, gone := del[id]; gone {
+				continue
+			}
+			t, ok := o.store.GetAt(id, view.TS)
 			if !ok {
 				continue
 			}
-			hit, err := p.Match(t)
-			if err != nil {
-				return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+			if match != nil {
+				hit, err := match(t)
+				if err != nil {
+					return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+				}
+				if !hit {
+					continue
+				}
 			}
-			if hit {
-				ids = append(ids, id)
-			}
+			ids = append(ids, id)
 		}
 		o.cfg.PE.Advance(o.costs().ScanCost(len(probed), true))
 		return ids, nil
 	}
-	var p *expr.Predicate
-	var bound expr.Expr
-	var err error
-	if o.cfg.Compiled {
-		p, err = o.compilePred(pred)
-	} else {
-		bound = expr.Clone(pred)
-		_, err = expr.Bind(bound, o.cfg.Schema)
-	}
+	match, err := o.predMatcher(pred)
 	if err != nil {
-		return nil, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
+		return nil, err
 	}
 	scanned := 0
 	var evalErr error
-	o.store.Scan(func(id storage.RowID, t value.Tuple) bool {
+	o.store.ScanAt(view.TS, func(id storage.RowID, t value.Tuple) bool {
 		scanned++
-		var hit bool
-		if p != nil {
-			hit, evalErr = p.Match(t)
-		} else {
-			var v value.Value
-			v, evalErr = bound.Eval(t)
-			hit = expr.Truthy(v)
+		if _, gone := del[id]; gone {
+			return true
 		}
+		var hit bool
+		hit, evalErr = match(t)
 		if evalErr != nil {
 			return false
 		}
@@ -260,9 +401,14 @@ func (o *OFM) chargeRemoteLog(nRecords int) {
 	}
 }
 
-// Commit implements txn.Participant: the commit marker is forced, then
-// the write set is applied to the main-memory store.
-func (o *OFM) Commit(tx txn.ID) error {
+// Commit implements txn.Participant: the commit marker (carrying the
+// commit timestamp) is forced, then the write set is applied to the
+// main-memory store as versions stamped with ts — deletes set the end
+// timestamp (the tuple stays visible to older snapshots), inserts begin
+// at ts. A zero ts (direct test use outside the timestamp-allocating
+// transaction layer) degrades to physical deletes and load-visible
+// inserts.
+func (o *OFM) Commit(tx txn.ID, ts uint64) error {
 	o.mu.Lock()
 	w := o.pending[tx]
 	delete(o.pending, tx)
@@ -273,20 +419,26 @@ func (o *OFM) Commit(tx txn.ID) error {
 	if o.cfg.Kind == Persistent {
 		// Group commit: the marker's disk force is shared with other
 		// transactions committing on this log concurrently.
-		if err := o.cfg.Log.AppendCommit(tx); err != nil {
+		if err := o.cfg.Log.AppendCommit(tx, ts); err != nil {
 			return fmt.Errorf("ofm %s: commit marker: %w", o.cfg.Name, err)
 		}
 	}
 	var rowDelta int
 	var byteDelta int64
 	for i, id := range w.deletes {
-		if o.store.Delete(id) {
+		deleted := false
+		if ts != 0 {
+			deleted = o.store.DeleteVersion(id, ts)
+		} else {
+			deleted = o.store.Delete(id)
+		}
+		if deleted {
 			rowDelta--
 			byteDelta -= int64(w.delTuple[i].Size())
 		}
 	}
 	for _, t := range w.inserts {
-		if _, err := o.store.Insert(t); err != nil {
+		if _, err := o.store.InsertVersion(t, ts); err != nil {
 			return fmt.Errorf("ofm %s: commit apply: %w", o.cfg.Name, err)
 		}
 		rowDelta++
@@ -296,7 +448,51 @@ func (o *OFM) Commit(tx txn.ID) error {
 	if o.cfg.StatsFn != nil && (rowDelta != 0 || byteDelta != 0) {
 		o.cfg.StatsFn(rowDelta, byteDelta)
 	}
+	o.maybeVacuum()
 	return nil
+}
+
+// vacuumThreshold is the dead-version count past which a commit triggers
+// an opportunistic vacuum of the fragment.
+const vacuumThreshold = 256
+
+// maybeVacuum reclaims dead versions when enough have accumulated and a
+// GC horizon is wired. The horizon is the oldest snapshot still pinned,
+// so no reachable version is ever freed. A vacuum pass only runs when
+// the horizon has advanced past the previous pass: versions that died
+// since then carry newer end timestamps, so re-vacuuming at an unmoved
+// horizon reclaims nothing — without the gate, a pinned horizon under a
+// fast writer turns every commit into a full-store scan that starves
+// readers of the store lock. A standalone OFM (no commit clock, so no
+// snapshot can be reading old versions) reclaims eagerly at every
+// commit, keeping the pre-MVCC memory profile.
+func (o *OFM) maybeVacuum() {
+	if o.cfg.Horizon == nil {
+		if o.store.DeadVersions() > 0 {
+			o.store.Vacuum(LatestTS)
+		}
+		return
+	}
+	if o.store.DeadVersions() < vacuumThreshold {
+		return
+	}
+	h := o.cfg.Horizon()
+	if h <= o.lastGC.Load() {
+		return
+	}
+	o.lastGC.Store(h)
+	o.store.Vacuum(h)
+}
+
+// Vacuum reclaims dead versions explicitly, up to the configured GC
+// horizon (everything dead, when no horizon is wired). Returns the
+// number of versions freed.
+func (o *OFM) Vacuum() int {
+	horizon := LatestTS
+	if o.cfg.Horizon != nil {
+		horizon = o.cfg.Horizon()
+	}
+	return o.store.Vacuum(horizon)
 }
 
 // Abort implements txn.Participant: the write set is dropped; a prepared
@@ -348,11 +544,16 @@ func (o *OFM) Recover() (int, error) {
 	for _, r := range res.Redo {
 		switch r.Type {
 		case wal.RecInsert:
-			if _, err := o.store.Insert(r.Tuple); err != nil {
+			// Replay with the original commit timestamp (stamped onto the
+			// redo record by Recover) so post-restart snapshot visibility
+			// matches the pre-crash committed state.
+			if _, err := o.store.InsertVersion(r.Tuple, r.TS); err != nil {
 				return applied, fmt.Errorf("ofm %s: redo insert: %w", o.cfg.Name, err)
 			}
 		case wal.RecDelete:
-			// Delete by value: find one matching committed tuple.
+			// Delete by value: find one matching committed tuple. The
+			// delete is physical — no pre-crash snapshot survives a crash,
+			// so the dead version has no readers.
 			var target storage.RowID = -1
 			o.store.Scan(func(id storage.RowID, t value.Tuple) bool {
 				if value.EqualTuples(t, r.Tuple) {
@@ -367,8 +568,19 @@ func (o *OFM) Recover() (int, error) {
 		}
 		applied++
 	}
+	o.mu.Lock()
+	o.recoveredTS = res.MaxTS
+	o.mu.Unlock()
 	o.cfg.PE.Advance(o.costs().BuildCost(len(res.Snapshot) + applied))
 	return applied, nil
+}
+
+// RecoveredTS returns the highest commit timestamp seen by the last
+// Recover; the restarted commit clock must advance past it.
+func (o *OFM) RecoveredTS() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.recoveredTS
 }
 
 // Checkpoint folds the committed store into the checkpoint segment and

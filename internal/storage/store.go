@@ -32,9 +32,22 @@ func (id RowID) gen() int64 { return int64(id) >> rowIndexBits }
 // the OFM wires it to its processing element's 16 MB budget.
 type MemChangeFunc func(delta int64)
 
+// slot holds one tuple version. MVCC visibility is a pair of commit
+// timestamps: begin is the commit that created the version (0 = present
+// since load, visible to every snapshot), end is the commit that deleted
+// it (0 = still current). A version is visible at snapshot ts iff
+// begin <= ts && (end == 0 || end > ts). A slot with tuple == nil is
+// free; a slot with end != 0 is a dead version kept for old snapshots
+// until Vacuum reclaims it.
 type slot struct {
-	tuple value.Tuple // nil = tombstone
+	tuple value.Tuple // nil = free slot
 	gen   int64
+	begin uint64
+	end   uint64
+}
+
+func (sl *slot) visibleAt(ts uint64) bool {
+	return sl.begin <= ts && (sl.end == 0 || sl.end > ts)
 }
 
 // Store is a main-memory multiset of tuples with secondary indexes.
@@ -44,8 +57,9 @@ type Store struct {
 
 	mu      sync.RWMutex
 	rows    []slot
-	free    []int // reusable tombstone slot indexes
-	count   int
+	free    []int // reusable free slot indexes
+	count   int   // current versions (end == 0)
+	dead    int   // dead versions awaiting Vacuum
 	memSize int64
 	onMem   MemChangeFunc
 
@@ -109,8 +123,16 @@ func Conform(schema *value.Schema, t value.Tuple) error {
 	return nil
 }
 
-// Insert adds a tuple and returns its row id.
+// Insert adds a tuple visible to every snapshot (begin timestamp 0) and
+// returns its row id. Load and bootstrap paths use it; transactional
+// writers use InsertVersion to stamp their commit timestamp.
 func (s *Store) Insert(t value.Tuple) (RowID, error) {
+	return s.InsertVersion(t, 0)
+}
+
+// InsertVersion adds a tuple version whose begin timestamp is the commit
+// timestamp ts; snapshots at or after ts see it.
+func (s *Store) InsertVersion(t value.Tuple, ts uint64) (RowID, error) {
 	if err := Conform(s.schema, t); err != nil {
 		return -1, err
 	}
@@ -120,10 +142,12 @@ func (s *Store) Insert(t value.Tuple) (RowID, error) {
 		si := s.free[n-1]
 		s.free = s.free[:n-1]
 		s.rows[si].tuple = t
+		s.rows[si].begin = ts
+		s.rows[si].end = 0
 		id = makeRowID(si, s.rows[si].gen)
 	} else {
 		id = makeRowID(len(s.rows), 0)
-		s.rows = append(s.rows, slot{tuple: t})
+		s.rows = append(s.rows, slot{tuple: t, begin: ts})
 	}
 	s.count++
 	delta := int64(t.Size())
@@ -155,8 +179,9 @@ func (s *Store) InsertBatch(ts []value.Tuple) ([]RowID, error) {
 	return ids, nil
 }
 
-// live returns the slot index of a valid live id, or -1. Caller holds a lock.
-func (s *Store) live(id RowID) int {
+// valid returns the slot index of a valid id (any version, current or
+// dead), or -1. Caller holds a lock.
+func (s *Store) valid(id RowID) int {
 	si := id.slot()
 	if id < 0 || si >= len(s.rows) || s.rows[si].tuple == nil || s.rows[si].gen != id.gen() {
 		return -1
@@ -164,7 +189,17 @@ func (s *Store) live(id RowID) int {
 	return si
 }
 
-// Get returns the tuple at id.
+// live returns the slot index of a valid current (end == 0) id, or -1.
+// Caller holds a lock.
+func (s *Store) live(id RowID) int {
+	si := s.valid(id)
+	if si < 0 || s.rows[si].end != 0 {
+		return -1
+	}
+	return si
+}
+
+// Get returns the current tuple at id (misses on dead versions).
 func (s *Store) Get(id RowID) (value.Tuple, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -175,7 +210,32 @@ func (s *Store) Get(id RowID) (value.Tuple, bool) {
 	return s.rows[si].tuple, true
 }
 
-// Delete removes the tuple at id.
+// GetAt returns the version at id as seen by a snapshot at ts.
+func (s *Store) GetAt(id RowID, ts uint64) (value.Tuple, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	si := s.valid(id)
+	if si < 0 || !s.rows[si].visibleAt(ts) {
+		return nil, false
+	}
+	return s.rows[si].tuple, true
+}
+
+// VersionTS returns the begin/end commit timestamps of the version at id
+// (current or dead). Writers use it for first-committer-wins validation.
+func (s *Store) VersionTS(id RowID) (begin, end uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	si := s.valid(id)
+	if si < 0 {
+		return 0, 0, false
+	}
+	return s.rows[si].begin, s.rows[si].end, true
+}
+
+// Delete physically removes the current version at id — the non-MVCC
+// path (recovery replay, direct store use). Transactional deletes go
+// through DeleteVersion so old snapshots keep seeing the tuple.
 func (s *Store) Delete(id RowID) bool {
 	s.mu.Lock()
 	si := s.live(id)
@@ -183,11 +243,26 @@ func (s *Store) Delete(id RowID) bool {
 		s.mu.Unlock()
 		return false
 	}
+	s.count--
+	delta := s.freeSlot(si, id)
+	onMem := s.onMem
+	s.mu.Unlock()
+	if onMem != nil {
+		onMem(delta)
+	}
+	return true
+}
+
+// freeSlot physically reclaims the version in slot si (row id `id`),
+// detaching it from indexes and markings. Caller holds s.mu and has
+// already adjusted count/dead; returns the memory delta.
+func (s *Store) freeSlot(si int, id RowID) int64 {
 	t := s.rows[si].tuple
 	s.rows[si].tuple = nil
 	s.rows[si].gen++ // invalidate outstanding ids for this slot
+	s.rows[si].begin = 0
+	s.rows[si].end = 0
 	s.free = append(s.free, si)
-	s.count--
 	delta := -int64(t.Size())
 	s.memSize += delta
 	for _, idx := range s.hashIdx {
@@ -199,12 +274,58 @@ func (s *Store) Delete(id RowID) bool {
 	for _, m := range s.markings {
 		delete(m, id)
 	}
-	onMem := s.onMem
-	s.mu.Unlock()
-	if onMem != nil {
-		onMem(delta)
+	return delta
+}
+
+// DeleteVersion logically deletes the current version at id: its end
+// timestamp is set to the commit timestamp ts, so snapshots before ts
+// keep seeing it while snapshots at or after ts do not. The version
+// stays in memory (and in the indexes — probes filter by visibility)
+// until Vacuum passes ts.
+func (s *Store) DeleteVersion(id RowID, ts uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	si := s.live(id)
+	if si < 0 {
+		return false
+	}
+	s.rows[si].end = ts
+	s.count--
+	s.dead++
+	for _, m := range s.markings {
+		delete(m, id)
 	}
 	return true
+}
+
+// Vacuum physically reclaims dead versions no snapshot can see: those
+// with end != 0 and end <= horizon. Returns the number reclaimed.
+func (s *Store) Vacuum(horizon uint64) int {
+	s.mu.Lock()
+	reclaimed := 0
+	var delta int64
+	for si := range s.rows {
+		sl := &s.rows[si]
+		if sl.tuple == nil || sl.end == 0 || sl.end > horizon {
+			continue
+		}
+		delta += s.freeSlot(si, makeRowID(si, sl.gen))
+		s.dead--
+		reclaimed++
+	}
+	onMem := s.onMem
+	s.mu.Unlock()
+	if onMem != nil && delta != 0 {
+		onMem(delta)
+	}
+	return reclaimed
+}
+
+// DeadVersions returns how many dead versions await Vacuum.
+func (s *Store) DeadVersions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dead
 }
 
 // Update replaces the tuple at id.
@@ -238,15 +359,15 @@ func (s *Store) Update(id RowID, t value.Tuple) error {
 	return nil
 }
 
-// Scan calls fn for every live tuple until fn returns false. The lock is
-// held for the duration; fn must not mutate the store (use a Cursor for
-// interleaved mutation).
+// Scan calls fn for every current tuple until fn returns false. The lock
+// is held for the duration; fn must not mutate the store (use a Cursor
+// for interleaved mutation).
 func (s *Store) Scan(fn func(RowID, value.Tuple) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for i := range s.rows {
 		t := s.rows[i].tuple
-		if t == nil {
+		if t == nil || s.rows[i].end != 0 {
 			continue
 		}
 		if !fn(makeRowID(i, s.rows[i].gen), t) {
@@ -255,14 +376,43 @@ func (s *Store) Scan(fn func(RowID, value.Tuple) bool) {
 	}
 }
 
-// Snapshot returns all live tuples (shared, treat as immutable).
+// ScanAt calls fn for every tuple version visible to a snapshot at ts
+// until fn returns false. Same locking contract as Scan.
+func (s *Store) ScanAt(ts uint64, fn func(RowID, value.Tuple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.rows {
+		sl := &s.rows[i]
+		if sl.tuple == nil || !sl.visibleAt(ts) {
+			continue
+		}
+		if !fn(makeRowID(i, sl.gen), sl.tuple) {
+			return
+		}
+	}
+}
+
+// Snapshot returns all current tuples (shared, treat as immutable).
 func (s *Store) Snapshot() []value.Tuple {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]value.Tuple, 0, s.count)
 	for i := range s.rows {
-		if t := s.rows[i].tuple; t != nil {
+		if t := s.rows[i].tuple; t != nil && s.rows[i].end == 0 {
 			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SnapshotAt returns the tuples visible to a snapshot at ts.
+func (s *Store) SnapshotAt(ts uint64) []value.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]value.Tuple, 0, s.count)
+	for i := range s.rows {
+		if sl := &s.rows[i]; sl.tuple != nil && sl.visibleAt(ts) {
+			out = append(out, sl.tuple)
 		}
 	}
 	return out
@@ -275,6 +425,7 @@ func (s *Store) Clear() {
 	s.rows = nil
 	s.free = nil
 	s.count = 0
+	s.dead = 0
 	s.memSize = 0
 	for _, idx := range s.hashIdx {
 		idx.clear()
@@ -459,7 +610,7 @@ func (s *Store) OpenCursor() *Cursor {
 	defer s.mu.RUnlock()
 	ids := make([]RowID, 0, s.count)
 	for i := range s.rows {
-		if s.rows[i].tuple != nil {
+		if s.rows[i].tuple != nil && s.rows[i].end == 0 {
 			ids = append(ids, makeRowID(i, s.rows[i].gen))
 		}
 	}

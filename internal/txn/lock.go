@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ID identifies a transaction.
@@ -89,6 +90,8 @@ type LockManager struct {
 
 	waitMu sync.Mutex
 	waits  map[ID]map[ID]struct{} // edge tx -> txs it waits for
+
+	acquires atomic.Int64 // total Acquire calls (tests assert lock-free reads)
 }
 
 // NewLockManager creates an empty lock manager.
@@ -128,6 +131,7 @@ func compatible(st *lockState, tx ID, mode LockMode) bool {
 // returns ErrDeadlock if waiting would create a waits-for cycle. A
 // shared lock held by tx upgrades to exclusive when requested.
 func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
+	lm.acquires.Add(1)
 	sh := lm.shardOf(resource)
 	sh.mu.Lock()
 	st := sh.locks[resource]
@@ -309,6 +313,11 @@ func (lm *LockManager) pump(sh *lockShard, st *lockState, resource string) {
 }
 
 // HeldBy returns the resources tx currently holds with their modes.
+// Acquires returns the total number of Acquire calls seen, including
+// re-entrant and failed ones. Isolation tests diff this counter around a
+// SELECT to prove that snapshot reads never touch the lock manager.
+func (lm *LockManager) Acquires() int64 { return lm.acquires.Load() }
+
 func (lm *LockManager) HeldBy(tx ID) map[string]LockMode {
 	out := map[string]LockMode{}
 	for i := range lm.shards {

@@ -14,15 +14,16 @@ type Participant interface {
 	Name() string
 	// Prepare flushes and votes: a nil return is a yes vote.
 	Prepare(tx ID) error
-	// Commit finalizes after a unanimous yes. It must not fail.
-	Commit(tx ID) error
+	// Commit finalizes after a unanimous yes, stamping the transaction's
+	// versions with the commit timestamp ts. It must not fail.
+	Commit(tx ID, ts uint64) error
 	// Abort rolls back; called on any no vote or on coordinator abort.
 	Abort(tx ID) error
 }
 
 // runTwoPhaseCommit drives the protocol: parallel prepare, then parallel
 // commit on unanimous yes, or parallel abort on any no.
-func runTwoPhaseCommit(tx ID, parts []Participant) error {
+func runTwoPhaseCommit(tx ID, ts uint64, parts []Participant) error {
 	if len(parts) == 0 {
 		return nil
 	}
@@ -62,7 +63,7 @@ func runTwoPhaseCommit(tx ID, parts []Participant) error {
 		wg.Add(1)
 		go func(p Participant) {
 			defer wg.Done()
-			p.Commit(tx)
+			p.Commit(tx, ts)
 		}(p)
 	}
 	wg.Wait()

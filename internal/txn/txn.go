@@ -40,6 +40,10 @@ type Txn struct {
 	state        State
 	undo         []func() // volatile undo actions, run in reverse on abort
 	participants []Participant
+
+	snapTS      uint64 // snapshot timestamp, pinned lazily at first read
+	snapRelease func()
+	commitTS    uint64 // commit timestamp, 0 until committed (or read-only)
 }
 
 // ID returns the transaction id.
@@ -50,6 +54,27 @@ func (t *Txn) State() State {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.state
+}
+
+// Snapshot returns the transaction's snapshot timestamp, pinning the
+// current watermark on first use. All of the transaction's reads see
+// the versions committed at or before this timestamp, plus its own
+// pending writes.
+func (t *Txn) Snapshot() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.snapRelease == nil && t.state == Active {
+		t.snapTS, t.snapRelease = t.mgr.PinSnapshot()
+	}
+	return t.snapTS
+}
+
+// CommitTS returns the commit timestamp stamped on the transaction's
+// versions, or 0 if it has not committed (or committed read-only).
+func (t *Txn) CommitTS() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commitTS
 }
 
 // Lock acquires a fragment lock under strict 2PL. On deadlock the
@@ -95,6 +120,8 @@ func (t *Txn) Participants() []Participant {
 
 // Commit runs two-phase commit over the enlisted participants and
 // releases all locks. With no participants it is a trivial local commit.
+// A transaction with participants draws a commit timestamp; its versions
+// become visible to snapshots taken after the watermark passes it.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.state != Active {
@@ -106,7 +133,17 @@ func (t *Txn) Commit() error {
 	parts := append([]Participant(nil), t.participants...)
 	t.mu.Unlock()
 
-	if err := runTwoPhaseCommit(t.id, parts); err != nil {
+	var ts uint64
+	if len(parts) > 0 {
+		ts = t.mgr.beginCommit()
+	}
+	err := runTwoPhaseCommit(t.id, ts, parts)
+	if ts != 0 {
+		// The watermark may pass this commit only once its versions are
+		// fully applied (or it aborted) on every participant.
+		t.mgr.endCommit(ts)
+	}
+	if err != nil {
 		// Phase 2 already aborted the participants; only roll back local
 		// state here.
 		t.rollback(false)
@@ -114,6 +151,7 @@ func (t *Txn) Commit() error {
 	}
 	t.mu.Lock()
 	t.state = Committed
+	t.commitTS = ts
 	t.undo = nil
 	t.mu.Unlock()
 	t.mgr.finish(t)
@@ -165,11 +203,23 @@ type Manager struct {
 
 	commits atomic.Int64
 	aborts  atomic.Int64
+
+	// Commit clock and snapshot pins (see mvcc.go).
+	tsMu      sync.Mutex
+	lastTS    uint64              // last allocated commit timestamp
+	inflight  map[uint64]struct{} // allocated but not yet fully applied
+	watermark uint64              // all commits <= watermark are applied
+	pins      map[uint64]int      // snapshot timestamp -> pin refcount
 }
 
 // NewManager creates a transaction manager with a fresh lock space.
 func NewManager() *Manager {
-	return &Manager{locks: NewLockManager(), active: map[ID]*Txn{}}
+	return &Manager{
+		locks:    NewLockManager(),
+		active:   map[ID]*Txn{},
+		inflight: map[uint64]struct{}{},
+		pins:     map[uint64]int{},
+	}
 }
 
 // Begin starts a transaction.
@@ -183,6 +233,13 @@ func (m *Manager) Begin() *Txn {
 
 // finish releases locks and bookkeeping once a txn reaches a final state.
 func (m *Manager) finish(t *Txn) {
+	t.mu.Lock()
+	rel := t.snapRelease
+	t.snapRelease = nil
+	t.mu.Unlock()
+	if rel != nil {
+		rel()
+	}
 	m.locks.ReleaseAll(t.id)
 	m.mu.Lock()
 	_, was := m.active[t.id]

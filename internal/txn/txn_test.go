@@ -31,7 +31,7 @@ func (f *fakeParticipant) Prepare(tx ID) error {
 	return nil
 }
 
-func (f *fakeParticipant) Commit(tx ID) error {
+func (f *fakeParticipant) Commit(tx ID, ts uint64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.commits = append(f.commits, tx)
@@ -228,7 +228,7 @@ func TestConcurrentTransfersSerialize(t *testing.T) {
 }
 
 func TestTwoPCNoParticipants(t *testing.T) {
-	if err := runTwoPhaseCommit(1, nil); err != nil {
+	if err := runTwoPhaseCommit(1, 1, nil); err != nil {
 		t.Errorf("empty 2PC = %v", err)
 	}
 }

@@ -24,7 +24,7 @@ func TestAppendCommitDurable(t *testing.T) {
 	); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.AppendCommit(7); err != nil {
+	if err := l.AppendCommit(7, 1); err != nil {
 		t.Fatal(err)
 	}
 	res, err := l.Recover()
@@ -69,7 +69,7 @@ func TestAppendCommitCoalesces(t *testing.T) {
 			wg.Add(1)
 			go func(i, j int) {
 				defer wg.Done()
-				if err := ls[i].AppendCommit(txnID(i*perLog + j + 1)); err != nil {
+				if err := ls[i].AppendCommit(txnID(i*perLog+j+1), uint64(i*perLog+j+1)); err != nil {
 					t.Errorf("log %d commit %d: %v", i, j, err)
 				}
 			}(i, j)

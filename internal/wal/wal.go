@@ -52,16 +52,21 @@ func (t RecType) String() string {
 }
 
 // Record is one redo log entry. Updates are logged as delete+insert.
+// TS is the commit timestamp: written on commit markers, and stamped by
+// Recover onto each committed transaction's redo records so replay can
+// rebuild multiversion visibility exactly as it was before the crash.
 type Record struct {
 	Type  RecType
 	Txn   txn.ID
+	TS    uint64
 	Tuple value.Tuple // payload for insert/delete; nil for markers
 }
 
-// appendRecord encodes: [type:1][txn:8][hasTuple:1][tuple...].
+// appendRecord encodes: [type:1][txn:8][ts:8][hasTuple:1][tuple...].
 func appendRecord(buf []byte, r Record) []byte {
 	buf = append(buf, byte(r.Type))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(r.Txn))
+	buf = binary.BigEndian.AppendUint64(buf, r.TS)
 	if r.Tuple == nil {
 		buf = append(buf, 0)
 		return buf
@@ -71,14 +76,18 @@ func appendRecord(buf []byte, r Record) []byte {
 }
 
 func decodeRecord(buf []byte) (Record, int, error) {
-	if len(buf) < 10 {
+	if len(buf) < 18 {
 		return Record{}, 0, fmt.Errorf("wal: truncated record header")
 	}
-	r := Record{Type: RecType(buf[0]), Txn: txn.ID(binary.BigEndian.Uint64(buf[1:9]))}
+	r := Record{
+		Type: RecType(buf[0]),
+		Txn:  txn.ID(binary.BigEndian.Uint64(buf[1:9])),
+		TS:   binary.BigEndian.Uint64(buf[9:17]),
+	}
 	if r.Type < RecInsert || r.Type > RecAbort {
 		return Record{}, 0, fmt.Errorf("wal: bad record type %d", buf[0])
 	}
-	off := 9
+	off := 17
 	hasTuple := buf[off]
 	off++
 	if hasTuple == 0 {
@@ -148,8 +157,8 @@ func (l *Log) Append(recs ...Record) error {
 // Different transactions committing on the *same* fragment never
 // overlap here (strict 2PL serializes them), which is exactly why the
 // batching lives on the shared store rather than the per-fragment log.
-func (l *Log) AppendCommit(tx txn.ID) error {
-	buf := appendRecord(nil, Record{Type: RecCommit, Txn: tx})
+func (l *Log) AppendCommit(tx txn.ID, ts uint64) error {
+	buf := appendRecord(nil, Record{Type: RecCommit, Txn: tx, TS: ts})
 	if _, err := l.store.GroupAppend(l.name, buf); err != nil {
 		return err
 	}
@@ -221,6 +230,9 @@ type RecoveryResult struct {
 	Committed   []txn.ID
 	InDoubt     []txn.ID // prepared but neither committed nor aborted
 	AbortedTxns []txn.ID
+	// MaxTS is the highest commit timestamp seen; the restarted commit
+	// clock must advance past it before allocating new timestamps.
+	MaxTS uint64
 }
 
 // Recover reads the checkpoint and log and computes the redo list: the
@@ -237,21 +249,27 @@ func (l *Log) Recover() (*RecoveryResult, error) {
 		return nil, err
 	}
 	committed := map[txn.ID]bool{}
+	commitTS := map[txn.ID]uint64{}
 	prepared := map[txn.ID]bool{}
 	aborted := map[txn.ID]bool{}
+	res := &RecoveryResult{Snapshot: snap}
 	for _, r := range recs {
 		switch r.Type {
 		case RecPrepare:
 			prepared[r.Txn] = true
 		case RecCommit:
 			committed[r.Txn] = true
+			commitTS[r.Txn] = r.TS
+			if r.TS > res.MaxTS {
+				res.MaxTS = r.TS
+			}
 		case RecAbort:
 			aborted[r.Txn] = true
 		}
 	}
-	res := &RecoveryResult{Snapshot: snap}
 	for _, r := range recs {
 		if (r.Type == RecInsert || r.Type == RecDelete) && committed[r.Txn] {
+			r.TS = commitTS[r.Txn] // stamp redo with its commit timestamp
 			res.Redo = append(res.Redo, r)
 		}
 	}

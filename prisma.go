@@ -103,6 +103,11 @@ type Config struct {
 	// RandomPlacement scatters fragments randomly instead of using the
 	// central least-loaded allocation manager (experiment E10 baseline).
 	RandomPlacement bool
+	// MVCC controls snapshot-isolation reads (nil/true = MVCC: SELECTs
+	// pin a snapshot and take no locks, writers keep exclusive locks
+	// plus first-committer-wins; false = the all-2PL baseline where
+	// reads take shared locks — experiment E16's comparison mode).
+	MVCC *bool
 }
 
 // DB is a PRISMA database machine instance.
@@ -119,6 +124,7 @@ func Open(cfg Config) (*DB, error) {
 		Compiled:  &compiled,
 		Optimizer: cfg.Optimizer,
 		SemiNaive: &semiNaive,
+		MVCC:      cfg.MVCC,
 	}
 	if cfg.RandomPlacement {
 		ccfg.Allocator = fragment.RandomAllocator{Seed: 42}
