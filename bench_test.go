@@ -117,6 +117,12 @@ func BenchmarkE16SnapshotReads(b *testing.B) {
 	runExperiment(b, experiments.E16SnapshotReads)
 }
 
+// BenchmarkE17Crashpoints — the fault-injection sweep: one injected
+// crash per registered point, recovery audited for crash consistency.
+func BenchmarkE17Crashpoints(b *testing.B) {
+	runExperiment(b, experiments.E17Crashpoints)
+}
+
 // ---------- micro-benchmarks on the public API ----------
 
 // benchDB builds a loaded database once per benchmark.

@@ -68,6 +68,7 @@ func main() {
 		{"E14", experiments.E14PipelinedThroughput},
 		{"E15", experiments.E15MultiJoinParallelism},
 		{"E16", experiments.E16SnapshotReads},
+		{"E17", experiments.E17Crashpoints},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -215,7 +216,7 @@ func rowKey(header []string, row []string) string {
 // a concurrent workload's statement count varies run to run.
 func isKeyColumn(h string) bool {
 	switch strings.ToLower(h) {
-	case "clients", "pes", "executor", "mode", "depth", "window", "rule set", "writers":
+	case "clients", "pes", "executor", "mode", "depth", "window", "rule set", "writers", "fault point", "invariants":
 		return true
 	}
 	return false

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64] [-pipeline-depth 64]
+//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64] [-pipeline-depth 64] [-stmt-timeout 0]
 //
 // Stop with SIGINT/SIGTERM; the server drains connections (aborting
 // open transactions) before exiting.
@@ -30,6 +30,7 @@ func main() {
 	maxConns := flag.Int("max-conns", 64, "maximum concurrent connections")
 	pipeDepth := flag.Int("pipeline-depth", 64, "request frames a connection may queue behind the executing one")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
+	stmtTimeout := flag.Duration("stmt-timeout", 0, "default per-statement lock-wait deadline for every session (0 = none; sessions override with SET STATEMENT_TIMEOUT)")
 	flag.Parse()
 
 	eng, err := core.New(core.Config{NumPEs: *pes})
@@ -42,7 +43,7 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv, err := server.New(server.Config{Engine: eng, MaxConns: *maxConns, PipelineDepth: *pipeDepth, Logf: logf})
+	srv, err := server.New(server.Config{Engine: eng, MaxConns: *maxConns, PipelineDepth: *pipeDepth, StatementTimeout: *stmtTimeout, Logf: logf})
 	if err != nil {
 		log.Fatalf("prisma-serve: %v", err)
 	}

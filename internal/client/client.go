@@ -39,24 +39,58 @@ type Options struct {
 	// own frame limit (a single tuple larger than MaxFrame still cannot
 	// be received).
 	ChunkBytes int
+	// StatementTimeout arms per-statement deadlines on both ends: the
+	// session's lock waits are bounded server-side (`SET
+	// STATEMENT_TIMEOUT`, surfacing a retryable deadline error), and
+	// every reply read gets a client-side deadline with generous
+	// headroom — if the server stops answering entirely, the read fails
+	// and the connection is marked broken instead of hanging forever.
+	// 0 disables both.
+	StatementTimeout time.Duration
 }
 
 // ServerError is a statement error reported by the server. The
 // connection remains usable after one.
-type ServerError struct{ Msg string }
+type ServerError struct {
+	// Code is the server's wire.ErrCode* classification (ErrCodeGeneric
+	// for servers predating coded errors).
+	Code byte
+	Msg  string
+}
 
 // Error implements error.
 func (e *ServerError) Error() string { return e.Msg }
 
+// Retryable reports whether the server promised the statement's
+// transaction did not commit, so the client may safely re-run it.
+func (e *ServerError) Retryable() bool { return wire.RetryableCode(e.Code) }
+
+// serverError decodes an Error frame payload (coded or legacy).
+func serverError(payload []byte) *ServerError {
+	code, msg := wire.DecodeError(payload)
+	return &ServerError{Code: code, Msg: msg}
+}
+
+// IsRetryable reports whether err is a server-classified transient
+// transaction failure (deadlock victim, write conflict, clean abort,
+// lock-wait deadline): the transaction did NOT commit and re-running it
+// is safe. Transport failures and broken connections are NOT retryable
+// — an in-flight COMMIT may have landed before the connection died.
+func IsRetryable(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Retryable()
+}
+
 // Client is one connection to a PRISMA server.
 type Client struct {
-	mu         sync.Mutex // serializes statements; held across an open Rows stream
-	conn       net.Conn
-	br         *bufio.Reader
-	bw         *bufio.Writer
-	max        int
-	chunkRows  int
-	chunkBytes int
+	mu          sync.Mutex // serializes statements; held across an open Rows stream
+	conn        net.Conn
+	br          *bufio.Reader
+	bw          *bufio.Writer
+	max         int
+	chunkRows   int
+	chunkBytes  int
+	stmtTimeout time.Duration
 
 	stateMu sync.Mutex // guards broken; never held while blocking on I/O
 	broken  error      // sticky protocol/transport failure
@@ -87,8 +121,16 @@ func (c *Client) setBroken(err error) {
 }
 
 // readFrameLocked reads one frame with c.mu held, recording its size
-// as counted against the MaxFrame limit (type byte + payload).
+// as counted against the MaxFrame limit (type byte + payload). With a
+// statement timeout armed the read carries a deadline of twice the
+// timeout plus a second — the server-side lock-wait deadline answers
+// first in any healthy exchange, so tripping this one means the server
+// is gone and the connection is abandoned rather than waited on.
 func (c *Client) readFrameLocked() (byte, []byte, error) {
+	if c.stmtTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(2*c.stmtTimeout + time.Second))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
 	typ, payload, err := wire.ReadFrame(c.br, c.max)
 	if err == nil {
 		c.noteFrame(len(payload) + 1)
@@ -168,10 +210,17 @@ func Dial(addr string, opts ...Options) (*Client, error) {
 		}
 	case wire.TypeError:
 		conn.Close()
-		return nil, &ServerError{Msg: string(payload)}
+		return nil, serverError(payload)
 	default:
 		conn.Close()
 		return nil, fmt.Errorf("client: unexpected handshake frame type 0x%02x", typ)
+	}
+	if o.StatementTimeout > 0 {
+		c.stmtTimeout = o.StatementTimeout
+		if _, err := c.Exec(fmt.Sprintf("SET STATEMENT_TIMEOUT = %d", o.StatementTimeout.Milliseconds())); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("client: arming statement timeout: %w", err)
+		}
 	}
 	return c, nil
 }
@@ -234,7 +283,7 @@ func (c *Client) roundTrip(typ byte, payload []byte) (*wire.Result, error) {
 	case wire.TypeError:
 		// A statement-level failure: the session (and any transaction
 		// the server kept open) is still live.
-		return nil, &ServerError{Msg: string(rpayload)}
+		return nil, serverError(rpayload)
 	default:
 		return nil, c.breakConn(fmt.Errorf("client: unexpected frame type 0x%02x", rtyp))
 	}

@@ -174,7 +174,7 @@ func (c *Client) sendAndCollect(frames []byte, n int) ([]PipeResult, error) {
 			}
 			results = append(results, PipeResult{Res: res})
 		case wire.TypeError:
-			results = append(results, PipeResult{Err: &ServerError{Msg: string(payload)}})
+			results = append(results, PipeResult{Err: serverError(payload)})
 		default:
 			return nil, c.breakConn(fmt.Errorf("client: unexpected frame type 0x%02x in pipeline reply %d", typ, i))
 		}

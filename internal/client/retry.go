@@ -1,0 +1,88 @@
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy drives Retry: exponential backoff with seeded jitter
+// around server-classified transient transaction failures. The zero
+// value is a sensible default (5 attempts, 1ms..100ms backoff, ±50%
+// jitter, IsRetryable classification).
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, including the first (default 5).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the second attempt (default 1ms);
+	// it doubles per retry up to MaxBackoff (default 100ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter spreads each sleep uniformly within ±Jitter of itself
+	// (default 0.5), so a herd of aborted transactions doesn't re-collide
+	// in lockstep. Negative disables jitter.
+	Jitter float64
+	// Seed makes the jitter sequence deterministic; 0 picks a fixed
+	// seed, so identical runs replay identical schedules.
+	Seed int64
+	// Classify decides whether an error is worth another attempt
+	// (default IsRetryable). Transport errors must stay non-retryable
+	// unless the caller knows the work is idempotent: a connection that
+	// died during COMMIT may have committed.
+	Classify func(error) bool
+}
+
+// Retry runs fn under the zero-value RetryPolicy.
+func Retry(fn func() error) error {
+	return RetryPolicy{}.Do(fn)
+}
+
+// Do runs fn until it succeeds, fails non-retryably, or the attempt
+// budget is spent (the last error is returned wrapped, still matching
+// errors.As/Is probes).
+func (p RetryPolicy) Do(fn func() error) error {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 100 * time.Millisecond
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	} else if jitter < 0 {
+		jitter = 0
+	}
+	classify := p.Classify
+	if classify == nil {
+		classify = IsRetryable
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 88 // fixed: EDBT'88 — deterministic by default
+	}
+	rng := rand.New(rand.NewSource(seed))
+	backoff := base
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = fn(); err == nil || !classify(err) {
+			return err
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("client: giving up after %d attempts: %w", attempts, err)
+		}
+		sleep := backoff
+		if jitter > 0 {
+			sleep = time.Duration(float64(backoff) * (1 + jitter*(2*rng.Float64()-1)))
+		}
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > maxB {
+			backoff = maxB
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func retryableErr() error {
+	return &ServerError{Code: wire.ErrCodeRetryable, Msg: "txn: aborted (retry transaction)"}
+}
+
+func TestIsRetryable(t *testing.T) {
+	if !IsRetryable(retryableErr()) {
+		t.Error("retryable-coded ServerError must be retryable")
+	}
+	if !IsRetryable(&ServerError{Code: wire.ErrCodeDeadline, Msg: "timeout"}) {
+		t.Error("deadline-coded ServerError must be retryable")
+	}
+	if IsRetryable(&ServerError{Msg: "table does not exist"}) {
+		t.Error("generic ServerError must not be retryable")
+	}
+	if IsRetryable(errors.New("connection reset")) {
+		t.Error("transport errors must not be retryable")
+	}
+	if IsRetryable(nil) {
+		t.Error("nil is not retryable")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := RetryPolicy{BaseBackoff: time.Microsecond}.Do(func() error {
+		calls++
+		if calls < 3 {
+			return retryableErr()
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil/3", err, calls)
+	}
+}
+
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	calls := 0
+	fatal := &ServerError{Msg: "syntax error"}
+	err := RetryPolicy{BaseBackoff: time.Microsecond}.Do(func() error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want immediate give-up", err, calls)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	calls := 0
+	err := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Microsecond}.Do(func() error {
+		calls++
+		return retryableErr()
+	})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	// The wrapped error still answers errors.As probes.
+	var se *ServerError
+	if !errors.As(err, &se) || !se.Retryable() {
+		t.Fatalf("exhausted error lost its cause: %v", err)
+	}
+}
+
+func TestRetryCustomClassify(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("flaky")
+	err := RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Microsecond,
+		Classify:    func(err error) bool { return errors.Is(err, sentinel) },
+	}.Do(func() error {
+		calls++
+		if calls == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}

@@ -43,6 +43,10 @@ func (e *Engine) CreateTable(name string, schema *value.Schema, scheme *fragment
 			return err
 		}
 		frag := i
+		var decide wal.Decider
+		if e.decisions != nil {
+			decide = e.decisions.Decision
+		}
 		o, err := ofm.New(ofm.Config{
 			Name:     fragName,
 			Schema:   schema,
@@ -51,6 +55,7 @@ func (e *Engine) CreateTable(name string, schema *value.Schema, scheme *fragment
 			Kind:     ofm.Persistent,
 			Log:      log,
 			Compiled: e.compiled,
+			Decide:   decide,
 			Horizon:  e.txns.Horizon,
 			StatsFn: func(rd int, bd int64) {
 				def.AddStats(frag, rd, bd)

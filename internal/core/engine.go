@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/fragment"
 	"repro/internal/machine"
 	"repro/internal/ofm"
@@ -95,11 +97,28 @@ type Engine struct {
 	stores map[int]*machine.StableStore // disk PE -> stable store
 	rules  []prismalog.Rule             // registered PRISMAlog views
 
+	// decisions is the 2PC coordinator's durable decision log, living on
+	// the first disk PE's stable store. Fragment recovery consults it to
+	// resolve in-doubt transactions (nil only on diskless test machines).
+	decisions *wal.DecisionLog
+
 	nextPE atomic.Int64 // round-robin session coordinator
 }
 
 // New builds an engine over a (possibly default) machine.
+// armFaultsOnce applies the PRISMA_FAULTPOINTS environment arming on
+// the first engine start of the process — the single choke point every
+// entry path (embedded API, prisma-serve, tests, experiments) passes
+// through. Once only: torture runs arm the process, not every engine a
+// sweep builds and discards.
+var armFaultsOnce sync.Once
+
 func New(cfg Config) (*Engine, error) {
+	var armErr error
+	armFaultsOnce.Do(func() { armErr = fault.ArmFromEnv() })
+	if armErr != nil {
+		return nil, armErr
+	}
 	m := cfg.Machine
 	if m == nil {
 		var err error
@@ -161,8 +180,20 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.stores[pe] = store
 	}
+	if disks := m.DiskPEs(); len(disks) > 0 {
+		dl, err := wal.OpenDecisionLog(e.stores[disks[0]], "2pc-decisions")
+		if err != nil {
+			return nil, err
+		}
+		e.decisions = dl
+		e.txns.SetDecisionLog(dl)
+	}
 	return e, nil
 }
+
+// DecisionLog exposes the coordinator's commit-decision log (nil on
+// machines without disk PEs).
+func (e *Engine) DecisionLog() *wal.DecisionLog { return e.decisions }
 
 // Machine returns the simulated multi-computer.
 func (e *Engine) Machine() *machine.Machine { return e.m }
@@ -367,23 +398,59 @@ func (e *Engine) CrashTable(name string) error {
 	return nil
 }
 
+// RecoveryReport aggregates what restart recovery did across every
+// fragment of a table.
+type RecoveryReport struct {
+	// Redo is the total number of redo records applied.
+	Redo int
+	// ResolvedCommits counts in-doubt transactions settled to commit via
+	// the coordinator's decision log; PresumedAborts counts those with no
+	// logged decision, aborted by the presumed-abort convention.
+	ResolvedCommits int
+	PresumedAborts  int
+	// Unresolved counts in-doubt transactions recovery could NOT settle —
+	// always zero when the engine's decision log is intact.
+	Unresolved int
+	// TornBytes is the trailing garbage truncated from fragment logs
+	// (a mid-append crash tears at most one record per log).
+	TornBytes int64
+	// Wall is the host time the recovery pass took.
+	Wall time.Duration
+}
+
 // RecoverTable rebuilds every fragment from its log, returning the total
 // number of redo records applied.
 func (e *Engine) RecoverTable(name string) (int, error) {
+	rep, err := e.RecoverTableReport(name)
+	return rep.Redo, err
+}
+
+// RecoverTableReport is RecoverTable plus the crash-consistency
+// accounting: in-doubt resolutions, presumed aborts, unresolved leaks
+// and torn bytes, summed over the table's fragments.
+func (e *Engine) RecoverTableReport(name string) (RecoveryReport, error) {
+	var rep RecoveryReport
+	start := time.Now()
 	t, err := e.lookupTable(name)
 	if err != nil {
-		return 0, err
+		return rep, err
 	}
-	total := 0
 	var maxTS uint64
 	for _, f := range t.frags {
 		n, err := f.ofm.Recover()
 		if err != nil {
-			return total, err
+			rep.Wall = time.Since(start)
+			return rep, err
 		}
-		total += n
+		rep.Redo += n
 		if ts := f.ofm.RecoveredTS(); ts > maxTS {
 			maxTS = ts
+		}
+		if res := f.ofm.LastRecovery(); res != nil {
+			rep.ResolvedCommits += len(res.ResolvedCommits)
+			rep.PresumedAborts += len(res.PresumedAborts)
+			rep.Unresolved += len(res.InDoubt) - len(res.ResolvedCommits) - len(res.PresumedAborts)
+			rep.TornBytes += res.TornBytes
 		}
 	}
 	// The restarted commit clock must move past every recovered commit
@@ -394,7 +461,8 @@ func (e *Engine) RecoverTable(name string) (int, error) {
 	for i, f := range t.frags {
 		t.def.UpdateStats(i, f.ofm.Rows(), f.ofm.MemSize())
 	}
-	return total, nil
+	rep.Wall = time.Since(start)
+	return rep, nil
 }
 
 // CheckpointTable folds each fragment's state into its checkpoint.

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/txn"
+)
+
+// faultCleanup makes sure no armed point or crash poison leaks into
+// other tests in the package.
+func faultCleanup(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		fault.DisarmAll()
+		fault.ClearCrash()
+	})
+}
+
+// TestInDoubtResolvedByDecisionLog exercises the full crash-consistent
+// commit path: the coordinator crashes after forcing its commit decision
+// but before any participant learns of it. The client sees
+// ErrIndeterminate (NOT retryable), the fragments are left prepared and
+// in doubt, and recovery must resolve them to commit via the engine's
+// decision log — making the transaction's effects durable even though
+// phase 2 never ran.
+func TestInDoubtResolvedByDecisionLog(t *testing.T) {
+	faultCleanup(t)
+	e, s := isoEngine(t)
+	defer s.Close()
+
+	// Rows 2 and 3 hash to different fragments: a two-participant 2PC.
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `UPDATE acct SET bal = bal - 40 WHERE id = 2`)
+	mustExec(t, s, `UPDATE acct SET bal = bal + 40 WHERE id = 3`)
+	if err := fault.Arm("twopc.before-commit", fault.Spec{Mode: fault.Crash, N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Exec(`COMMIT`)
+	if !errors.Is(err, txn.ErrIndeterminate) {
+		t.Fatalf("COMMIT across crash point = %v, want ErrIndeterminate", err)
+	}
+	if txn.IsRetryable(err) {
+		t.Error("an indeterminate commit must not be retryable")
+	}
+
+	// The machine is down: volatile state goes, stable storage survives.
+	if err := e.CrashTable("acct"); err != nil {
+		t.Fatal(err)
+	}
+	fault.DisarmAll()
+	fault.ClearCrash()
+
+	rep, err := e.RecoverTableReport("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResolvedCommits == 0 {
+		t.Errorf("recovery resolved no in-doubt commits: %+v", rep)
+	}
+	if rep.Unresolved != 0 {
+		t.Errorf("recovery leaked %d unresolved in-doubt transactions", rep.Unresolved)
+	}
+	// The decided transaction's effects are durable.
+	if got := balance(t, s, 2); got != 160 {
+		t.Errorf("bal(2) = %d, want 160 (resolved commit lost)", got)
+	}
+	if got := balance(t, s, 3); got != 340 {
+		t.Errorf("bal(3) = %d, want 340 (resolved commit lost)", got)
+	}
+
+	// A second restart needs no resolver: the logs were healed with
+	// explicit outcome markers.
+	if err := e.CrashTable("acct"); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := e.RecoverTableReport("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ResolvedCommits != 0 || rep2.Unresolved != 0 {
+		t.Errorf("healed log still has in-doubt work: %+v", rep2)
+	}
+	if got := balance(t, s, 2); got != 160 {
+		t.Errorf("second recovery: bal(2) = %d, want 160", got)
+	}
+}
+
+// TestPresumedAbortOnPrepareCrash: a crash between prepare and the
+// decision force leaves prepared fragments with NO logged decision —
+// recovery must presume abort and the transaction's effects must never
+// surface.
+func TestPresumedAbortOnPrepareCrash(t *testing.T) {
+	faultCleanup(t)
+	e, s := isoEngine(t)
+	defer s.Close()
+
+	mustExec(t, s, `BEGIN`)
+	mustExec(t, s, `UPDATE acct SET bal = 9999 WHERE id = 2`)
+	mustExec(t, s, `UPDATE acct SET bal = 9999 WHERE id = 3`)
+	if err := fault.Arm("twopc.after-prepare", fault.Spec{Mode: fault.Crash, N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`COMMIT`); err == nil {
+		t.Fatal("COMMIT across pre-decision crash must fail")
+	} else if errors.Is(err, txn.ErrIndeterminate) {
+		t.Fatalf("no decision was logged, outcome is determined (abort): %v", err)
+	}
+
+	if err := e.CrashTable("acct"); err != nil {
+		t.Fatal(err)
+	}
+	fault.DisarmAll()
+	fault.ClearCrash()
+
+	rep, err := e.RecoverTableReport("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResolvedCommits != 0 {
+		t.Errorf("undecided transaction resolved to commit: %+v", rep)
+	}
+	if rep.Unresolved != 0 {
+		t.Errorf("recovery leaked %d unresolved in-doubt transactions", rep.Unresolved)
+	}
+	if got := balance(t, s, 2); got != 200 {
+		t.Errorf("bal(2) = %d, want 200 (presumed-abort effects surfaced)", got)
+	}
+	if got := balance(t, s, 3); got != 300 {
+		t.Errorf("bal(3) = %d, want 300 (presumed-abort effects surfaced)", got)
+	}
+}
+
+// TestStatementTimeoutSQL: SET STATEMENT_TIMEOUT bounds lock waits and
+// surfaces a retryable timeout instead of blocking forever behind a
+// lock holder.
+func TestStatementTimeoutSQL(t *testing.T) {
+	e, holder := isoEngine(t)
+	defer holder.Close()
+
+	mustExec(t, holder, `BEGIN`)
+	mustExec(t, holder, `UPDATE acct SET bal = 1 WHERE id = 1`)
+
+	blocked := e.NewSession()
+	defer blocked.Close()
+	res := mustExec(t, blocked, `SET STATEMENT_TIMEOUT = 40`)
+	if res.Msg == "" {
+		t.Error("SET returned no message")
+	}
+	start := time.Now()
+	_, err := blocked.Exec(`UPDATE acct SET bal = 2 WHERE id = 1`)
+	if !errors.Is(err, txn.ErrTimeout) {
+		t.Fatalf("blocked UPDATE = %v, want ErrTimeout", err)
+	}
+	if !txn.IsRetryable(err) {
+		t.Error("lock-wait timeout must be retryable")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+
+	// The holder is unaffected; once it commits, the blocked session's
+	// retry succeeds and the timeout can be disabled again.
+	mustExec(t, holder, `COMMIT`)
+	mustExec(t, blocked, `UPDATE acct SET bal = 2 WHERE id = 1`)
+	mustExec(t, blocked, `SET STATEMENT_TIMEOUT = 0`)
+	if got := balance(t, blocked, 1); got != 2 {
+		t.Errorf("bal(1) = %d, want 2", got)
+	}
+
+	// Explicit transactions inherit the session timeout at BEGIN.
+	mustExec(t, holder, `BEGIN`)
+	mustExec(t, holder, `UPDATE acct SET bal = 3 WHERE id = 1`)
+	timed := e.NewSession()
+	defer timed.Close()
+	mustExec(t, timed, `SET STATEMENT_TIMEOUT = 40`)
+	mustExec(t, timed, `BEGIN`)
+	if _, err := timed.Exec(`UPDATE acct SET bal = 4 WHERE id = 1`); !errors.Is(err, txn.ErrTimeout) {
+		t.Fatalf("explicit-txn UPDATE = %v, want ErrTimeout", err)
+	}
+	mustExec(t, timed, `ROLLBACK`)
+	mustExec(t, holder, `ROLLBACK`)
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"regexp"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,6 +23,25 @@ type Session struct {
 	e  *Engine
 	pe int
 	tx *txn.Txn
+
+	// stmtTimeout bounds lock waits for this session's statements; zero
+	// waits forever. A timed-out statement aborts its transaction with a
+	// retryable txn.ErrTimeout instead of blocking behind a lock holder.
+	stmtTimeout time.Duration
+}
+
+// SetStatementTimeout bounds how long this session's statements may wait
+// on locks. It applies to transactions begun after the call (including
+// autocommit ones); d <= 0 restores the unbounded default. Equivalent to
+// executing `SET STATEMENT_TIMEOUT=<ms>`.
+func (s *Session) SetStatementTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.stmtTimeout = d
+	if s.tx != nil {
+		s.tx.SetLockTimeout(d)
+	}
 }
 
 // NewSession opens a session on a round-robin-assigned coordinator PE.
@@ -42,7 +63,9 @@ func (s *Session) transaction() (*txn.Txn, bool, error) {
 		}
 		return s.tx, false, nil
 	}
-	return s.e.txns.Begin(), true, nil
+	tx := s.e.txns.Begin()
+	tx.SetLockTimeout(s.stmtTimeout)
+	return tx, true, nil
 }
 
 // readView establishes the version view for one read-only statement and
@@ -123,9 +146,31 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	return res, nil
 }
 
+// setTimeoutRe matches the session-variable statement
+// `SET STATEMENT_TIMEOUT = <milliseconds>` (0 disables the timeout).
+var setTimeoutRe = regexp.MustCompile(`(?i)^\s*SET\s+STATEMENT_TIMEOUT\s*=\s*(\d+)\s*;?\s*$`)
+
+// execSet intercepts session-variable statements before the SQL parser
+// sees the text; handled reports whether sql was one.
+func (s *Session) execSet(sql string) (*Result, bool) {
+	m := setTimeoutRe.FindStringSubmatch(sql)
+	if m == nil {
+		return nil, false
+	}
+	ms, err := strconv.Atoi(m[1])
+	if err != nil { // unreachable past the \d+ match save for overflow
+		ms = 0
+	}
+	s.SetStatementTimeout(time.Duration(ms) * time.Millisecond)
+	return &Result{Msg: fmt.Sprintf("statement_timeout = %dms", ms)}, true
+}
+
 // execText routes one statement through the plan cache when possible,
 // falling back to the parse-and-execute path.
 func (s *Session) execText(sql string) (*Result, error) {
+	if res, handled := s.execSet(sql); handled {
+		return res, nil
+	}
 	pc := s.e.plans
 	if pc == nil {
 		return s.parseExec(sql)
@@ -222,6 +267,7 @@ func (s *Session) execStmt(st sqlparse.Stmt) (*Result, error) {
 			return nil, fmt.Errorf("core: transaction already open")
 		}
 		s.tx = s.e.txns.Begin()
+		s.tx.SetLockTimeout(s.stmtTimeout)
 		return &Result{Msg: "transaction started"}, nil
 
 	case *sqlparse.Commit:

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestE17EveryRegisteredPointSurvivesCrash is the acceptance bar for
+// the fault-injection tentpole: the sweep must cover EVERY registered
+// fault point — a point added without crash-consistency coverage fails
+// here — and every cell must pass its full invariant audit (E17 returns
+// an error naming the point and the violated invariant otherwise).
+func TestE17EveryRegisteredPointSurvivesCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tb, err := E17Crashpoints(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := fault.Points()
+	if len(tb.Rows) != len(points) {
+		t.Fatalf("E17 produced %d rows for %d registered points:\n%s", len(tb.Rows), len(points), tb)
+	}
+	covered := map[string]bool{}
+	for _, row := range tb.Rows {
+		covered[row[0]] = true
+		if verdict := row[len(row)-1]; verdict != "ok" {
+			t.Errorf("point %s verdict = %q, want ok", row[0], verdict)
+		}
+	}
+	for _, p := range points {
+		if !covered[p] {
+			t.Errorf("registered fault point %s missing from the E17 sweep:\n%s", p, tb)
+		}
+	}
+}
+
+// TestE17TornPointsReportTornBytes pins that the *.torn cells exercise
+// the torn-write path for real: a seeded tear must leave trailing
+// garbage for recovery to truncate at least once across the sweep's
+// torn cells (a tear at offset 0 legitimately leaves nothing).
+func TestE17TornPointsReportTornBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tb, err := E17Crashpoints(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tornCells := 0
+	for _, row := range tb.Rows {
+		if row[1] == "tear" {
+			tornCells++
+		}
+	}
+	if tornCells < 2 {
+		t.Errorf("expected >= 2 tear-mode cells (stable.append.torn, stable.groupcommit.torn), got %d:\n%s", tornCells, tb)
+	}
+}

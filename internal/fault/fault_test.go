@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func reset(t *testing.T) {
+	t.Helper()
+	DisarmAll()
+	ClearCrash()
+	t.Cleanup(func() {
+		DisarmAll()
+		ClearCrash()
+	})
+}
+
+func TestDisarmedIsNil(t *testing.T) {
+	reset(t)
+	p := Register("test.disarmed")
+	for i := 0; i < 100; i++ {
+		if out := p.Eval(); out != nil {
+			t.Fatalf("disarmed point fired: %+v", out)
+		}
+	}
+}
+
+func TestNthHit(t *testing.T) {
+	reset(t)
+	p := Register("test.nth")
+	if err := Arm("test.nth", Spec{Mode: Error, N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		out := p.Eval()
+		if i == 3 {
+			if out == nil {
+				t.Fatalf("hit %d: expected fire", i)
+			}
+			if !errors.Is(out.Err, ErrInjected) {
+				t.Fatalf("hit %d: error %v not ErrInjected", i, out.Err)
+			}
+		} else if out != nil {
+			t.Fatalf("hit %d: unexpected fire %+v", i, out)
+		}
+	}
+	if got := p.Fired(); got != 1 {
+		t.Fatalf("fired = %d, want 1", got)
+	}
+}
+
+func TestEveryHit(t *testing.T) {
+	reset(t)
+	p := Register("test.every")
+	if err := Arm("test.every", Spec{Mode: Error}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if p.Eval() == nil {
+			t.Fatalf("hit %d: expected fire on every hit", i)
+		}
+	}
+}
+
+func TestSeededProbabilityDeterministic(t *testing.T) {
+	reset(t)
+	p := Register("test.prob")
+	run := func() []bool {
+		if err := Arm("test.prob", Spec{Mode: Error, P: 0.3, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		var fires []bool
+		for i := 0; i < 50; i++ {
+			fires = append(fires, p.Eval() != nil)
+		}
+		return fires
+	}
+	a, b := run(), run()
+	any := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d: runs diverged with same seed", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Fatal("p=0.3 over 50 hits never fired")
+	}
+}
+
+func TestCrashPoisons(t *testing.T) {
+	reset(t)
+	p := Register("test.crash")
+	if err := Arm("test.crash", Spec{Mode: Crash, N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.Eval()
+	if out == nil || !errors.Is(out.Err, ErrCrashed) {
+		t.Fatalf("expected ErrCrashed, got %+v", out)
+	}
+	if !Crashed() {
+		t.Fatal("Crashed() false after crash fault")
+	}
+	DisarmAll()
+	if !Crashed() {
+		t.Fatal("DisarmAll must not revive the machine")
+	}
+	ClearCrash()
+	if Crashed() {
+		t.Fatal("Crashed() true after ClearCrash")
+	}
+}
+
+func TestTearOutcome(t *testing.T) {
+	reset(t)
+	p := Register("test.tear")
+	if err := Arm("test.tear", Spec{Mode: Tear, N: 1, TearAt: 7}); err != nil {
+		t.Fatal(err)
+	}
+	out := p.EvalWrite(100)
+	if out == nil || out.Tear != 7 {
+		t.Fatalf("expected tear at 7, got %+v", out)
+	}
+	if !Crashed() {
+		t.Fatal("tear must poison the machine")
+	}
+	ClearCrash()
+
+	// Tear offset is clamped to the write length.
+	if err := Arm("test.tear", Spec{Mode: Tear, N: 1, TearAt: 500}); err != nil {
+		t.Fatal(err)
+	}
+	out = p.EvalWrite(10)
+	if out == nil || out.Tear != 10 {
+		t.Fatalf("expected tear clamped to 10, got %+v", out)
+	}
+}
+
+func TestSeededTearOffsetDeterministic(t *testing.T) {
+	reset(t)
+	p := Register("test.tearrand")
+	tearAt := func(seed int64) int {
+		if err := Arm("test.tearrand", Spec{Mode: Tear, N: 1, TearAt: -1, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		out := p.EvalWrite(1000)
+		if out == nil {
+			t.Fatal("expected fire")
+		}
+		ClearCrash()
+		return out.Tear
+	}
+	if a, b := tearAt(7), tearAt(7); a != b {
+		t.Fatalf("same seed gave tear %d then %d", a, b)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	reset(t)
+	p := Register("test.delay")
+	if err := Arm("test.delay", Spec{Mode: Delay, N: 1, Delay: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if out := p.Eval(); out != nil {
+		t.Fatalf("delay mode must not return an outcome, got %+v", out)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delay mode only slept %v", elapsed)
+	}
+}
+
+func TestArmUnregistered(t *testing.T) {
+	reset(t)
+	if err := Arm("test.no-such-point", Spec{}); err == nil {
+		t.Fatal("arming an unregistered point must fail")
+	}
+}
+
+func TestArmFromSpec(t *testing.T) {
+	reset(t)
+	a := Register("test.env.a")
+	b := Register("test.env.b")
+	err := armFromSpec("test.env.a=crash:2; test.env.b=tear:1:13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Eval() != nil {
+		t.Fatal("a fired on hit 1, armed for hit 2")
+	}
+	if out := a.Eval(); out == nil || !errors.Is(out.Err, ErrCrashed) {
+		t.Fatalf("a hit 2: want crash, got %+v", out)
+	}
+	ClearCrash()
+	if out := b.EvalWrite(100); out == nil || out.Tear != 13 {
+		t.Fatalf("b: want tear at 13, got %+v", out)
+	}
+	ClearCrash()
+
+	for _, bad := range []string{
+		"nonsense",
+		"test.env.a=explode",
+		"test.env.a=crash:x",
+		"test.env.a=error:1:arg",
+		"test.unregistered=crash",
+	} {
+		if err := armFromSpec(bad); err == nil {
+			t.Fatalf("spec %q: expected error", bad)
+		}
+	}
+	if err := armFromSpec(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+}
+
+func TestPointsSorted(t *testing.T) {
+	Register("test.z")
+	Register("test.a")
+	pts := Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1] >= pts[i] {
+			t.Fatalf("Points() not sorted/unique at %d: %v", i, pts)
+		}
+	}
+}

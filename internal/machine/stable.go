@@ -4,6 +4,19 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
+)
+
+// Fault points on the stable-storage write paths. The torn variants
+// model a power failure mid-write: a prefix of the append lands, the
+// rest is garbage, and the machine is dead from that instant.
+var (
+	fpAppendPre  = fault.Register("stable.append.pre")
+	fpAppendTorn = fault.Register("stable.append.torn")
+	fpGroupPre   = fault.Register("stable.groupcommit.pre")
+	fpGroupTorn  = fault.Register("stable.groupcommit.torn")
+	fpCkptSwap   = fault.Register("stable.checkpoint.swap")
 )
 
 // StableStore is the stable storage the paper's §3.2 describes: "some of
@@ -64,6 +77,15 @@ func (s *StableStore) Append(name string, b []byte) (int64, error) {
 	if name == "" {
 		return 0, fmt.Errorf("machine: empty segment name")
 	}
+	if fault.Crashed() {
+		return 0, fault.ErrCrashed
+	}
+	if out := fpAppendPre.Eval(); out != nil {
+		return 0, out.Err
+	}
+	if out := fpAppendTorn.EvalWrite(len(b)); out != nil {
+		return 0, s.tornWrite(name, b, out)
+	}
 	s.mu.Lock()
 	seg := s.segments[name]
 	off := int64(len(seg))
@@ -73,6 +95,26 @@ func (s *StableStore) Append(name string, b []byte) (int64, error) {
 	s.mu.Unlock()
 	s.pe.Advance(s.disk.SequentialWrite(len(b)))
 	return off, nil
+}
+
+// tornWrite lands only the prefix of b that a torn fault outcome allows
+// (nothing when the fault fired without a tear offset) and reports the
+// injected failure. The caller's bytes are partially down — exactly the
+// state recovery's torn-tail handling exists for.
+func (s *StableStore) tornWrite(name string, b []byte, out *fault.Outcome) error {
+	if out.Tear > 0 {
+		prefix := b
+		if out.Tear < len(prefix) {
+			prefix = prefix[:out.Tear]
+		}
+		s.mu.Lock()
+		s.segments[name] = append(s.segments[name], prefix...)
+		s.writes++
+		s.syncs++
+		s.mu.Unlock()
+		s.pe.Advance(s.disk.SequentialWrite(len(prefix)))
+	}
+	return out.Err
 }
 
 // GroupAppend durably appends b to the named segment like Append, but
@@ -91,6 +133,18 @@ func (s *StableStore) Append(name string, b []byte) (int64, error) {
 func (s *StableStore) GroupAppend(name string, b []byte) (int64, error) {
 	if name == "" {
 		return 0, fmt.Errorf("machine: empty segment name")
+	}
+	if fault.Crashed() {
+		return 0, fault.ErrCrashed
+	}
+	if out := fpGroupPre.Eval(); out != nil {
+		return 0, out.Err
+	}
+	if out := fpGroupTorn.EvalWrite(len(b)); out != nil {
+		// The commit burst dies mid-force: this caller's record tears and
+		// the machine crashes, so appends queued behind it fail whole in
+		// leadGroupFlush.
+		return 0, s.tornWrite(name, b, out)
 	}
 	ga := &groupAppend{name: name, data: b, done: make(chan error, 1), lead: make(chan struct{}, 1)}
 	s.gaMu.Lock()
@@ -127,6 +181,21 @@ func (s *StableStore) leadGroupFlush() {
 	batch := s.gaQueue
 	s.gaQueue = nil
 	s.gaMu.Unlock()
+
+	if fault.Crashed() {
+		// The machine died before this force: the whole burst is lost.
+		for _, ga := range batch {
+			ga.done <- fault.ErrCrashed
+		}
+		s.gaMu.Lock()
+		if len(s.gaQueue) > 0 {
+			s.gaQueue[0].lead <- struct{}{}
+		} else {
+			s.gaLeading = false
+		}
+		s.gaMu.Unlock()
+		return
+	}
 
 	total := 0
 	s.mu.Lock()
@@ -177,21 +246,83 @@ func (s *StableStore) Size(name string) int64 {
 
 // Replace atomically replaces the named segment's contents (used by
 // checkpointing: write the snapshot, then truncate the log).
-func (s *StableStore) Replace(name string, b []byte) {
+func (s *StableStore) Replace(name string, b []byte) error {
+	if fault.Crashed() {
+		return fault.ErrCrashed
+	}
 	s.mu.Lock()
 	s.segments[name] = append([]byte(nil), b...)
 	s.writes++
 	s.syncs++
 	s.mu.Unlock()
 	s.pe.Advance(s.disk.SequentialWrite(len(b)))
+	return nil
 }
 
 // Truncate empties the named segment (log truncation after checkpoint).
-func (s *StableStore) Truncate(name string) {
+func (s *StableStore) Truncate(name string) error {
+	if fault.Crashed() {
+		return fault.ErrCrashed
+	}
 	s.mu.Lock()
 	delete(s.segments, name)
 	s.mu.Unlock()
 	s.pe.Advance(s.disk.SequentialWrite(0) + s.disk.Seek/4)
+	return nil
+}
+
+// CheckpointSwap atomically installs a new checkpoint image and
+// replaces the log segment it covers with logTail (normally empty; a
+// checkpoint taken while transactions sit prepared-but-undecided
+// carries their redo records forward so an in-doubt commit decision
+// can still be honored after a crash), under one lock and one disk
+// force. Doing all of it in one step closes the crash window a
+// Replace-then-Truncate pair would leave (new snapshot plus stale log
+// means committed work replays twice; new snapshot plus an empty log
+// and a separate carry append loses an in-doubt transaction); a real
+// disk implementation would write snapshot and tail to side files and
+// rename them over the old ones.
+func (s *StableStore) CheckpointSwap(ckptName string, snapshot []byte, logName string, logTail []byte) error {
+	if fault.Crashed() {
+		return fault.ErrCrashed
+	}
+	if out := fpCkptSwap.Eval(); out != nil {
+		return out.Err
+	}
+	s.mu.Lock()
+	s.segments[ckptName] = append([]byte(nil), snapshot...)
+	if len(logTail) > 0 {
+		s.segments[logName] = append([]byte(nil), logTail...)
+	} else {
+		delete(s.segments, logName)
+	}
+	s.writes++
+	s.syncs++
+	s.mu.Unlock()
+	s.pe.Advance(s.disk.SequentialWrite(len(snapshot)) + s.disk.Seek/4)
+	return nil
+}
+
+// TruncateTo shortens the named segment to n bytes — recovery's tail
+// repair after a torn append: the garbage past the last valid record is
+// cut so the next append lands on a clean prefix.
+func (s *StableStore) TruncateTo(name string, n int64) error {
+	if fault.Crashed() {
+		return fault.ErrCrashed
+	}
+	s.mu.Lock()
+	seg := s.segments[name]
+	if n < 0 {
+		n = 0
+	}
+	if n < int64(len(seg)) {
+		s.segments[name] = seg[:n:n]
+		s.writes++
+		s.syncs++
+	}
+	s.mu.Unlock()
+	s.pe.Advance(s.disk.SequentialWrite(0) + s.disk.Seek/4)
+	return nil
 }
 
 // Segments lists the existing segment names (order unspecified).

@@ -75,6 +75,11 @@ type Config struct {
 	// StatsFn, when set, observes (rowDelta, byteDelta) after commits —
 	// the catalog's statistics feed.
 	StatsFn func(rowDelta int, byteDelta int64)
+	// Decide, when set, resolves in-doubt prepared transactions at
+	// recovery by consulting the coordinator's decision log (absence of a
+	// decision means presumed abort). Without it, in-doubt transactions
+	// are reported but their effects are not redone.
+	Decide wal.Decider
 }
 
 // writeSet buffers a transaction's deferred updates.
@@ -90,9 +95,18 @@ type OFM struct {
 	cfg   Config
 	store *storage.Store
 
-	mu          sync.Mutex
-	pending     map[txn.ID]*writeSet
-	recoveredTS uint64 // highest commit TS seen by the last Recover
+	mu           sync.Mutex
+	pending      map[txn.ID]*writeSet
+	recoveredTS  uint64              // highest commit TS seen by the last Recover
+	lastRecovery *wal.RecoveryResult // full report of the last Recover
+
+	// ckptMu serializes Checkpoint against the commit-protocol writers:
+	// Prepare/Commit/Abort hold it shared across their log append plus
+	// store apply, Checkpoint holds it exclusive across snapshot plus
+	// swap. Without it a commit landing between the checkpoint's store
+	// snapshot and its log truncation survives only in volatile memory —
+	// one fragment of a distributed transaction silently lost on crash.
+	ckptMu sync.RWMutex
 
 	lastGC atomic.Uint64 // GC horizon of the last vacuum pass
 

@@ -4,10 +4,18 @@ import (
 	"fmt"
 
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/value"
 	"repro/internal/wal"
+)
+
+// Fault points at the participant's three protocol entry points.
+var (
+	fpOFMPrepare = fault.Register("ofm.prepare.pre")
+	fpOFMCommit  = fault.Register("ofm.commit.pre")
+	fpOFMAbort   = fault.Register("ofm.abort.pre")
 )
 
 // Transactional updates use deferred write sets: mutations buffer in the
@@ -352,6 +360,15 @@ func (o *OFM) PendingFor(tx txn.ID) (inserts, deletes int) {
 // Prepare implements txn.Participant: the write set is forced to the
 // redo log with a prepare marker. Transient OFMs vote yes with no I/O.
 func (o *OFM) Prepare(tx txn.ID) error {
+	if out := fpOFMPrepare.Eval(); out != nil {
+		return fmt.Errorf("ofm %s: prepare: %w", o.cfg.Name, out.Err)
+	}
+	// Shared checkpoint latch across marking prepared AND forcing the
+	// records: a checkpoint slipping between the two would carry the
+	// write set forward and then see this append land on the fresh log —
+	// the same redo replayed twice.
+	o.ckptMu.RLock()
+	defer o.ckptMu.RUnlock()
 	o.mu.Lock()
 	w := o.pending[tx]
 	if w == nil {
@@ -409,20 +426,35 @@ func (o *OFM) chargeRemoteLog(nRecords int) {
 // transaction layer) degrades to physical deletes and load-visible
 // inserts.
 func (o *OFM) Commit(tx txn.ID, ts uint64) error {
+	if out := fpOFMCommit.Eval(); out != nil {
+		return fmt.Errorf("ofm %s: commit: %w", o.cfg.Name, out.Err)
+	}
+	// Shared checkpoint latch across the marker force AND the store
+	// apply: a checkpoint interleaving between them would snapshot the
+	// pre-commit store yet truncate the marker — the commit lost from
+	// both stable images while living only in volatile memory.
+	o.ckptMu.RLock()
+	defer o.ckptMu.RUnlock()
 	o.mu.Lock()
 	w := o.pending[tx]
-	delete(o.pending, tx)
 	o.mu.Unlock()
 	if w == nil {
 		return nil
 	}
 	if o.cfg.Kind == Persistent {
 		// Group commit: the marker's disk force is shared with other
-		// transactions committing on this log concurrently.
+		// transactions committing on this log concurrently. The write set
+		// stays pending until the marker is down, so a coordinator retry
+		// after a transient failure re-runs a commit that still has its
+		// work — popping it first would turn the retry into a silent no-op
+		// that loses the transaction's effects.
 		if err := o.cfg.Log.AppendCommit(tx, ts); err != nil {
 			return fmt.Errorf("ofm %s: commit marker: %w", o.cfg.Name, err)
 		}
 	}
+	o.mu.Lock()
+	delete(o.pending, tx)
+	o.mu.Unlock()
 	var rowDelta int
 	var byteDelta int64
 	for i, id := range w.deletes {
@@ -498,6 +530,15 @@ func (o *OFM) Vacuum() int {
 // Abort implements txn.Participant: the write set is dropped; a prepared
 // persistent transaction logs an abort marker so recovery resolves it.
 func (o *OFM) Abort(tx txn.ID) error {
+	if out := fpOFMAbort.Eval(); out != nil {
+		return fmt.Errorf("ofm %s: abort: %w", o.cfg.Name, out.Err)
+	}
+	// Shared checkpoint latch across dropping the write set AND logging
+	// the abort marker, mirroring Prepare: a checkpoint between the two
+	// would carry a write set that is no longer pending, resurrecting the
+	// aborted transaction as in-doubt.
+	o.ckptMu.RLock()
+	defer o.ckptMu.RUnlock()
 	o.mu.Lock()
 	w := o.pending[tx]
 	delete(o.pending, tx)
@@ -525,14 +566,18 @@ func (o *OFM) Crash() {
 }
 
 // Recover rebuilds the fragment from stable storage: checkpoint image
-// plus the redo records of committed transactions. Only Persistent OFMs
-// can recover; a Transient OFM's contents are simply gone (its producer
-// re-runs the query). Returns the number of redo records applied.
+// plus the redo records of committed transactions, with in-doubt
+// prepared transactions resolved through the configured Decide hook
+// (commit when the coordinator's decision log says so, presumed abort
+// otherwise) and any torn log tail truncated to its valid prefix. Only
+// Persistent OFMs can recover; a Transient OFM's contents are simply
+// gone (its producer re-runs the query). Returns the number of redo
+// records applied.
 func (o *OFM) Recover() (int, error) {
 	if o.cfg.Kind != Persistent {
 		return 0, fmt.Errorf("ofm %s: transient OFMs do not recover", o.cfg.Name)
 	}
-	res, err := o.cfg.Log.Recover()
+	res, err := o.cfg.Log.RecoverResolved(o.cfg.Decide)
 	if err != nil {
 		return 0, fmt.Errorf("ofm %s: %w", o.cfg.Name, err)
 	}
@@ -570,6 +615,7 @@ func (o *OFM) Recover() (int, error) {
 	}
 	o.mu.Lock()
 	o.recoveredTS = res.MaxTS
+	o.lastRecovery = res
 	o.mu.Unlock()
 	o.cfg.PE.Advance(o.costs().BuildCost(len(res.Snapshot) + applied))
 	return applied, nil
@@ -583,13 +629,47 @@ func (o *OFM) RecoveredTS() uint64 {
 	return o.recoveredTS
 }
 
+// LastRecovery returns the full report of the last Recover (nil before
+// any recovery) — the crashpoint sweep asserts its in-doubt accounting.
+func (o *OFM) LastRecovery() *wal.RecoveryResult {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lastRecovery
+}
+
 // Checkpoint folds the committed store into the checkpoint segment and
-// truncates the log (persistent OFMs only; transient is a no-op).
+// truncates the log (persistent OFMs only; transient is a no-op). It
+// holds the checkpoint latch exclusive so no commit lands between the
+// store snapshot and the log swap, and carries the redo records of
+// transactions sitting prepared-but-undecided into the fresh log — the
+// coordinator's decision log may yet declare them committed, so their
+// redo must survive the truncation (their writes are not in the
+// snapshot: write sets apply to the store only at commit).
 func (o *OFM) Checkpoint() error {
 	if o.cfg.Kind != Persistent {
 		return nil
 	}
-	if err := o.cfg.Log.Checkpoint(o.store.Snapshot()); err != nil {
+	o.ckptMu.Lock()
+	defer o.ckptMu.Unlock()
+	o.mu.Lock()
+	var carry []wal.Record
+	for tx, w := range o.pending {
+		if !w.prepared {
+			continue
+		}
+		// Same shape Prepare forced: deletes, inserts, prepare seal.
+		// Strict 2PL keeps concurrently-prepared write sets disjoint, so
+		// inter-transaction order is immaterial.
+		for _, t := range w.delTuple {
+			carry = append(carry, wal.Record{Type: wal.RecDelete, Txn: tx, Tuple: t})
+		}
+		for _, t := range w.inserts {
+			carry = append(carry, wal.Record{Type: wal.RecInsert, Txn: tx, Tuple: t})
+		}
+		carry = append(carry, wal.Record{Type: wal.RecPrepare, Txn: tx})
+	}
+	o.mu.Unlock()
+	if err := o.cfg.Log.CheckpointWith(o.store.Snapshot(), carry); err != nil {
 		return fmt.Errorf("ofm %s: checkpoint: %w", o.cfg.Name, err)
 	}
 	return nil

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/fault"
+	"repro/internal/wire"
+)
+
+// TestRetryableOverWire pins the retry contract end-to-end: a
+// server-side lock-wait deadline crosses the wire as a coded Error
+// frame, client.IsRetryable recognizes it, and client.Retry recovers
+// once the lock holder lets go.
+func TestRetryableOverWire(t *testing.T) {
+	addr := startServer(t, Config{StatementTimeout: 50 * time.Millisecond})
+	holder, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	mustExec(t, holder, `CREATE TABLE acct (id INT, balance INT, PRIMARY KEY (id))`)
+	mustExec(t, holder, `INSERT INTO acct VALUES (1, 100)`)
+	mustExec(t, holder, `BEGIN`)
+	mustExec(t, holder, `UPDATE acct SET balance = 1 WHERE id = 1`)
+
+	blocked, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocked.Close()
+	_, err = blocked.Exec(`UPDATE acct SET balance = 2 WHERE id = 1`)
+	if err == nil {
+		t.Fatal("update under a held X lock must time out")
+	}
+	var se *client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v, want *client.ServerError", err, err)
+	}
+	if se.Code != wire.ErrCodeDeadline {
+		t.Errorf("error code = 0x%02x, want deadline (0x%02x): %v", se.Code, wire.ErrCodeDeadline, se)
+	}
+	if !client.IsRetryable(err) {
+		t.Errorf("deadline error must be retryable: %v", err)
+	}
+	// The connection survived the statement error.
+	checkBalance(t, blocked, 1, 100)
+
+	// Retry wins once the holder releases: free the lock from a third
+	// goroutine partway through the backoff schedule.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		holder.Exec(`ROLLBACK`)
+	}()
+	err = client.RetryPolicy{MaxAttempts: 50, BaseBackoff: 5 * time.Millisecond}.Do(func() error {
+		_, err := blocked.Exec(`UPDATE acct SET balance = 2 WHERE id = 1`)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("retry never succeeded: %v", err)
+	}
+	checkBalance(t, blocked, 1, 2)
+}
+
+// TestFrameWriteFaultDropsConnNotCommit: an injected reply-write failure
+// on COMMIT kills the connection AFTER the commit executed — the client
+// must see a non-retryable transport error (re-running could double the
+// transfer), and a fresh connection must see the committed state.
+func TestFrameWriteFaultDropsConnNotCommit(t *testing.T) {
+	t.Cleanup(func() {
+		fault.DisarmAll()
+		fault.ClearCrash()
+	})
+	addr := startServer(t, Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustExec(t, c, `CREATE TABLE acct (id INT, balance INT, PRIMARY KEY (id))`)
+	mustExec(t, c, `INSERT INTO acct VALUES (1, 100)`)
+	mustExec(t, c, `BEGIN`)
+	mustExec(t, c, `UPDATE acct SET balance = 777 WHERE id = 1`)
+
+	if err := fault.Arm("server.frame.write", fault.Spec{Mode: fault.Error, N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Exec(`COMMIT`)
+	if err == nil {
+		t.Fatal("COMMIT with a dropped reply must surface an error")
+	}
+	if client.IsRetryable(err) {
+		t.Errorf("a lost reply is indeterminate, never retryable: %v", err)
+	}
+	// The connection is gone for good.
+	if _, err := c.Exec(`SELECT * FROM acct`); err == nil {
+		t.Error("connection must be broken after a dropped reply")
+	}
+	fault.DisarmAll()
+
+	// The commit itself landed before the reply write failed: the value
+	// is visible on a fresh connection — exactly why the client must not
+	// blindly re-run it.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	checkBalance(t, c2, 1, 777)
+}
+
+// TestClientReadDeadlineBreaksSilentServer: with a statement timeout
+// armed, a server that stops answering entirely trips the client-side
+// read deadline instead of hanging the caller forever.
+func TestClientReadDeadlineBreaksSilentServer(t *testing.T) {
+	t.Cleanup(func() {
+		fault.DisarmAll()
+		fault.ClearCrash()
+	})
+	addr := startServer(t, Config{})
+	c, err := client.Dial(addr, client.Options{StatementTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustExec(t, c, `CREATE TABLE t (id INT, PRIMARY KEY (id))`)
+
+	// Delay the next reply write far past the client's read deadline
+	// (2x timeout + 1s): the client abandons the connection.
+	if err := fault.Arm("server.frame.write", fault.Spec{Mode: fault.Delay, N: 1, Delay: 3 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Exec(`INSERT INTO t VALUES (1)`)
+	if err == nil {
+		t.Fatal("read past the deadline must fail")
+	}
+	if elapsed := time.Since(start); elapsed >= 3*time.Second {
+		t.Errorf("client waited %v — the deadline never fired", elapsed)
+	}
+	if client.IsRetryable(err) {
+		t.Errorf("a deadline-broken connection is indeterminate: %v", err)
+	}
+}

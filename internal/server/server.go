@@ -18,11 +18,32 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/txn"
 	"repro/internal/value"
 	"repro/internal/wire"
 )
+
+// fpFrameWrite simulates a reply-frame write failure: the reply is
+// dropped and the connection closes, exactly as a dying NIC would look
+// to the client — who must treat the in-flight statement's outcome as
+// unknown unless the error is known-retryable.
+var fpFrameWrite = fault.Register("server.frame.write")
+
+// errorCode classifies an execution error for the coded Error frame, so
+// the client learns whether the failed transaction may safely re-run.
+func errorCode(err error) byte {
+	switch {
+	case errors.Is(err, txn.ErrTimeout):
+		return wire.ErrCodeDeadline
+	case txn.IsRetryable(err):
+		return wire.ErrCodeRetryable
+	}
+	return wire.ErrCodeGeneric
+}
 
 // Config assembles a server.
 type Config struct {
@@ -46,6 +67,11 @@ type Config struct {
 	// client asks for is clamped below MaxFrame so every chunk frame
 	// stays acceptable.
 	ChunkBytes int
+	// StatementTimeout bounds every session's lock waits (see
+	// core.Session.SetStatementTimeout); 0 waits forever. Clients can
+	// still tighten (or loosen) their own session with
+	// `SET STATEMENT_TIMEOUT = <ms>`.
+	StatementTimeout time.Duration
 	// PipelineDepth caps the request frames a connection may have
 	// queued behind the one executing (default 64). The per-connection
 	// reader stops reading once the queue is full — natural
@@ -67,6 +93,7 @@ type Server struct {
 	chunkRows   int
 	chunkBytes  int
 	pipeDepth   int
+	stmtTimeout time.Duration
 	logf        func(string, ...any)
 
 	mu       sync.Mutex
@@ -121,6 +148,7 @@ func New(cfg Config) (*Server, error) {
 		chunkRows:   chunkRows,
 		chunkBytes:  chunkBytes,
 		pipeDepth:   pipeDepth,
+		stmtTimeout: cfg.StatementTimeout,
 		logf:        logf,
 		conns:       map[net.Conn]struct{}{},
 	}, nil
@@ -151,7 +179,7 @@ func (s *Server) Serve(l net.Listener) error {
 		if !s.track(conn) {
 			// Over the connection limit (or closing): refuse politely.
 			bw := bufio.NewWriter(conn)
-			wire.WriteFrame(bw, wire.TypeError, []byte("server: connection limit reached"))
+			wire.WriteFrame(bw, wire.TypeError, wire.EncodeError(wire.ErrCodeGeneric, "server: connection limit reached"))
 			bw.Flush()
 			conn.Close()
 			continue
@@ -243,7 +271,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	bw := bufio.NewWriterSize(conn, 32<<10)
 
 	fail := func(msg string) {
-		wire.WriteFrame(bw, wire.TypeError, []byte(msg))
+		wire.WriteFrame(bw, wire.TypeError, wire.EncodeError(wire.ErrCodeGeneric, msg))
 		bw.Flush()
 	}
 
@@ -289,6 +317,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	sess := s.eng.NewSession()
 	defer sess.Close() // aborts an open transaction on disconnect
+	sess.SetStatementTimeout(s.stmtTimeout)
 	reg := newStmtRegistry(s.maxPrepared)
 
 	// The reader decouples frame intake from execution: it queues up to
@@ -354,13 +383,30 @@ type replyWriter struct {
 	max int
 }
 
-// writeError queues a statement-level Error frame.
+// writeError queues a statement-level Error frame with no retry
+// guidance; execution errors go through writeExecError so the client
+// learns whether its transaction may re-run.
 func (w *replyWriter) writeError(msg string) bool {
-	return wire.WriteFrame(w.bw, wire.TypeError, []byte(msg)) == nil
+	return w.writeErrorCoded(wire.ErrCodeGeneric, msg)
+}
+
+// writeExecError queues an execution error classified for retry.
+func (w *replyWriter) writeExecError(err error) bool {
+	return w.writeErrorCoded(errorCode(err), err.Error())
+}
+
+func (w *replyWriter) writeErrorCoded(code byte, msg string) bool {
+	if fpFrameWrite.Eval() != nil {
+		return false // injected write failure: reply lost, connection dies
+	}
+	return wire.WriteFrame(w.bw, wire.TypeError, wire.EncodeError(code, msg)) == nil
 }
 
 // writeResult queues a Result frame (or the over-limit Error for it).
 func (w *replyWriter) writeResult(res *core.Result) bool {
+	if fpFrameWrite.Eval() != nil {
+		return false // injected write failure: reply lost, connection dies
+	}
 	wres := &wire.Result{
 		Rel:      res.Rel,
 		Affected: res.Affected,
@@ -431,7 +477,7 @@ func (s *Server) handleFrame(sess *core.Session, reg *stmtRegistry, w *replyWrit
 				bres, berr = sess.Exec(st.SQL)
 			}
 			if berr != nil {
-				if !w.writeError(berr.Error()) {
+				if !w.writeExecError(berr) {
 					return false
 				}
 				continue
@@ -491,7 +537,7 @@ func (s *Server) handleFrame(sess *core.Session, reg *stmtRegistry, w *replyWrit
 		return false
 	}
 	if execErr != nil {
-		return w.writeError(execErr.Error())
+		return w.writeExecError(execErr)
 	}
 	return w.writeResult(res)
 }
@@ -527,10 +573,10 @@ func (s *Server) streamResult(bw *bufio.Writer, cur *core.Cursor, chunkRows, chu
 	if wire.WriteFrame(bw, wire.TypeResultHead, head) != nil {
 		return false
 	}
-	failStmt := func(msg string) bool {
+	failStmt := func(code byte, msg string) bool {
 		// Error-at-any-point semantics: the Error frame replaces further
 		// chunks and the ResultEnd.
-		return wire.WriteFrame(bw, wire.TypeError, []byte(msg)) == nil && bw.Flush() == nil
+		return wire.WriteFrame(bw, wire.TypeError, wire.EncodeError(code, msg)) == nil && bw.Flush() == nil
 	}
 	// Start small: a point query must not pay a chunk-budget-sized
 	// allocation (zeroed by the runtime, then GC-scanned); append grows
@@ -555,7 +601,7 @@ func (s *Server) streamResult(bw *bufio.Writer, cur *core.Cursor, chunkRows, chu
 		for _, t := range rel.Tuples {
 			scratch = value.AppendTuple(scratch[:0], t)
 			if len(scratch)+5 > s.maxFrame {
-				return failStmt(fmt.Sprintf("server: tuple of %d bytes exceeds frame limit %d", len(scratch), s.maxFrame))
+				return failStmt(wire.ErrCodeGeneric, fmt.Sprintf("server: tuple of %d bytes exceeds frame limit %d", len(scratch), s.maxFrame))
 			}
 			// Flush before appending would push the chunk past the byte
 			// budget: a chunk never exceeds the client's request except
@@ -584,7 +630,7 @@ func (s *Server) streamResult(bw *bufio.Writer, cur *core.Cursor, chunkRows, chu
 		rel = next
 	}
 	if err != nil {
-		return failStmt(err.Error())
+		return failStmt(errorCode(err), err.Error())
 	}
 	if !emitChunk() {
 		return false

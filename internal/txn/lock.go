@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ID identifies a transaction.
@@ -41,6 +42,11 @@ var ErrDeadlock = errors.New("txn: deadlock detected")
 
 // ErrAborted is returned for operations on an aborted transaction.
 var ErrAborted = errors.New("txn: transaction aborted")
+
+// ErrTimeout is returned when a lock wait exceeds the statement
+// deadline; the requesting transaction is aborted (freeing its locks)
+// and may be retried.
+var ErrTimeout = errors.New("txn: lock wait timeout")
 
 type waiter struct {
 	tx      ID
@@ -131,6 +137,16 @@ func compatible(st *lockState, tx ID, mode LockMode) bool {
 // returns ErrDeadlock if waiting would create a waits-for cycle. A
 // shared lock held by tx upgrades to exclusive when requested.
 func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
+	return lm.AcquireTimeout(tx, resource, mode, 0)
+}
+
+// AcquireTimeout is Acquire with a lock-wait deadline: when timeout is
+// positive and the lock is not granted within it, the request is
+// withdrawn and ErrTimeout returned (the statement's deadline expired
+// while blocked — the caller aborts the transaction, freeing its
+// locks). A grant that races the deadline wins: the lock is held and
+// the call succeeds.
+func (lm *LockManager) AcquireTimeout(tx ID, resource string, mode LockMode, timeout time.Duration) error {
 	lm.acquires.Add(1)
 	sh := lm.shardOf(resource)
 	sh.mu.Lock()
@@ -195,7 +211,46 @@ func (lm *LockManager) Acquire(tx ID, resource string, mode LockMode) error {
 	}
 	sh.mu.Unlock()
 
-	return <-w.granted
+	if timeout <= 0 {
+		return <-w.granted
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-w.granted:
+		return err
+	case <-timer.C:
+	}
+	// Deadline expired: withdraw the waiter. The grant path sends on
+	// w.granted while holding sh.mu, so if we no longer find w in the
+	// queue under sh.mu, a verdict is already buffered — take it (the
+	// grant won the race; the lock is held).
+	sh.mu.Lock()
+	removed := false
+	if st := sh.locks[resource]; st != nil {
+		filtered := st.queue[:0]
+		for _, q := range st.queue {
+			if q == w {
+				removed = true
+				continue
+			}
+			filtered = append(filtered, q)
+		}
+		st.queue = filtered
+		if removed {
+			// Waiters queued behind the withdrawn request may be grantable
+			// now (e.g. a shared request that sat behind our exclusive).
+			lm.pump(sh, st, resource)
+		}
+	}
+	sh.mu.Unlock()
+	if !removed {
+		return <-w.granted
+	}
+	lm.waitMu.Lock()
+	delete(lm.waits, tx)
+	lm.waitMu.Unlock()
+	return fmt.Errorf("%w: %d requesting %s on %q after %v", ErrTimeout, tx, mode, resource, timeout)
 }
 
 // grant records the lock, upgrading S to X but never downgrading.

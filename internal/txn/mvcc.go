@@ -20,10 +20,17 @@ import "errors"
 var ErrConflict = errors.New("txn: write-write conflict (retry transaction)")
 
 // IsRetryable reports whether err is a transient transaction failure
-// (deadlock victim, snapshot write conflict, or abort) that a client
-// should respond to by retrying the whole transaction.
+// (deadlock victim, snapshot write conflict, lock-wait timeout, or
+// abort) that a client should respond to by retrying the whole
+// transaction. An ErrIndeterminate commit is NOT retryable: the
+// transaction may have committed, and re-running it could apply its
+// effects twice.
 func IsRetryable(err error) bool {
-	return errors.Is(err, ErrConflict) || errors.Is(err, ErrDeadlock) || errors.Is(err, ErrAborted)
+	if errors.Is(err, ErrIndeterminate) {
+		return false
+	}
+	return errors.Is(err, ErrConflict) || errors.Is(err, ErrDeadlock) ||
+		errors.Is(err, ErrAborted) || errors.Is(err, ErrTimeout)
 }
 
 // beginCommit allocates the next commit timestamp and registers it as

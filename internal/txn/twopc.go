@@ -1,8 +1,21 @@
 package txn
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Fault points in the coordinator's two crash windows: after a
+// unanimous yes-vote but before the decision is logged (recovery must
+// presume abort), and after the decision is durable but before any
+// participant learns it (recovery must resolve to commit).
+var (
+	fpAfterPrepare = fault.Register("twopc.after-prepare")
+	fpBeforeCommit = fault.Register("twopc.before-commit")
 )
 
 // Participant is a two-phase-commit participant — in PRISMA, a
@@ -15,15 +28,45 @@ type Participant interface {
 	// Prepare flushes and votes: a nil return is a yes vote.
 	Prepare(tx ID) error
 	// Commit finalizes after a unanimous yes, stamping the transaction's
-	// versions with the commit timestamp ts. It must not fail.
+	// versions with the commit timestamp ts. It may fail transiently;
+	// the coordinator retries, and a participant that stays unreachable
+	// is left prepared for recovery to resolve from the decision log.
 	Commit(tx ID, ts uint64) error
 	// Abort rolls back; called on any no vote or on coordinator abort.
 	Abort(tx ID) error
 }
 
-// runTwoPhaseCommit drives the protocol: parallel prepare, then parallel
-// commit on unanimous yes, or parallel abort on any no.
-func runTwoPhaseCommit(tx ID, ts uint64, parts []Participant) error {
+// DecisionLogger is the coordinator's durable decision record: a commit
+// decision is forced here after a unanimous yes-vote and before any
+// participant commits, and recovery consults it to resolve prepared
+// transactions (no entry means presumed abort). wal.DecisionLog is the
+// stable-storage implementation.
+type DecisionLogger interface {
+	RecordCommit(tx ID, ts uint64) error
+	Decision(tx ID) (ts uint64, commit bool, known bool)
+}
+
+// ErrIndeterminate reports a commit whose decision is durably logged but
+// whose phase 2 did not complete: the transaction IS committed — the
+// decision log guarantees recovery will finish applying it — but the
+// caller must not assume its effects are visible until restart. It is
+// deliberately not retryable: re-running the transaction could apply it
+// twice.
+var ErrIndeterminate = errors.New("txn: commit outcome in doubt (decision logged; resolved at recovery)")
+
+// Phase-2 retry policy: a transient participant failure (the kind the
+// Error fault mode injects) is retried a few times with a short backoff
+// before the participant is abandoned to recovery.
+const (
+	commitRetries   = 3
+	commitRetryBase = 100 * time.Microsecond
+)
+
+// runTwoPhaseCommit drives the protocol: parallel prepare collecting
+// every veto, a durable commit decision, then parallel commit with
+// per-participant retry. Abort and commit errors are awaited and
+// surfaced, never dropped in goroutines.
+func (m *Manager) runTwoPhaseCommit(tx ID, ts uint64, parts []Participant) error {
 	if len(parts) == 0 {
 		return nil
 	}
@@ -40,32 +83,95 @@ func runTwoPhaseCommit(tx ID, ts uint64, parts []Participant) error {
 		}(i, p)
 	}
 	wg.Wait()
-	var veto error
+	var vetoes []error
 	for i, err := range errs {
 		if err != nil {
-			veto = fmt.Errorf("2pc: participant %s voted no: %w", parts[i].Name(), err)
-			break
+			vetoes = append(vetoes, fmt.Errorf("participant %s voted no: %w", parts[i].Name(), err))
 		}
 	}
-	// Phase 2.
-	if veto != nil {
-		for _, p := range parts {
-			wg.Add(1)
-			go func(p Participant) {
-				defer wg.Done()
-				p.Abort(tx)
-			}(p)
-		}
-		wg.Wait()
-		return veto
+	if out := fpAfterPrepare.Eval(); out != nil {
+		// The coordinator dies between collecting votes and logging the
+		// decision: no decision exists, so this is an abort.
+		vetoes = append(vetoes, fmt.Errorf("coordinator failed after prepare: %w", out.Err))
 	}
-	for _, p := range parts {
+	if len(vetoes) == 0 && m != nil && m.decisions != nil {
+		// The decision point: once this force returns, the transaction is
+		// committed no matter what happens to coordinator or participants.
+		// If the force fails the decision was never made — abort.
+		if err := m.decisions.RecordCommit(tx, ts); err != nil {
+			vetoes = append(vetoes, fmt.Errorf("logging commit decision: %w", err))
+		}
+	}
+	if len(vetoes) > 0 {
+		// A vetoed or undecided transaction is cleanly aborted: retrying
+		// it is safe, so the error classifies as ErrAborted. Abort errors
+		// are awaited and reported; a participant whose abort failed
+		// (e.g. its disk died) stays prepared and is presumed aborted at
+		// recovery, which reaches the same outcome.
+		err := fmt.Errorf("2pc: %w: %w", ErrAborted, errors.Join(vetoes...))
+		if abortErr := abortAll(tx, parts); abortErr != nil {
+			err = fmt.Errorf("%w (abort phase: %v)", err, abortErr)
+		}
+		return err
+	}
+	if out := fpBeforeCommit.Eval(); out != nil {
+		// The coordinator dies after the decision is durable but before
+		// any participant learns it: the classic in-doubt window. No
+		// aborts — the decision stands; recovery commits the prepared
+		// participants from the decision log.
+		return fmt.Errorf("2pc: %w: %v", ErrIndeterminate, out.Err)
+	}
+	// Phase 2: commit in parallel, retrying each participant through
+	// transient failures.
+	for i, p := range parts {
 		wg.Add(1)
-		go func(p Participant) {
+		go func(i int, p Participant) {
 			defer wg.Done()
-			p.Commit(tx, ts)
-		}(p)
+			errs[i] = commitWithRetry(tx, ts, p)
+		}(i, p)
 	}
 	wg.Wait()
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Errorf("participant %s: %w", parts[i].Name(), err))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("2pc: %w: %v", ErrIndeterminate, errors.Join(failed...))
+	}
 	return nil
+}
+
+// commitWithRetry drives one participant's commit through transient
+// failures with a short linear backoff.
+func commitWithRetry(tx ID, ts uint64, p Participant) error {
+	var err error
+	for attempt := 0; attempt <= commitRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(commitRetryBase * time.Duration(attempt))
+		}
+		if err = p.Commit(tx, ts); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("commit failed after %d retries: %w", commitRetries, err)
+}
+
+// abortAll aborts every participant in parallel, awaiting and joining
+// their errors.
+func abortAll(tx ID, parts []Participant) error {
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p Participant) {
+			defer wg.Done()
+			if err := p.Abort(tx); err != nil {
+				errs[i] = fmt.Errorf("participant %s abort: %w", p.Name(), err)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }

@@ -1,0 +1,282 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePart is a scriptable participant.
+type fakePart struct {
+	name       string
+	prepareErr error
+	abortErr   error
+	commitErrs int // first N Commit calls fail
+	commitErr  error
+
+	mu       sync.Mutex
+	prepares int
+	commits  int
+	aborts   int
+}
+
+func (p *fakePart) Name() string { return p.name }
+
+func (p *fakePart) Prepare(tx ID) error {
+	p.mu.Lock()
+	p.prepares++
+	p.mu.Unlock()
+	return p.prepareErr
+}
+
+func (p *fakePart) Commit(tx ID, ts uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.commits++
+	if p.commitErrs > 0 {
+		p.commitErrs--
+		if p.commitErr != nil {
+			return p.commitErr
+		}
+		return fmt.Errorf("transient commit failure on %s", p.name)
+	}
+	return nil
+}
+
+func (p *fakePart) Abort(tx ID) error {
+	p.mu.Lock()
+	p.aborts++
+	p.mu.Unlock()
+	return p.abortErr
+}
+
+// fakeDecisions is an in-memory DecisionLogger.
+type fakeDecisions struct {
+	mu        sync.Mutex
+	recorded  map[ID]uint64
+	recordErr error
+}
+
+func newFakeDecisions() *fakeDecisions { return &fakeDecisions{recorded: map[ID]uint64{}} }
+
+func (d *fakeDecisions) RecordCommit(tx ID, ts uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.recordErr != nil {
+		return d.recordErr
+	}
+	d.recorded[tx] = ts
+	return nil
+}
+
+func (d *fakeDecisions) Decision(tx ID) (uint64, bool, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ts, ok := d.recorded[tx]
+	return ts, ok, ok
+}
+
+func TestTwoPCCollectsAllVetoes(t *testing.T) {
+	m := NewManager()
+	a := &fakePart{name: "a", prepareErr: errors.New("a is full")}
+	b := &fakePart{name: "b"}
+	c := &fakePart{name: "c", prepareErr: errors.New("c is broken")}
+	err := m.runTwoPhaseCommit(1, 10, []Participant{a, b, c})
+	if err == nil {
+		t.Fatal("vetoed 2PC must fail")
+	}
+	for _, frag := range []string{"a is full", "c is broken"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing veto %q", err, frag)
+		}
+	}
+	// A vetoed transaction is cleanly aborted, hence retryable.
+	if !IsRetryable(err) {
+		t.Errorf("veto error not retryable: %v", err)
+	}
+	for _, p := range []*fakePart{a, b, c} {
+		if p.aborts != 1 {
+			t.Errorf("participant %s aborted %d times, want 1", p.name, p.aborts)
+		}
+		if p.commits != 0 {
+			t.Errorf("participant %s committed despite veto", p.name)
+		}
+	}
+}
+
+func TestTwoPCSurfacesAbortErrors(t *testing.T) {
+	m := NewManager()
+	a := &fakePart{name: "a", prepareErr: errors.New("veto")}
+	b := &fakePart{name: "b", abortErr: errors.New("abort-disk-gone")}
+	err := m.runTwoPhaseCommit(2, 10, []Participant{a, b})
+	if err == nil || !strings.Contains(err.Error(), "abort-disk-gone") {
+		t.Errorf("abort error dropped: %v", err)
+	}
+}
+
+func TestTwoPCRetriesTransientCommit(t *testing.T) {
+	m := NewManager()
+	m.SetDecisionLog(newFakeDecisions())
+	a := &fakePart{name: "a", commitErrs: 2} // fails twice, then succeeds
+	b := &fakePart{name: "b"}
+	if err := m.runTwoPhaseCommit(3, 30, []Participant{a, b}); err != nil {
+		t.Fatalf("2PC failed despite transient-only errors: %v", err)
+	}
+	if a.commits != 3 {
+		t.Errorf("participant a saw %d commit attempts, want 3", a.commits)
+	}
+	if a.aborts != 0 || b.aborts != 0 {
+		t.Error("no participant may abort after the decision is logged")
+	}
+}
+
+func TestTwoPCIndeterminateAfterDecision(t *testing.T) {
+	m := NewManager()
+	dl := newFakeDecisions()
+	m.SetDecisionLog(dl)
+	a := &fakePart{name: "a", commitErrs: commitRetries + 10} // never succeeds
+	b := &fakePart{name: "b"}
+	err := m.runTwoPhaseCommit(4, 40, []Participant{a, b})
+	if !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("persistent commit failure after decision = %v, want ErrIndeterminate", err)
+	}
+	if IsRetryable(err) {
+		t.Error("an indeterminate commit must NOT be retryable")
+	}
+	if _, _, known := dl.Decision(4); !known {
+		t.Error("decision must be logged before phase 2")
+	}
+	if a.aborts != 0 {
+		t.Error("decided transaction must never be aborted")
+	}
+	if b.commits == 0 {
+		t.Error("healthy participant should have committed")
+	}
+}
+
+func TestTwoPCDecisionLogFailureAborts(t *testing.T) {
+	m := NewManager()
+	dl := newFakeDecisions()
+	dl.recordErr = errors.New("decision disk dead")
+	m.SetDecisionLog(dl)
+	a := &fakePart{name: "a"}
+	err := m.runTwoPhaseCommit(5, 50, []Participant{a})
+	if err == nil || !strings.Contains(err.Error(), "decision disk dead") {
+		t.Fatalf("decision-log failure must abort: %v", err)
+	}
+	if !IsRetryable(err) {
+		t.Error("an undecided (aborted) commit is retryable")
+	}
+	if a.commits != 0 || a.aborts != 1 {
+		t.Errorf("participant saw commits=%d aborts=%d, want 0/1", a.commits, a.aborts)
+	}
+}
+
+func TestTxnCommitIndeterminateCountsCommitted(t *testing.T) {
+	m := NewManager()
+	m.SetDecisionLog(newFakeDecisions())
+	tx := m.Begin()
+	tx.Enlist(&fakePart{name: "a", commitErrs: commitRetries + 10})
+	err := tx.Commit()
+	if !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("Commit = %v, want ErrIndeterminate", err)
+	}
+	if tx.State() != Committed {
+		t.Errorf("state = %s; a decided transaction is committed", tx.State())
+	}
+	if m.Commits() != 1 || m.Aborts() != 0 {
+		t.Errorf("commits=%d aborts=%d, want 1/0", m.Commits(), m.Aborts())
+	}
+}
+
+func TestLockWaitTimeout(t *testing.T) {
+	m := NewManager()
+	holder := m.Begin()
+	if err := holder.Lock("frag", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	blocked := m.Begin()
+	blocked.SetLockTimeout(30 * time.Millisecond)
+	start := time.Now()
+	err := blocked.Lock("frag", Exclusive)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Lock = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("timed out after %v", elapsed)
+	}
+	if !IsRetryable(err) {
+		t.Error("lock timeout must be retryable")
+	}
+	if blocked.State() != Aborted {
+		t.Errorf("blocked txn state = %s, want aborted (locks freed)", blocked.State())
+	}
+	// The holder is unaffected and the withdrawn waiter left no residue:
+	// a third transaction can acquire once the holder commits.
+	if err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	third := m.Begin()
+	third.SetLockTimeout(time.Second)
+	if err := third.Lock("frag", Exclusive); err != nil {
+		t.Fatalf("post-timeout acquire: %v", err)
+	}
+	third.Abort()
+}
+
+func TestLockTimeoutGrantRaceWins(t *testing.T) {
+	// A grant landing at the same moment as the deadline must win: the
+	// caller holds the lock and the call succeeds.
+	m := NewManager()
+	for i := 0; i < 50; i++ {
+		holder := m.Begin()
+		if err := holder.Lock("r", Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		waiter := m.Begin()
+		waiter.SetLockTimeout(time.Millisecond)
+		done := make(chan error, 1)
+		go func() { done <- waiter.Lock("r", Exclusive) }()
+		time.Sleep(time.Millisecond) // release near the deadline
+		holder.Abort()
+		err := <-done
+		if err != nil && !errors.Is(err, ErrTimeout) {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		waiter.Abort()
+	}
+}
+
+func TestLockTimeoutUnblocksQueueBehind(t *testing.T) {
+	// S behind a timed-out X waiter must be pumped when the X withdraws.
+	m := NewManager()
+	holder := m.Begin()
+	if err := holder.Lock("r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	xWaiter := m.Begin()
+	xWaiter.SetLockTimeout(20 * time.Millisecond)
+	xDone := make(chan error, 1)
+	go func() { xDone <- xWaiter.Lock("r", Exclusive) }()
+	time.Sleep(5 * time.Millisecond) // let X queue
+	sWaiter := m.Begin()
+	sDone := make(chan error, 1)
+	go func() { sDone <- sWaiter.Lock("r", Shared) }()
+	if err := <-xDone; !errors.Is(err, ErrTimeout) {
+		t.Fatalf("X waiter = %v, want timeout", err)
+	}
+	select {
+	case err := <-sDone:
+		if err != nil {
+			t.Fatalf("S waiter = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("S waiter still blocked after X withdrew")
+	}
+	holder.Abort()
+	sWaiter.Abort()
+	xWaiter.Abort()
+}

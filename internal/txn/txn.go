@@ -1,9 +1,11 @@
 package txn
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // State is a transaction's lifecycle state.
@@ -44,6 +46,8 @@ type Txn struct {
 	snapTS      uint64 // snapshot timestamp, pinned lazily at first read
 	snapRelease func()
 	commitTS    uint64 // commit timestamp, 0 until committed (or read-only)
+
+	lockTimeout time.Duration // per-statement lock-wait deadline; 0 = wait forever
 }
 
 // ID returns the transaction id.
@@ -77,13 +81,27 @@ func (t *Txn) CommitTS() uint64 {
 	return t.commitTS
 }
 
+// SetLockTimeout bounds every subsequent lock wait: a statement that
+// cannot acquire its fragment lock within d aborts the transaction with
+// ErrTimeout (retryable), freeing whatever locks it held. Zero waits
+// forever. Sessions set this from the statement-timeout configuration.
+func (t *Txn) SetLockTimeout(d time.Duration) {
+	t.mu.Lock()
+	t.lockTimeout = d
+	t.mu.Unlock()
+}
+
 // Lock acquires a fragment lock under strict 2PL. On deadlock the
-// transaction is aborted and ErrDeadlock returned.
+// transaction is aborted and ErrDeadlock returned; past the lock
+// timeout it is aborted with ErrTimeout.
 func (t *Txn) Lock(resource string, mode LockMode) error {
 	if st := t.State(); st != Active {
 		return fmt.Errorf("txn %d: lock in state %s", t.id, st)
 	}
-	if err := t.mgr.locks.Acquire(t.id, resource, mode); err != nil {
+	t.mu.Lock()
+	d := t.lockTimeout
+	t.mu.Unlock()
+	if err := t.mgr.locks.AcquireTimeout(t.id, resource, mode, d); err != nil {
 		t.Abort()
 		return err
 	}
@@ -137,13 +155,26 @@ func (t *Txn) Commit() error {
 	if len(parts) > 0 {
 		ts = t.mgr.beginCommit()
 	}
-	err := runTwoPhaseCommit(t.id, ts, parts)
+	err := t.mgr.runTwoPhaseCommit(t.id, ts, parts)
 	if ts != 0 {
 		// The watermark may pass this commit only once its versions are
 		// fully applied (or it aborted) on every participant.
 		t.mgr.endCommit(ts)
 	}
 	if err != nil {
+		if errors.Is(err, ErrIndeterminate) {
+			// The commit decision is durably logged: the transaction IS
+			// committed and must not be rolled back — recovery finishes
+			// applying it on any participant that never heard. Report the
+			// in-doubt outcome to the caller, who must not blindly retry.
+			t.mu.Lock()
+			t.state = Committed
+			t.commitTS = ts
+			t.undo = nil
+			t.mu.Unlock()
+			t.mgr.finish(t)
+			return fmt.Errorf("txn %d: %w", t.id, err)
+		}
 		// Phase 2 already aborted the participants; only roll back local
 		// state here.
 		t.rollback(false)
@@ -204,6 +235,11 @@ type Manager struct {
 	commits atomic.Int64
 	aborts  atomic.Int64
 
+	// decisions is the coordinator's durable decision log, set once at
+	// engine construction (nil disables decision logging; 2PC then runs
+	// the legacy protocol without an in-doubt commit guarantee).
+	decisions DecisionLogger
+
 	// Commit clock and snapshot pins (see mvcc.go).
 	tsMu      sync.Mutex
 	lastTS    uint64              // last allocated commit timestamp
@@ -221,6 +257,13 @@ func NewManager() *Manager {
 		pins:     map[uint64]int{},
 	}
 }
+
+// SetDecisionLog installs the coordinator's durable decision log.
+// Call once, before the manager carries traffic.
+func (m *Manager) SetDecisionLog(dl DecisionLogger) { m.decisions = dl }
+
+// DecisionLog returns the installed decision log (nil if none).
+func (m *Manager) DecisionLog() DecisionLogger { return m.decisions }
 
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {

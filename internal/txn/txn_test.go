@@ -228,7 +228,8 @@ func TestConcurrentTransfersSerialize(t *testing.T) {
 }
 
 func TestTwoPCNoParticipants(t *testing.T) {
-	if err := runTwoPhaseCommit(1, 1, nil); err != nil {
+	m := NewManager()
+	if err := m.runTwoPhaseCommit(1, 1, nil); err != nil {
 		t.Errorf("empty 2PC = %v", err)
 	}
 }

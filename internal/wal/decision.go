@@ -1,0 +1,92 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/txn"
+)
+
+// DecisionLog is the 2PC coordinator's durable decision record. The
+// coordinator forces one entry here after a unanimous yes-vote and
+// before any participant is told to commit — the classic write that
+// makes atomic commit crash-consistent. Only commit decisions are
+// logged: by the presumed-abort convention, a prepared transaction with
+// no entry here was never committed, so recovery may (and does) abort
+// it without any coordinator round-trip.
+//
+// Entries are fixed-size, so a torn tail is at most one partial entry;
+// Open drops it — an incompletely-logged decision is no decision, which
+// presumed abort turns into the safe outcome.
+type DecisionLog struct {
+	store *machine.StableStore
+	name  string
+
+	mu        sync.Mutex
+	decisions map[txn.ID]uint64 // tx -> commit timestamp
+}
+
+// decisionEntrySize is the fixed on-disk entry: [tag:1][txn:8][ts:8].
+const decisionEntrySize = 17
+
+const decisionTag = 0xD1
+
+// OpenDecisionLog attaches a decision log to a stable-store segment,
+// replaying surviving entries (and ignoring a torn trailing partial).
+func OpenDecisionLog(store *machine.StableStore, name string) (*DecisionLog, error) {
+	if store == nil {
+		return nil, fmt.Errorf("wal: nil stable store")
+	}
+	if name == "" {
+		return nil, fmt.Errorf("wal: empty decision log name")
+	}
+	d := &DecisionLog{store: store, name: name, decisions: map[txn.ID]uint64{}}
+	data := store.ReadAll(name)
+	for off := 0; off+decisionEntrySize <= len(data); off += decisionEntrySize {
+		e := data[off : off+decisionEntrySize]
+		if e[0] != decisionTag {
+			break // garbage: keep the valid prefix only
+		}
+		d.decisions[txn.ID(binary.BigEndian.Uint64(e[1:9]))] = binary.BigEndian.Uint64(e[9:17])
+	}
+	return d, nil
+}
+
+// RecordCommit durably logs the commit decision for tx before phase 2
+// may start. The force rides the stable store's group-commit path, so a
+// burst of concurrent commits shares one disk sync with the commit
+// markers landing on the same disk PE. If this returns an error the
+// decision was NOT made and the coordinator must abort.
+func (d *DecisionLog) RecordCommit(tx txn.ID, ts uint64) error {
+	var buf [decisionEntrySize]byte
+	buf[0] = decisionTag
+	binary.BigEndian.PutUint64(buf[1:9], uint64(tx))
+	binary.BigEndian.PutUint64(buf[9:17], ts)
+	if _, err := d.store.GroupAppend(d.name, buf[:]); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.decisions[tx] = ts
+	d.mu.Unlock()
+	return nil
+}
+
+// Decision reports the logged outcome for tx: known=true with the
+// commit timestamp when a commit decision was forced, known=false when
+// no decision survives (presumed abort). It satisfies wal.Decider and
+// txn.DecisionLogger.
+func (d *DecisionLog) Decision(tx txn.ID) (ts uint64, commit bool, known bool) {
+	d.mu.Lock()
+	ts, ok := d.decisions[tx]
+	d.mu.Unlock()
+	return ts, ok, ok
+}
+
+// Len reports how many commit decisions the log holds.
+func (d *DecisionLog) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.decisions)
+}

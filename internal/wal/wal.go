@@ -18,9 +18,17 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/txn"
 	"repro/internal/value"
+)
+
+// Fault points on the logging path: before a log force and before a
+// checkpoint swap.
+var (
+	fpWalAppend     = fault.Register("wal.append.pre-sync")
+	fpWalCheckpoint = fault.Register("wal.checkpoint.pre")
 )
 
 // RecType tags a log record.
@@ -90,6 +98,11 @@ func decodeRecord(buf []byte) (Record, int, error) {
 	off := 17
 	hasTuple := buf[off]
 	off++
+	if hasTuple > 1 {
+		// Strict on the flag byte: a torn or corrupt tail must fail to
+		// decode rather than parse as something re-encoding differently.
+		return Record{}, 0, fmt.Errorf("wal: bad tuple flag %d", hasTuple)
+	}
 	if hasTuple == 0 {
 		return r, off, nil
 	}
@@ -137,6 +150,9 @@ func (l *Log) Append(recs ...Record) error {
 	for _, r := range recs {
 		buf = appendRecord(buf, r)
 	}
+	if out := fpWalAppend.Eval(); out != nil {
+		return out.Err
+	}
 	if _, err := l.store.Append(l.name, buf); err != nil {
 		return err
 	}
@@ -181,31 +197,72 @@ func (l *Log) Bytes() int64 {
 	return l.store.Size(l.name)
 }
 
-// Scan decodes the whole log segment.
+// Scan decodes the log segment, tolerating a torn tail: a crash can cut
+// an append mid-record, so decoding stops at the first record that does
+// not parse and the valid prefix is returned. Scan never fails on log
+// contents — a log whose very first record is garbage is simply an
+// empty log. (Record encoding is strictly length-prefixed, so a record
+// cut at any byte offset fails to decode rather than mis-decoding.)
 func (l *Log) Scan() ([]Record, error) {
+	recs, _, _ := l.scanPrefix()
+	return recs, nil
+}
+
+// TornBytes reports how many trailing garbage bytes the log currently
+// carries past its last decodable record (zero on a clean log).
+func (l *Log) TornBytes() int64 {
+	_, valid, total := l.scanPrefix()
+	return total - valid
+}
+
+// scanPrefix decodes the longest valid record prefix of the segment,
+// returning the records, the byte length of that prefix, and the total
+// segment length.
+func (l *Log) scanPrefix() (recs []Record, valid, total int64) {
 	data := l.store.ReadAll(l.name)
-	var out []Record
 	off := 0
 	for off < len(data) {
 		r, n, err := decodeRecord(data[off:])
 		if err != nil {
-			return nil, fmt.Errorf("wal: scan at offset %d: %w", off, err)
+			break
 		}
-		out = append(out, r)
+		recs = append(recs, r)
 		off += n
 	}
-	return out, nil
+	return recs, int64(off), int64(len(data))
 }
 
 // Checkpoint atomically replaces the checkpoint with the given snapshot
-// and truncates the log. Transactions committed before the checkpoint
-// are folded into the snapshot; the log restarts empty.
+// and truncates the log in one stable-storage swap. Transactions
+// committed before the checkpoint are folded into the snapshot; the log
+// restarts empty. A crash before the swap leaves the old checkpoint and
+// the full log — recovery replays as if no checkpoint was attempted.
 func (l *Log) Checkpoint(snapshot []value.Tuple) error {
-	l.store.Replace(l.name+".ckpt", value.EncodeTuples(snapshot))
-	l.store.Truncate(l.name)
+	return l.CheckpointWith(snapshot, nil)
+}
+
+// CheckpointWith is Checkpoint plus carried-forward records: the fresh
+// log starts with carry instead of empty, installed in the same atomic
+// swap as the snapshot. The caller passes the redo records (sealed by
+// their prepare markers) of transactions that sit prepared but
+// undecided at checkpoint time — truncating those would lose a
+// transaction the coordinator's decision log may yet declare committed,
+// and re-appending them after a separate truncation would leave a crash
+// window with the same hole.
+func (l *Log) CheckpointWith(snapshot []value.Tuple, carry []Record) error {
+	if out := fpWalCheckpoint.Eval(); out != nil {
+		return out.Err
+	}
+	var tail []byte
+	for _, r := range carry {
+		tail = appendRecord(tail, r)
+	}
+	if err := l.store.CheckpointSwap(l.name+".ckpt", value.EncodeTuples(snapshot), l.name, tail); err != nil {
+		return err
+	}
 	l.mu.Lock()
-	l.records = 0
-	l.bytes = 0
+	l.records = len(carry)
+	l.bytes = int64(len(tail))
 	l.mu.Unlock()
 	return nil
 }
@@ -227,32 +284,69 @@ type RecoveryResult struct {
 	// in log order.
 	Redo []Record
 	// Committed, InDoubt and AbortedTxns classify the transactions seen.
+	// InDoubt lists every transaction found prepared but neither
+	// committed nor aborted in the log — including ones a resolver then
+	// settled (see ResolvedCommits / PresumedAborts); the unresolved
+	// leak count is len(InDoubt) - len(ResolvedCommits) -
+	// len(PresumedAborts).
 	Committed   []txn.ID
-	InDoubt     []txn.ID // prepared but neither committed nor aborted
+	InDoubt     []txn.ID
 	AbortedTxns []txn.ID
+	// ResolvedCommits lists in-doubt transactions the coordinator's
+	// decision log resolved to commit (their effects are in Redo);
+	// PresumedAborts lists in-doubt transactions with no logged decision,
+	// aborted by the presumed-abort convention.
+	ResolvedCommits []txn.ID
+	PresumedAborts  []txn.ID
+	// TornBytes is how much trailing garbage a mid-append crash left past
+	// the last valid record; the tail was truncated to the valid prefix.
+	TornBytes int64
 	// MaxTS is the highest commit timestamp seen; the restarted commit
 	// clock must advance past it before allocating new timestamps.
 	MaxTS uint64
 }
 
+// Decider resolves an in-doubt transaction at recovery: it reports the
+// coordinator's durably-logged decision for tx, with known=false when no
+// decision was logged (which, by the presumed-abort convention, means
+// abort). wal.DecisionLog.Decision is the canonical implementation.
+type Decider func(tx txn.ID) (ts uint64, commit bool, known bool)
+
 // Recover reads the checkpoint and log and computes the redo list: the
 // insert/delete records of every transaction with a commit marker.
 // Prepared-but-unresolved transactions are reported in doubt (their
-// effects are NOT redone; the presumed-abort convention).
+// effects are NOT redone). Equivalent to RecoverResolved(nil).
 func (l *Log) Recover() (*RecoveryResult, error) {
+	return l.RecoverResolved(nil)
+}
+
+// RecoverResolved is Recover plus in-doubt resolution: each transaction
+// found prepared but undecided in this log is settled by consulting the
+// coordinator's decision log via decide — a logged commit decision joins
+// the redo set at its decided timestamp; absence of a decision means the
+// coordinator never committed, so the transaction is presumed aborted.
+// Either way the outcome is appended to the log (a commit or abort
+// marker) so the next restart needs no resolver, and a torn tail left by
+// a mid-append crash is truncated to the valid record prefix first.
+func (l *Log) RecoverResolved(decide Decider) (*RecoveryResult, error) {
 	snap, err := l.LoadCheckpoint()
 	if err != nil {
 		return nil, fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	recs, err := l.Scan()
-	if err != nil {
-		return nil, err
+	recs, valid, total := l.scanPrefix()
+	res := &RecoveryResult{Snapshot: snap, TornBytes: total - valid}
+	if res.TornBytes > 0 {
+		if err := l.store.TruncateTo(l.name, valid); err != nil {
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		l.mu.Lock()
+		l.bytes = valid
+		l.mu.Unlock()
 	}
 	committed := map[txn.ID]bool{}
 	commitTS := map[txn.ID]uint64{}
 	prepared := map[txn.ID]bool{}
 	aborted := map[txn.ID]bool{}
-	res := &RecoveryResult{Snapshot: snap}
 	for _, r := range recs {
 		switch r.Type {
 		case RecPrepare:
@@ -260,11 +354,28 @@ func (l *Log) Recover() (*RecoveryResult, error) {
 		case RecCommit:
 			committed[r.Txn] = true
 			commitTS[r.Txn] = r.TS
-			if r.TS > res.MaxTS {
-				res.MaxTS = r.TS
-			}
 		case RecAbort:
 			aborted[r.Txn] = true
+		}
+	}
+	var heal []Record
+	for id := range prepared {
+		if committed[id] || aborted[id] {
+			continue
+		}
+		res.InDoubt = append(res.InDoubt, id)
+		if decide == nil {
+			continue
+		}
+		if ts, commit, known := decide(id); known && commit {
+			committed[id] = true
+			commitTS[id] = ts
+			res.ResolvedCommits = append(res.ResolvedCommits, id)
+			heal = append(heal, Record{Type: RecCommit, Txn: id, TS: ts})
+		} else {
+			aborted[id] = true
+			res.PresumedAborts = append(res.PresumedAborts, id)
+			heal = append(heal, Record{Type: RecAbort, Txn: id})
 		}
 	}
 	for _, r := range recs {
@@ -273,16 +384,23 @@ func (l *Log) Recover() (*RecoveryResult, error) {
 			res.Redo = append(res.Redo, r)
 		}
 	}
+	for _, ts := range commitTS {
+		if ts > res.MaxTS {
+			res.MaxTS = ts
+		}
+	}
 	for id := range committed {
 		res.Committed = append(res.Committed, id)
 	}
-	for id := range prepared {
-		if !committed[id] && !aborted[id] {
-			res.InDoubt = append(res.InDoubt, id)
-		}
-	}
 	for id := range aborted {
 		res.AbortedTxns = append(res.AbortedTxns, id)
+	}
+	if len(heal) > 0 {
+		// Make the resolutions durable so the next restart sees a decided
+		// log instead of re-consulting the coordinator.
+		if err := l.Append(heal...); err != nil {
+			return nil, fmt.Errorf("wal: healing resolved outcomes: %w", err)
+		}
 	}
 	return res, nil
 }

@@ -189,7 +189,11 @@ func TestUpdateAsDeleteInsert(t *testing.T) {
 	}
 }
 
-func TestCorruptLogDetected(t *testing.T) {
+func TestCorruptTailTruncated(t *testing.T) {
+	// A crash can leave garbage where a record should start. Scan keeps
+	// the valid prefix (here: none) instead of failing the whole
+	// recovery, and Recover truncates the garbage so the log is clean
+	// for new appends.
 	m, err := machine.New(machine.Config{NumPEs: 8})
 	if err != nil {
 		t.Fatal(err)
@@ -205,11 +209,31 @@ func TestCorruptLogDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Scan(); err == nil {
-		t.Error("corrupt log should fail to scan")
+	recs, err := l.Scan()
+	if err != nil || len(recs) != 0 {
+		t.Errorf("Scan = %v, %v; want empty prefix, nil error", recs, err)
 	}
-	if _, err := l.Recover(); err == nil {
-		t.Error("corrupt log should fail to recover")
+	if tb := l.TornBytes(); tb != 3 {
+		t.Errorf("TornBytes = %d, want 3", tb)
+	}
+	res, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TornBytes != 3 || len(res.Redo) != 0 {
+		t.Errorf("recovery = %+v, want 3 torn bytes and no redo", res)
+	}
+	if store.Size("bad") != 0 {
+		t.Errorf("garbage not truncated: %d bytes remain", store.Size("bad"))
+	}
+	// The healed log accepts and round-trips new appends.
+	must(t, l.Append(Record{Type: RecInsert, Txn: 9, Tuple: tup(42)}, Record{Type: RecCommit, Txn: 9}))
+	res, err = l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Redo) != 1 || res.Redo[0].Tuple[0].Int() != 42 {
+		t.Errorf("post-heal redo = %+v", res.Redo)
 	}
 }
 

@@ -1,0 +1,41 @@
+package wire
+
+import "testing"
+
+func TestErrorCodedRoundTrip(t *testing.T) {
+	for _, code := range []byte{ErrCodeGeneric, ErrCodeRetryable, ErrCodeDeadline} {
+		payload := EncodeError(code, "txn: deadlock detected")
+		if payload[0] != 0x00 {
+			t.Fatalf("coded payload must open with NUL, got 0x%02x", payload[0])
+		}
+		gotCode, gotMsg := DecodeError(payload)
+		if gotCode != code || gotMsg != "txn: deadlock detected" {
+			t.Errorf("DecodeError = (0x%02x, %q), want (0x%02x, ...)", gotCode, gotMsg, code)
+		}
+	}
+}
+
+func TestErrorLegacyDecode(t *testing.T) {
+	// A payload from a pre-coded server is bare text: it must decode as
+	// a generic error with the full text preserved.
+	code, msg := DecodeError([]byte("server: something broke"))
+	if code != ErrCodeGeneric || msg != "server: something broke" {
+		t.Errorf("legacy decode = (0x%02x, %q)", code, msg)
+	}
+	// Degenerate payloads stay safe.
+	if code, msg := DecodeError(nil); code != ErrCodeGeneric || msg != "" {
+		t.Errorf("empty decode = (0x%02x, %q)", code, msg)
+	}
+	if code, msg := DecodeError([]byte{0x00}); code != ErrCodeGeneric || msg != "\x00" {
+		t.Errorf("single-NUL decode = (0x%02x, %q)", code, msg)
+	}
+}
+
+func TestRetryableCode(t *testing.T) {
+	if RetryableCode(ErrCodeGeneric) {
+		t.Error("generic must not be retryable")
+	}
+	if !RetryableCode(ErrCodeRetryable) || !RetryableCode(ErrCodeDeadline) {
+		t.Error("retryable/deadline codes must be retryable")
+	}
+}

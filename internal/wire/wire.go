@@ -85,11 +85,12 @@ const (
 	TypeHelloOK byte = 0x81
 	// TypeResult carries an encoded Result.
 	TypeResult byte = 0x82
-	// TypeError carries an error message as UTF-8 text. Statement errors
-	// leave the connection usable; handshake and protocol errors are
-	// followed by a close. During a streamed result (after ResultHead,
-	// before ResultEnd) an Error frame terminates the stream in place of
-	// further chunks; the connection stays usable.
+	// TypeError carries an error, either as a coded payload
+	// ([NUL][code][text] — see EncodeError) or as legacy bare UTF-8
+	// text. Statement errors leave the connection usable; handshake and
+	// protocol errors are followed by a close. During a streamed result
+	// (after ResultHead, before ResultEnd) an Error frame terminates the
+	// stream in place of further chunks; the connection stays usable.
 	TypeError byte = 0x83
 	// TypePrepareOK answers a Prepare: uint32 statement id, uint16
 	// parameter count.
@@ -110,6 +111,49 @@ const (
 // ErrFrameTooLarge reports a frame whose declared payload exceeds the
 // reader's limit.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ---------- coded errors ----------
+
+// Error classification codes carried in a coded Error frame. A coded
+// payload opens with a NUL byte — legacy payloads are bare non-empty
+// UTF-8 message text, which never starts with NUL — followed by the
+// code, then the message. DecodeError accepts both formats, so either
+// end may be older than the other.
+const (
+	// ErrCodeGeneric marks an error with no retry guidance: the
+	// statement failed and re-running it is the caller's judgment call.
+	ErrCodeGeneric byte = 0x00
+	// ErrCodeRetryable marks a transient transaction failure (deadlock
+	// victim, write-write conflict, clean abort): the transaction did
+	// NOT commit and the client may safely re-run it from BEGIN.
+	ErrCodeRetryable byte = 0x01
+	// ErrCodeDeadline marks a statement that exceeded its lock-wait
+	// deadline. The transaction aborted cleanly; retryable, but a
+	// client may prefer to give up rather than queue again.
+	ErrCodeDeadline byte = 0x02
+)
+
+// EncodeError builds a coded Error payload.
+func EncodeError(code byte, msg string) []byte {
+	buf := make([]byte, 0, 2+len(msg))
+	buf = append(buf, 0x00, code)
+	return append(buf, msg...)
+}
+
+// DecodeError reads an Error payload in either format: coded
+// ([NUL][code][text]) or legacy bare text (decoded as ErrCodeGeneric).
+func DecodeError(payload []byte) (code byte, msg string) {
+	if len(payload) >= 2 && payload[0] == 0x00 {
+		return payload[1], string(payload[2:])
+	}
+	return ErrCodeGeneric, string(payload)
+}
+
+// RetryableCode reports whether code promises the statement's
+// transaction did not commit and may safely be re-run.
+func RetryableCode(code byte) bool {
+	return code == ErrCodeRetryable || code == ErrCodeDeadline
+}
 
 // ---------- frame/encode buffer reuse ----------
 
