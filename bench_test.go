@@ -123,6 +123,12 @@ func BenchmarkE17Crashpoints(b *testing.B) {
 	runExperiment(b, experiments.E17Crashpoints)
 }
 
+// BenchmarkE18Replication — WAL-shipping read replicas: read capacity
+// vs replica count, replication lag, and the audited failover cell.
+func BenchmarkE18Replication(b *testing.B) {
+	runExperiment(b, experiments.E18Replication)
+}
+
 // ---------- micro-benchmarks on the public API ----------
 
 // benchDB builds a loaded database once per benchmark.

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64] [-pipeline-depth 64] [-stmt-timeout 0]
+//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64] [-pipeline-depth 64] [-stmt-timeout 0] [-replica-of host:port]
+//
+// With -replica-of the server starts as a read replica: it subscribes
+// to the named primary's WAL stream, serves snapshot reads at the
+// replication watermark, refuses writes with a redirect, and fails
+// over to primary when a client executes PROMOTE.
 //
 // Stop with SIGINT/SIGTERM; the server drains connections (aborting
 // open transactions) before exiting.
@@ -21,6 +26,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -31,6 +37,7 @@ func main() {
 	pipeDepth := flag.Int("pipeline-depth", 64, "request frames a connection may queue behind the executing one")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
 	stmtTimeout := flag.Duration("stmt-timeout", 0, "default per-statement lock-wait deadline for every session (0 = none; sessions override with SET STATEMENT_TIMEOUT)")
+	replicaOf := flag.String("replica-of", "", "start as a read replica of the primary at this address")
 	flag.Parse()
 
 	eng, err := core.New(core.Config{NumPEs: *pes})
@@ -43,7 +50,29 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv, err := server.New(server.Config{Engine: eng, MaxConns: *maxConns, PipelineDepth: *pipeDepth, StatementTimeout: *stmtTimeout, Logf: logf})
+
+	// Every server carries a replication source so replicas can attach
+	// — including a promoted ex-replica, which becomes a primary that
+	// other replicas chain from.
+	src := repl.NewSource(repl.SourceConfig{Engine: eng})
+	defer src.Close()
+	// Semi-synchronous commits: a commit acknowledges only once its
+	// records have shipped to every attached replica (or none are
+	// attached), so failover never loses an acknowledged commit.
+	eng.Txns().SetCommitWait(src.WaitShipped)
+
+	cfg := server.Config{Engine: eng, MaxConns: *maxConns, PipelineDepth: *pipeDepth,
+		StatementTimeout: *stmtTimeout, Logf: logf, Source: src}
+	var replica *repl.Replica
+	if *replicaOf != "" {
+		replica, err = repl.StartReplica(repl.ReplicaConfig{Engine: eng, Primary: *replicaOf, Logf: logf})
+		if err != nil {
+			log.Fatalf("prisma-serve: replica: %v", err)
+		}
+		defer replica.Stop()
+		cfg.PrimaryAddr = replica.Primary
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("prisma-serve: %v", err)
 	}
@@ -52,7 +81,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("prisma-serve: listen: %v", err)
 	}
-	fmt.Printf("prisma-serve: %d-PE machine listening on %s\n", *pes, l.Addr())
+	if *replicaOf != "" {
+		fmt.Printf("prisma-serve: %d-PE machine listening on %s (replica of %s)\n", *pes, l.Addr(), *replicaOf)
+	} else {
+		fmt.Printf("prisma-serve: %d-PE machine listening on %s\n", *pes, l.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

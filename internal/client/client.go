@@ -96,7 +96,25 @@ type Client struct {
 	broken  error      // sticky protocol/transport failure
 
 	frameMax atomic.Int64 // largest frame observed (diagnostics, E13)
+
+	// Role metadata from the HelloOK trailer (see wire.HelloExtra).
+	role    byte
+	epoch   uint64
+	primary string
 }
+
+// Role reports the server's replication role at handshake time:
+// wire.RolePrimary or wire.RoleReplica. Servers predating replication
+// report primary.
+func (c *Client) Role() byte { return c.role }
+
+// Epoch reports the server's replication fencing epoch at handshake
+// time (0 for servers predating replication).
+func (c *Client) Epoch() uint64 { return c.epoch }
+
+// PrimaryAddr reports the primary address a replica advertised for
+// write redirects ("" when unknown or when the server is the primary).
+func (c *Client) PrimaryAddr() string { return c.primary }
 
 // brokenErr reports the sticky failure, if any.
 func (c *Client) brokenErr() error {
@@ -207,6 +225,11 @@ func Dial(addr string, opts ...Options) (*Client, error) {
 		if int(payload[0]) != wire.Version {
 			conn.Close()
 			return nil, fmt.Errorf("client: server speaks protocol version %d (want %d)", payload[0], wire.Version)
+		}
+		if ex, err := wire.DecodeHelloOKExtra(payload); err == nil {
+			c.role, c.epoch, c.primary = ex.Role, ex.Epoch, ex.Primary
+		} else {
+			c.role = wire.RolePrimary
 		}
 	case wire.TypeError:
 		conn.Close()

@@ -1,0 +1,249 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Cluster is a role-aware connection set over a replicated deployment:
+// writes route to the primary, reads round-robin across replicas (and
+// fall back to the primary when none are up). Roles are learned from
+// each endpoint's handshake; a write answered with a redirect (the
+// endpoint demoted, or a replica was promoted under us) or a broken
+// primary connection triggers a re-probe of every endpoint and a
+// bounded retry, so a failover is absorbed without surfacing an error
+// for retryable statements.
+//
+// Like Client, a Cluster serializes concurrent callers per underlying
+// connection. For parallel load open one Cluster per goroutine.
+type Cluster struct {
+	addrs []string
+	opts  Options
+
+	mu    sync.Mutex
+	conns map[string]*Client // live connections by address
+
+	rr atomic.Uint64 // read round-robin cursor
+}
+
+// DialCluster connects to a replicated deployment. Every address is
+// probed up front so roles are known; it succeeds as long as at least
+// one endpoint answers.
+func DialCluster(addrs []string, opts ...Options) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: DialCluster needs at least one address")
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	cl := &Cluster{
+		addrs: append([]string(nil), addrs...),
+		opts:  o,
+		conns: map[string]*Client{},
+	}
+	var lastErr error
+	live := 0
+	for _, addr := range cl.addrs {
+		c, err := Dial(addr, cl.opts)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cl.conns[addr] = c
+		live++
+	}
+	if live == 0 {
+		return nil, fmt.Errorf("client: no cluster endpoint reachable: %w", lastErr)
+	}
+	return cl, nil
+}
+
+// Close releases every connection.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, c := range cl.conns {
+		c.Close()
+	}
+	cl.conns = map[string]*Client{}
+	return nil
+}
+
+// conn returns the live connection to addr, dialing if needed.
+func (cl *Cluster) conn(addr string) (*Client, error) {
+	cl.mu.Lock()
+	c := cl.conns[addr]
+	cl.mu.Unlock()
+	if c != nil && c.brokenErr() == nil {
+		return c, nil
+	}
+	fresh, err := Dial(addr, cl.opts)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	if old := cl.conns[addr]; old != nil && old != c {
+		// Raced another redial; keep the winner.
+		fresh.Close()
+		fresh = old
+	} else {
+		if c != nil {
+			c.Close()
+		}
+		cl.conns[addr] = fresh
+	}
+	cl.mu.Unlock()
+	return fresh, nil
+}
+
+// drop forgets a broken connection so the next use redials.
+func (cl *Cluster) drop(addr string, c *Client) {
+	c.Close()
+	cl.mu.Lock()
+	if cl.conns[addr] == c {
+		delete(cl.conns, addr)
+	}
+	cl.mu.Unlock()
+}
+
+// primary returns a connection to the current primary, probing every
+// endpoint's handshake role as needed.
+func (cl *Cluster) primary() (string, *Client, error) {
+	var lastErr error
+	for _, addr := range cl.addrs {
+		c, err := cl.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if c.Role() == wire.RolePrimary {
+			return addr, c, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("client: no primary among %v", cl.addrs)
+	}
+	return "", nil, lastErr
+}
+
+// reprobe forgets every connection's learned role by redialing it on
+// next use — the failover recovery path.
+func (cl *Cluster) reprobe() {
+	cl.mu.Lock()
+	conns := cl.conns
+	cl.conns = map[string]*Client{}
+	cl.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// readEndpoint picks the next read connection: replicas round-robin,
+// the primary serves when no replica is reachable. The rotation is
+// over the live replica set, not the address list — picking the first
+// replica at-or-after a rotating address index would skew load onto
+// whichever replica follows the primary in the list.
+func (cl *Cluster) readEndpoint() (string, *Client, error) {
+	var lastErr error
+	type cand struct {
+		addr string
+		c    *Client
+	}
+	var replicas, any []cand
+	for _, addr := range cl.addrs {
+		c, err := cl.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		any = append(any, cand{addr, c})
+		if c.Role() == wire.RoleReplica {
+			replicas = append(replicas, cand{addr, c})
+		}
+	}
+	pool := replicas
+	if len(pool) == 0 {
+		pool = any
+	}
+	if len(pool) == 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("client: no cluster endpoint reachable")
+		}
+		return "", nil, lastErr
+	}
+	pick := pool[int(cl.rr.Add(1)-1)%len(pool)]
+	return pick.addr, pick.c, nil
+}
+
+// isRedirect reports a write refused by a replica (stale role).
+func isRedirect(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == wire.ErrCodeRedirect
+}
+
+// Exec executes one statement on the primary. A redirect or a broken
+// primary connection re-probes roles and retries (bounded), absorbing
+// a failover.
+func (cl *Cluster) Exec(sql string) (*wire.Result, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		addr, c, err := cl.primary()
+		if err != nil {
+			lastErr = err
+			cl.reprobe()
+			continue
+		}
+		res, err := c.Exec(sql)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		switch {
+		case isRedirect(err):
+			// The endpoint we believed primary is a replica now.
+			cl.reprobe()
+		case c.brokenErr() != nil:
+			// Transport failure: the primary may be gone. Re-route only
+			// statements that are safe to re-run (no in-flight COMMIT
+			// ambiguity): the caller's retry policy owns the rest.
+			cl.drop(addr, c)
+			return nil, err
+		default:
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Query executes a read on a replica (round-robin), falling back to
+// the primary when none is reachable. Snapshot reads on a replica are
+// watermark-bounded: they observe every commit the primary has shipped
+// through the replica's replication watermark.
+func (cl *Cluster) Query(sql string) (*value.Relation, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		addr, c, err := cl.readEndpoint()
+		if err != nil {
+			lastErr = err
+			cl.reprobe()
+			continue
+		}
+		rel, err := c.Query(sql)
+		if err == nil {
+			return rel, nil
+		}
+		lastErr = err
+		if c.brokenErr() != nil {
+			cl.drop(addr, c)
+			continue // reads are side-effect free: any endpoint will do
+		}
+		return nil, err
+	}
+	return nil, lastErr
+}

@@ -1,8 +1,10 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,15 +23,28 @@ type RetryPolicy struct {
 	// (default 0.5), so a herd of aborted transactions doesn't re-collide
 	// in lockstep. Negative disables jitter.
 	Jitter float64
-	// Seed makes the jitter sequence deterministic; 0 picks a fixed
-	// seed, so identical runs replay identical schedules.
+	// Seed makes the jitter sequence deterministic for tests; 0 (the
+	// default) derives a distinct seed per Do call, so concurrent
+	// zero-value clients spread out instead of replaying the identical
+	// schedule and re-colliding in lockstep.
 	Seed int64
 	// Classify decides whether an error is worth another attempt
 	// (default IsRetryable). Transport errors must stay non-retryable
 	// unless the caller knows the work is idempotent: a connection that
 	// died during COMMIT may have committed.
 	Classify func(error) bool
+
+	// sleep overrides time.Sleep in tests; nil uses the real clock.
+	sleep func(time.Duration)
 }
+
+// retrySeq decorrelates default jitter seeds: each Do call under
+// Seed==0 draws a fresh sequence number, mixed with the process start
+// time so two processes started back to back differ too.
+var (
+	retrySeq  atomic.Int64
+	retryBoot = time.Now().UnixNano()
+)
 
 // Retry runs fn under the zero-value RetryPolicy.
 func Retry(fn func() error) error {
@@ -40,6 +55,16 @@ func Retry(fn func() error) error {
 // budget is spent (the last error is returned wrapped, still matching
 // errors.As/Is probes).
 func (p RetryPolicy) Do(fn func() error) error {
+	return p.DoContext(context.Background(), fn)
+}
+
+// DoContext is Do with cancellation: backoff sleeps are cut short when
+// ctx is done, and no further attempt starts after cancellation — a
+// caller whose statement deadline has already passed is not forced to
+// sit through the rest of the backoff ladder. The context error is
+// returned wrapped around the last attempt's error (when there was
+// one), so errors.Is(err, context.DeadlineExceeded) works.
+func (p RetryPolicy) DoContext(ctx context.Context, fn func() error) error {
 	attempts := p.MaxAttempts
 	if attempts <= 0 {
 		attempts = 5
@@ -64,12 +89,18 @@ func (p RetryPolicy) Do(fn func() error) error {
 	}
 	seed := p.Seed
 	if seed == 0 {
-		seed = 88 // fixed: EDBT'88 — deterministic by default
+		seed = retryBoot ^ (retrySeq.Add(1) * 0x9e3779b97f4a7c)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	backoff := base
 	var err error
 	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return fmt.Errorf("client: %w after %d attempts: %v", cerr, attempt-1, err)
+			}
+			return cerr
+		}
 		if err = fn(); err == nil || !classify(err) {
 			return err
 		}
@@ -80,7 +111,19 @@ func (p RetryPolicy) Do(fn func() error) error {
 		if jitter > 0 {
 			sleep = time.Duration(float64(backoff) * (1 + jitter*(2*rng.Float64()-1)))
 		}
-		time.Sleep(sleep)
+		if p.sleep != nil {
+			p.sleep(sleep)
+		} else if done := ctx.Done(); done != nil {
+			t := time.NewTimer(sleep)
+			select {
+			case <-done:
+				t.Stop()
+				return fmt.Errorf("client: %w after %d attempts: %v", ctx.Err(), attempt, err)
+			case <-t.C:
+			}
+		} else {
+			time.Sleep(sleep)
+		}
 		if backoff *= 2; backoff > maxB {
 			backoff = maxB
 		}

@@ -1,7 +1,9 @@
 package client
 
 import (
+	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -88,5 +90,92 @@ func TestRetryCustomClassify(t *testing.T) {
 	})
 	if err != nil || calls != 2 {
 		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+// sleepRecorder captures the backoff schedule without sleeping.
+func sleepRecorder(out *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *out = append(*out, d) }
+}
+
+func TestRetryDefaultSeedsDecorrelate(t *testing.T) {
+	// Two zero-value policies must NOT replay the identical jitter
+	// schedule: a herd of aborted clients that backs off in lockstep
+	// re-collides forever. (This was a real bug: Seed==0 fell back to a
+	// shared constant.)
+	run := func() []time.Duration {
+		var sleeps []time.Duration
+		p := RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Millisecond, sleep: sleepRecorder(&sleeps)}
+		p.Do(func() error { return retryableErr() })
+		return sleeps
+	}
+	a, b := run(), run()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("want 5 sleeps each, got %d and %d", len(a), len(b))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("two default-seeded clients replayed the identical backoff schedule: %v", a)
+	}
+}
+
+func TestRetryExplicitSeedDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var sleeps []time.Duration
+		p := RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Millisecond, Seed: 42, sleep: sleepRecorder(&sleeps)}
+		p.Do(func() error { return retryableErr() })
+		return sleeps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("sleep counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Seed!=0 must be deterministic; sleep %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDoContextStopsAtDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	calls := 0
+	start := time.Now()
+	err := RetryPolicy{MaxAttempts: 10, BaseBackoff: 10 * time.Second}.DoContext(ctx, func() error {
+		calls++
+		return retryableErr()
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("DoContext slept through the deadline: %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (deadline hit during first backoff)", calls)
+	}
+	// The underlying cause is still visible in the message.
+	if !strings.Contains(err.Error(), "retry") {
+		t.Fatalf("error lost its cause: %v", err)
+	}
+}
+
+func TestDoContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := RetryPolicy{}.DoContext(ctx, func() error { calls++; return nil })
+	if calls != 0 {
+		t.Fatalf("fn ran %d times under a cancelled context", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
 	}
 }

@@ -120,6 +120,7 @@ func (c *Cursor) finish(commit bool) error {
 		return nil
 	}
 	c.done = true
+	c.s.unregisterCursor(c)
 	c.iter.wait()
 	var err error
 	if commit {
@@ -270,7 +271,7 @@ func (s *Session) streamPlanStr(root plan.Node, planStr string) (*Cursor, error)
 	if err != nil {
 		return nil, settle(err)
 	}
-	return &Cursor{
+	cur := &Cursor{
 		s:         s,
 		settle:    settle,
 		schema:    root.Schema(),
@@ -278,7 +279,9 @@ func (s *Session) streamPlanStr(root plan.Node, planStr string) (*Cursor, error)
 		iter:      iter,
 		simStart:  simStart,
 		wallStart: wallStart,
-	}, nil
+	}
+	s.registerCursor(cur)
+	return cur, nil
 }
 
 // relIter yields a result as a sequence of non-empty per-fragment (or

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSessionCloseReleasesCursorPins covers abnormal teardown: a
+// streamed cursor pins a snapshot when it opens, and a session closed
+// with the cursor still open (client vanished mid-stream, embedded
+// caller forgot Close) must release that pin — otherwise the GC
+// horizon wedges at the abandoned snapshot and vacuum stalls forever.
+func TestSessionCloseReleasesCursorPins(t *testing.T) {
+	eng := streamEngine(t, 2000)
+
+	sess := eng.NewSession()
+	cur, res, err := sess.Stream(`SELECT * FROM emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("SELECT returned materialized result %v", res)
+	}
+	// Pull one batch so the stream is genuinely mid-flight, then abandon
+	// the cursor without closing it.
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	pinned := eng.Txns().Horizon()
+
+	// Commit writes after the pin so the watermark moves past it.
+	w := eng.NewSession()
+	defer w.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := w.Exec(`UPDATE emp SET salary = salary + 1 WHERE id = 7`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := eng.Txns().Horizon(); h != pinned {
+		t.Fatalf("horizon moved to %d while a snapshot at %d is pinned", h, pinned)
+	}
+
+	sess.Close()
+
+	if h, wm := eng.Txns().Horizon(), eng.Txns().Watermark(); h != wm {
+		t.Fatalf("horizon %d still held back after Session.Close (watermark %d): leaked cursor pin", h, wm)
+	}
+}
+
+// TestCursorCloseAfterSessionClose makes the teardown order the server
+// actually produces (Session.Close from the connection teardown, then
+// the stream's own deferred Close) safe: double-settling must not
+// panic or double-release the pin.
+func TestCursorCloseAfterSessionClose(t *testing.T) {
+	eng := streamEngine(t, 100)
+	sess := eng.NewSession()
+	cur, _, err := sess.Stream(`SELECT * FROM emp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h, wm := eng.Txns().Horizon(), eng.Txns().Watermark(); h != wm {
+		t.Fatalf("horizon %d != watermark %d after teardown", h, wm)
+	}
+}

@@ -30,6 +30,9 @@ func (e *Engine) writeView(tx *txn.Txn, autocommit bool) ofm.View {
 // exclusively, buffers the inserts and commits via two-phase commit
 // (unless the session holds an open transaction, which then owns them).
 func (e *Engine) execInsert(s *Session, ins *sqlparse.Insert) (int, error) {
+	if e.IsReadOnly() {
+		return 0, e.readOnlyErr("INSERT")
+	}
 	t, err := e.lookupTable(ins.Table)
 	if err != nil {
 		return 0, err
@@ -111,6 +114,9 @@ func (e *Engine) execInsert(s *Session, ins *sqlparse.Insert) (int, error) {
 
 // execDelete broadcasts the predicate to the (pruned) fragments.
 func (e *Engine) execDelete(s *Session, del *sqlparse.Delete) (int, error) {
+	if e.IsReadOnly() {
+		return 0, e.readOnlyErr("DELETE")
+	}
 	t, err := e.lookupTable(del.Table)
 	if err != nil {
 		return 0, err
@@ -157,6 +163,9 @@ func (e *Engine) execDelete(s *Session, del *sqlparse.Delete) (int, error) {
 // that change the fragmentation key would require tuple migration; they
 // are rejected (as early distributed systems did).
 func (e *Engine) execUpdate(s *Session, up *sqlparse.Update) (int, error) {
+	if e.IsReadOnly() {
+		return 0, e.readOnlyErr("UPDATE")
+	}
 	t, err := e.lookupTable(up.Table)
 	if err != nil {
 		return 0, err

@@ -59,6 +59,11 @@ type Config struct {
 	// the all-2PL baseline (S-locks on reads) — experiment E16 measures
 	// the difference.
 	MVCC *bool
+	// FaultDomain scopes injected faults to this engine's stable stores.
+	// Nil uses the process-wide default domain. Replication experiments
+	// give each engine its own domain so crashing the primary leaves
+	// replicas (in the same OS process) untouched.
+	FaultDomain *fault.Domain
 }
 
 // table couples catalog metadata with the live fragment managers.
@@ -103,6 +108,16 @@ type Engine struct {
 	decisions *wal.DecisionLog
 
 	nextPE atomic.Int64 // round-robin session coordinator
+
+	// Replication role state (see replica.go): a read-only engine
+	// refuses session writes, the epoch fences stale primaries after a
+	// failover, and replW is the replica's consistent status watermark.
+	readOnly    atomic.Bool
+	epoch       atomic.Uint64
+	promoteHook atomic.Pointer[func() error]
+	replW       atomic.Uint64
+	replWDur    atomic.Uint64 // last durably persisted replW
+	faultDom    *fault.Domain
 }
 
 // New builds an engine over a (possibly default) machine.
@@ -170,6 +185,11 @@ func New(cfg Config) (*Engine, error) {
 		tables:    map[string]*table{},
 		stores:    map[int]*machine.StableStore{},
 	}
+	e.epoch.Store(1)
+	e.faultDom = cfg.FaultDomain
+	if e.faultDom == nil {
+		e.faultDom = fault.DefaultDomain
+	}
 	if planCacheOn {
 		e.plans = newPlanCache(planCacheSize)
 	}
@@ -178,6 +198,7 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		store.SetFaultDomain(e.faultDom)
 		e.stores[pe] = store
 	}
 	if disks := m.DiskPEs(); len(disks) > 0 {
@@ -203,6 +224,10 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 
 // Txns returns the transaction manager.
 func (e *Engine) Txns() *txn.Manager { return e.txns }
+
+// FaultDomain returns the fault domain scoping this engine's injected
+// stable-storage faults.
+func (e *Engine) FaultDomain() *fault.Domain { return e.faultDom }
 
 // Close stops every OFM process.
 func (e *Engine) Close() { e.rt.StopAll() }
@@ -286,6 +311,33 @@ type commitReq struct {
 
 type loadReq struct{ tuples []value.Tuple }
 
+// Replication apply requests (replica role, see replica.go). They run
+// in the fragment's serving process so stream application serializes
+// with snapshot scans exactly like local commits do.
+type applyReq struct {
+	recs  []wal.Record
+	limit uint64
+}
+
+type advanceReq struct{ limit uint64 }
+
+type syncReq struct {
+	ckpt, logBytes []byte
+	gen            uint64
+	limit          uint64
+}
+
+type replayReq struct{ limit uint64 }
+
+type pendingReq struct{}
+
+type resolveReq struct {
+	tx txn.ID
+	ts uint64
+}
+
+type abortApplyReq struct{ tx txn.ID }
+
 // spawnOFMProcess runs an OFM as a message-serving POOL-X process.
 func (e *Engine) spawnOFMProcess(o *ofm.OFM, pe int) (*pool.Process, error) {
 	return e.rt.Spawn("ofm-"+o.Name(), pe, func(ctx *pool.Context) error {
@@ -332,6 +384,31 @@ func (e *Engine) spawnOFMProcess(o *ofm.OFM, pe int) (*pool.Process, error) {
 				body, bytes = len(req.tuples), 16
 			case commitReq:
 				err = o.Commit(req.tx, req.ts)
+				bytes = 16
+			case applyReq:
+				var ts uint64
+				ts, err = o.ApplyRecords(req.recs, req.limit)
+				body, bytes = ts, 16
+			case advanceReq:
+				var ts uint64
+				ts, err = o.AdvanceApplied(req.limit)
+				body, bytes = ts, 16
+			case syncReq:
+				var off int64
+				off, _, err = o.InstallSync(req.ckpt, req.logBytes, req.gen, req.limit)
+				body, bytes = off, 16
+			case replayReq:
+				var off int64
+				off, _, err = o.ReplayLocal(req.limit)
+				body, bytes = off, 16
+			case pendingReq:
+				pend := o.PendingApplied()
+				body, bytes = pend, 16*len(pend)+16
+			case resolveReq:
+				err = o.ResolveApplied(req.tx, req.ts)
+				bytes = 16
+			case abortApplyReq:
+				err = o.AbortApplied(req.tx)
 				bytes = 16
 			case txn.ID:
 				switch msg.Kind {

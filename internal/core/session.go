@@ -6,6 +6,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ofm"
@@ -28,6 +29,13 @@ type Session struct {
 	// waits forever. A timed-out statement aborts its transaction with a
 	// retryable txn.ErrTimeout instead of blocking behind a lock holder.
 	stmtTimeout time.Duration
+
+	// curMu guards cursors: every open Cursor registers here so Close can
+	// settle abandoned streams (releasing their snapshot pins) even when
+	// the caller never closed them — an abnormal teardown must not wedge
+	// the GC horizon.
+	curMu   sync.Mutex
+	cursors map[*Cursor]struct{}
 }
 
 // SetStatementTimeout bounds how long this session's statements may wait
@@ -165,11 +173,21 @@ func (s *Session) execSet(sql string) (*Result, bool) {
 	return &Result{Msg: fmt.Sprintf("statement_timeout = %dms", ms)}, true
 }
 
+// promoteRe matches the admin statement `PROMOTE` — fail over this
+// replica to primary (see Engine.Promote).
+var promoteRe = regexp.MustCompile(`(?i)^\s*PROMOTE\s*;?\s*$`)
+
 // execText routes one statement through the plan cache when possible,
 // falling back to the parse-and-execute path.
 func (s *Session) execText(sql string) (*Result, error) {
 	if res, handled := s.execSet(sql); handled {
 		return res, nil
+	}
+	if promoteRe.MatchString(sql) {
+		if err := s.e.Promote(); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: fmt.Sprintf("promoted to primary (epoch %d)", s.e.Epoch())}, nil
 	}
 	pc := s.e.plans
 	if pc == nil {
@@ -224,12 +242,18 @@ func (s *Session) parseExec(sql string) (*Result, error) {
 func (s *Session) execStmt(st sqlparse.Stmt) (*Result, error) {
 	switch t := st.(type) {
 	case *sqlparse.CreateTable:
+		if s.e.IsReadOnly() {
+			return nil, s.e.readOnlyErr("CREATE TABLE")
+		}
 		if err := s.e.createFromAST(t); err != nil {
 			return nil, err
 		}
 		return &Result{Msg: fmt.Sprintf("table %s created", t.Name)}, nil
 
 	case *sqlparse.DropTable:
+		if s.e.IsReadOnly() {
+			return nil, s.e.readOnlyErr("DROP TABLE")
+		}
 		if err := s.e.DropTable(t.Name); err != nil {
 			return nil, err
 		}
@@ -361,10 +385,37 @@ func (s *Session) Query(sql string) (*value.Relation, error) {
 	return res.Rel, nil
 }
 
-// Close aborts any open transaction.
+// Close aborts any open transaction and settles any cursors still
+// open, releasing their snapshot pins (or autocommit locks) so an
+// abandoned stream cannot hold back version garbage collection.
 func (s *Session) Close() {
+	s.curMu.Lock()
+	open := make([]*Cursor, 0, len(s.cursors))
+	for c := range s.cursors {
+		open = append(open, c)
+	}
+	s.curMu.Unlock()
+	for _, c := range open {
+		c.Close()
+	}
 	if s.tx != nil {
 		s.tx.Abort()
 		s.tx = nil
 	}
+}
+
+// registerCursor tracks an open cursor until finish unregisters it.
+func (s *Session) registerCursor(c *Cursor) {
+	s.curMu.Lock()
+	if s.cursors == nil {
+		s.cursors = map[*Cursor]struct{}{}
+	}
+	s.cursors[c] = struct{}{}
+	s.curMu.Unlock()
+}
+
+func (s *Session) unregisterCursor(c *Cursor) {
+	s.curMu.Lock()
+	delete(s.cursors, c)
+	s.curMu.Unlock()
 }

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestE18ReplicasScaleReadsAndSurviveFailover is the acceptance bar
+// for the replication tentpole: the grid must show >= 1.7x aggregate
+// read capacity at 2 replicas over the no-replica baseline, report a
+// replication lag p99, and the audited failover cell must pass every
+// invariant — ledger conserved, no acknowledged commit lost, torn
+// stream resubscribed, stale-epoch primary fenced (E18 returns an
+// error naming the violated invariant otherwise).
+func TestE18ReplicasScaleReadsAndSurviveFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	tb, err := E18Replication(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("E18 produced %d rows, want 4 grid cells + failover:\n%s", len(tb.Rows), tb)
+	}
+	var speedup2 float64
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "2":
+			s := strings.TrimSuffix(row[3], "x")
+			speedup2, err = strconv.ParseFloat(s, 64)
+			if err != nil {
+				t.Fatalf("2-replica speedup cell %q: %v", row[3], err)
+			}
+			if row[6] == "n/a" {
+				t.Errorf("2-replica row reports no lag p99:\n%s", tb)
+			}
+		case "failover":
+			if !strings.HasPrefix(row[len(row)-1], "ok") {
+				t.Errorf("failover verdict = %q, want ok:\n%s", row[len(row)-1], tb)
+			}
+		}
+	}
+	if speedup2 < 1.7 {
+		t.Errorf("2-replica read capacity speedup = %.2fx, want >= 1.7x:\n%s", speedup2, tb)
+	}
+}

@@ -76,6 +76,29 @@ func (m Mode) String() string {
 	return "?"
 }
 
+// Domain is one crash scope: a set of stable stores that die together
+// when a crash-mode fault fires against it. The zero of the package —
+// every store and every Spec with a nil Domain — shares DefaultDomain,
+// preserving the original process-wide semantics. Multi-node tests
+// (replication failover) give each simulated machine its own Domain so
+// crashing the primary does not poison the replica's disk.
+type Domain struct {
+	crashed atomic.Bool
+}
+
+// DefaultDomain is the process-wide crash scope used when no explicit
+// Domain is configured.
+var DefaultDomain = &Domain{}
+
+// Crashed reports whether a crash-mode fault has fired in this domain.
+func (d *Domain) Crashed() bool { return d.crashed.Load() }
+
+// ClearCrash revives this domain's simulated machine.
+func (d *Domain) ClearCrash() { d.crashed.Store(false) }
+
+// SetCrashed poisons this domain's stable writes directly.
+func (d *Domain) SetCrashed() { d.crashed.Store(true) }
+
 // Spec describes how an armed point fires.
 type Spec struct {
 	// Mode selects the action (default Error).
@@ -97,6 +120,9 @@ type Spec struct {
 	// Err overrides the error the site returns (default wraps
 	// ErrInjected with the point name).
 	Err error
+	// Domain scopes Crash/Tear poison to one simulated machine; nil
+	// poisons DefaultDomain (the whole process), the original behavior.
+	Domain *Domain
 }
 
 // Outcome tells an injection site what to do; nil means proceed.
@@ -126,7 +152,6 @@ type Point struct {
 var (
 	regMu    sync.Mutex
 	registry = map[string]*Point{}
-	crashed  atomic.Bool
 )
 
 // Register declares a fault point; call once per name, at package init
@@ -199,17 +224,18 @@ func DisarmAll() {
 	}
 }
 
-// Crashed reports whether a crash-mode fault has fired; stable-storage
-// operations fail while true.
-func Crashed() bool { return crashed.Load() }
+// Crashed reports whether a crash-mode fault has fired in the default
+// domain; stable-storage operations there fail while true.
+func Crashed() bool { return DefaultDomain.Crashed() }
 
-// ClearCrash revives the simulated machine — the harness calls it
-// after discarding volatile state, before running recovery.
-func ClearCrash() { crashed.Store(false) }
+// ClearCrash revives the default domain's simulated machine — the
+// harness calls it after discarding volatile state, before running
+// recovery.
+func ClearCrash() { DefaultDomain.ClearCrash() }
 
-// SetCrashed poisons stable writes directly (tests that simulate a
-// crash without going through an armed point).
-func SetCrashed() { crashed.Store(true) }
+// SetCrashed poisons default-domain stable writes directly (tests that
+// simulate a crash without going through an armed point).
+func SetCrashed() { DefaultDomain.SetCrashed() }
 
 // Name returns the point's registered name.
 func (p *Point) Name() string { return p.name }
@@ -264,9 +290,13 @@ func (p *Point) evalArmed(a *armed, writeLen int) *Outcome {
 		err = fmt.Errorf("%w at %s", ErrInjected, p.name)
 	}
 	out := &Outcome{Err: err, Tear: -1}
+	dom := a.spec.Domain
+	if dom == nil {
+		dom = DefaultDomain
+	}
 	switch a.spec.Mode {
 	case Crash:
-		crashed.Store(true)
+		dom.crashed.Store(true)
 		out.Err = fmt.Errorf("%w at %s", ErrCrashed, p.name)
 	case Tear:
 		tear := a.spec.TearAt
@@ -282,7 +312,7 @@ func (p *Point) evalArmed(a *armed, writeLen int) *Outcome {
 			tear = writeLen
 		}
 		out.Tear = tear
-		crashed.Store(true)
+		dom.crashed.Store(true)
 		out.Err = fmt.Errorf("%w at %s (torn at byte %d)", ErrCrashed, p.name, tear)
 	}
 	return out

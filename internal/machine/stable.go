@@ -31,6 +31,7 @@ var (
 type StableStore struct {
 	pe   *PE
 	disk DiskModel
+	dom  *fault.Domain
 
 	mu       sync.Mutex
 	segments map[string][]byte
@@ -65,7 +66,18 @@ func NewStableStore(pe *PE, disk DiskModel) (*StableStore, error) {
 		return nil, fmt.Errorf("machine: PE %d has no disk", pe.ID())
 	}
 	(&disk).fill()
-	return &StableStore{pe: pe, disk: disk, segments: map[string][]byte{}}, nil
+	return &StableStore{pe: pe, disk: disk, dom: fault.DefaultDomain, segments: map[string][]byte{}}, nil
+}
+
+// SetFaultDomain scopes this store's crash poison to dom (nil resets to
+// the process-wide default). Multi-node tests give each simulated
+// machine its own domain so one machine's crash leaves the others'
+// disks writable.
+func (s *StableStore) SetFaultDomain(dom *fault.Domain) {
+	if dom == nil {
+		dom = fault.DefaultDomain
+	}
+	s.dom = dom
 }
 
 // PE returns the owning processing element.
@@ -77,7 +89,7 @@ func (s *StableStore) Append(name string, b []byte) (int64, error) {
 	if name == "" {
 		return 0, fmt.Errorf("machine: empty segment name")
 	}
-	if fault.Crashed() {
+	if s.dom.Crashed() {
 		return 0, fault.ErrCrashed
 	}
 	if out := fpAppendPre.Eval(); out != nil {
@@ -134,7 +146,7 @@ func (s *StableStore) GroupAppend(name string, b []byte) (int64, error) {
 	if name == "" {
 		return 0, fmt.Errorf("machine: empty segment name")
 	}
-	if fault.Crashed() {
+	if s.dom.Crashed() {
 		return 0, fault.ErrCrashed
 	}
 	if out := fpGroupPre.Eval(); out != nil {
@@ -182,7 +194,7 @@ func (s *StableStore) leadGroupFlush() {
 	s.gaQueue = nil
 	s.gaMu.Unlock()
 
-	if fault.Crashed() {
+	if s.dom.Crashed() {
 		// The machine died before this force: the whole burst is lost.
 		for _, ga := range batch {
 			ga.done <- fault.ErrCrashed
@@ -247,7 +259,7 @@ func (s *StableStore) Size(name string) int64 {
 // Replace atomically replaces the named segment's contents (used by
 // checkpointing: write the snapshot, then truncate the log).
 func (s *StableStore) Replace(name string, b []byte) error {
-	if fault.Crashed() {
+	if s.dom.Crashed() {
 		return fault.ErrCrashed
 	}
 	s.mu.Lock()
@@ -261,7 +273,7 @@ func (s *StableStore) Replace(name string, b []byte) error {
 
 // Truncate empties the named segment (log truncation after checkpoint).
 func (s *StableStore) Truncate(name string) error {
-	if fault.Crashed() {
+	if s.dom.Crashed() {
 		return fault.ErrCrashed
 	}
 	s.mu.Lock()
@@ -283,7 +295,7 @@ func (s *StableStore) Truncate(name string) error {
 // disk implementation would write snapshot and tail to side files and
 // rename them over the old ones.
 func (s *StableStore) CheckpointSwap(ckptName string, snapshot []byte, logName string, logTail []byte) error {
-	if fault.Crashed() {
+	if s.dom.Crashed() {
 		return fault.ErrCrashed
 	}
 	if out := fpCkptSwap.Eval(); out != nil {
@@ -307,7 +319,7 @@ func (s *StableStore) CheckpointSwap(ckptName string, snapshot []byte, logName s
 // repair after a torn append: the garbage past the last valid record is
 // cut so the next append lands on a clean prefix.
 func (s *StableStore) TruncateTo(name string, n int64) error {
-	if fault.Crashed() {
+	if s.dom.Crashed() {
 		return fault.ErrCrashed
 	}
 	s.mu.Lock()

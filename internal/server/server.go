@@ -37,12 +37,21 @@ var fpFrameWrite = fault.Register("server.frame.write")
 // the client learns whether the failed transaction may safely re-run.
 func errorCode(err error) byte {
 	switch {
+	case errors.Is(err, core.ErrReadOnly):
+		return wire.ErrCodeRedirect
 	case errors.Is(err, txn.ErrTimeout):
 		return wire.ErrCodeDeadline
 	case txn.IsRetryable(err):
 		return wire.ErrCodeRetryable
 	}
 	return wire.ErrCodeGeneric
+}
+
+// ReplSource serves replication subscribers — a connection that sends
+// ReplSubscribe is handed over to it for the rest of its life. Wired
+// to repl.Source on a primary.
+type ReplSource interface {
+	Serve(bw *bufio.Writer, payload []byte) error
 }
 
 // Config assembles a server.
@@ -82,6 +91,13 @@ type Config struct {
 	PipelineDepth int
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+	// Source, when set, serves replication subscribers (the primary
+	// role). Connections sending ReplSubscribe are refused without it.
+	Source ReplSource
+	// PrimaryAddr, when set, names the primary this server redirects
+	// writes to (the replica role); it rides in the HelloOK trailer and
+	// in redirect errors so clients can re-route.
+	PrimaryAddr func() string
 }
 
 // Server accepts connections and serves statements against one engine.
@@ -95,6 +111,8 @@ type Server struct {
 	pipeDepth   int
 	stmtTimeout time.Duration
 	logf        func(string, ...any)
+	source      ReplSource
+	primaryAddr func() string
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -150,6 +168,8 @@ func New(cfg Config) (*Server, error) {
 		pipeDepth:   pipeDepth,
 		stmtTimeout: cfg.StatementTimeout,
 		logf:        logf,
+		source:      cfg.Source,
+		primaryAddr: cfg.PrimaryAddr,
 		conns:       map[net.Conn]struct{}{},
 	}, nil
 }
@@ -306,6 +326,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	banner := "prisma-serve"
 	ok = append(ok, byte(len(banner)>>8), byte(len(banner)))
 	ok = append(ok, banner...)
+	// Role trailer: pre-replication clients stop at the banner.
+	role := wire.RolePrimary
+	primary := ""
+	if s.eng.IsReadOnly() {
+		role = wire.RoleReplica
+		if s.primaryAddr != nil {
+			primary = s.primaryAddr()
+		}
+	}
+	ok = wire.AppendHelloExtra(ok, &wire.HelloExtra{Role: role, Epoch: s.eng.Epoch(), Primary: primary})
 	if err := wire.WriteFrame(bw, wire.TypeHelloOK, ok); err != nil {
 		conn.Close()
 		return
@@ -347,7 +377,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
-	w := &replyWriter{bw: bw, max: s.maxFrame, enc: wire.GetBuf()}
+	w := &replyWriter{bw: bw, max: s.maxFrame, enc: wire.GetBuf(), primary: s.primaryAddr}
 	defer wire.PutBuf(w.enc)
 	for rq := range reqs {
 		if rq.err != nil {
@@ -378,9 +408,10 @@ func (s *Server) serveConn(conn net.Conn) {
 // replyWriter writes a connection's reply frames into its buffered
 // writer, reusing one encode buffer across results.
 type replyWriter struct {
-	bw  *bufio.Writer
-	enc *[]byte
-	max int
+	bw      *bufio.Writer
+	enc     *[]byte
+	max     int
+	primary func() string // primary address for redirect errors (may be nil)
 }
 
 // writeError queues a statement-level Error frame with no retry
@@ -390,9 +421,17 @@ func (w *replyWriter) writeError(msg string) bool {
 	return w.writeErrorCoded(wire.ErrCodeGeneric, msg)
 }
 
-// writeExecError queues an execution error classified for retry.
+// writeExecError queues an execution error classified for retry. A
+// redirect (write on a read replica) names the primary when known.
 func (w *replyWriter) writeExecError(err error) bool {
-	return w.writeErrorCoded(errorCode(err), err.Error())
+	code := errorCode(err)
+	msg := err.Error()
+	if code == wire.ErrCodeRedirect && w.primary != nil {
+		if addr := w.primary(); addr != "" {
+			msg = fmt.Sprintf("%s (primary: %s)", msg, addr)
+		}
+	}
+	return w.writeErrorCoded(code, msg)
 }
 
 func (w *replyWriter) writeErrorCoded(code byte, msg string) bool {
@@ -529,6 +568,17 @@ func (s *Server) handleFrame(sess *core.Session, reg *stmtRegistry, w *replyWrit
 		} else {
 			execErr = fmt.Errorf("server: unknown or closed prepared statement id %d", id)
 		}
+	case wire.TypeReplSubscribe:
+		// The connection becomes a replication stream for the rest of
+		// its life; Serve blocks until the subscriber detaches.
+		if s.source == nil {
+			w.writeError("server: this endpoint does not serve replication")
+			return false
+		}
+		if err := s.source.Serve(w.bw, payload); err != nil {
+			s.logf("server: replication subscriber: %v", err)
+		}
+		return false
 	case wire.TypeHello:
 		w.writeError("server: duplicate Hello")
 		return false

@@ -261,6 +261,47 @@ func TestStreamClientDisconnectMidStream(t *testing.T) {
 	}
 }
 
+// TestStreamDisconnectReleasesSnapshotPin drops the connection while a
+// stream holds an MVCC snapshot pin; session teardown must settle the
+// cursor so the garbage-collection horizon resumes tracking the
+// watermark instead of staying stuck at the dead stream's snapshot.
+func TestStreamDisconnectReleasesSnapshotPin(t *testing.T) {
+	eng := bigEngine(t, 20000)
+	addr := startServer(t, Config{Engine: eng})
+	c, err := client.Dial(addr, client.Options{ChunkRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.QueryStream(`SELECT * FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	pinned := eng.Txns().Horizon() // the stream's snapshot holds it here
+	c.Close()                      // abnormal teardown, stream still open
+
+	w, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := w.Exec(`UPDATE big SET payload = 'z' WHERE id = 7`); err != nil {
+			t.Fatalf("write after disconnect: %v", err)
+		}
+		if h := eng.Txns().Horizon(); h > pinned {
+			break // pin released: horizon follows the new commits again
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("horizon stuck at %d: disconnected stream's snapshot pin never released", pinned)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestStreamServerShutdownMidStream closes the server while a stream is
 // in flight: Close must not hang on the streaming connection, and the
 // client must observe an error rather than a silent truncation.

@@ -167,6 +167,7 @@ func (t *Txn) Commit() error {
 			// committed and must not be rolled back — recovery finishes
 			// applying it on any participant that never heard. Report the
 			// in-doubt outcome to the caller, who must not blindly retry.
+			t.mgr.waitCommitShipped(ts)
 			t.mu.Lock()
 			t.state = Committed
 			t.commitTS = ts
@@ -180,6 +181,7 @@ func (t *Txn) Commit() error {
 		t.rollback(false)
 		return fmt.Errorf("txn %d: %w", t.id, err)
 	}
+	t.mgr.waitCommitShipped(ts)
 	t.mu.Lock()
 	t.state = Committed
 	t.commitTS = ts
@@ -246,6 +248,33 @@ type Manager struct {
 	inflight  map[uint64]struct{} // allocated but not yet fully applied
 	watermark uint64              // all commits <= watermark are applied
 	pins      map[uint64]int      // snapshot timestamp -> pin refcount
+
+	// commitWait, when set, blocks a committing transaction after its
+	// versions are applied but before its locks release and its caller
+	// is acknowledged — the replication hook: a primary waits until the
+	// commit has shipped to every live subscriber, so an acknowledged
+	// commit is never lost to a primary crash plus failover.
+	commitWait atomic.Pointer[func(ts uint64)]
+}
+
+// SetCommitWait installs (or, with nil, removes) the post-apply commit
+// acknowledgment gate. See the commitWait field.
+func (m *Manager) SetCommitWait(fn func(ts uint64)) {
+	if fn == nil {
+		m.commitWait.Store(nil)
+		return
+	}
+	m.commitWait.Store(&fn)
+}
+
+// waitCommitShipped runs the commit acknowledgment gate, if installed.
+func (m *Manager) waitCommitShipped(ts uint64) {
+	if ts == 0 {
+		return
+	}
+	if fn := m.commitWait.Load(); fn != nil {
+		(*fn)(ts)
+	}
 }
 
 // NewManager creates a transaction manager with a fresh lock space.

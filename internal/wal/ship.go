@@ -1,0 +1,132 @@
+package wal
+
+import (
+	"fmt"
+)
+
+// Log shipping: the primary reads raw log bytes to stream to replicas,
+// and a replica appends the shipped bytes to its own identically named
+// log so byte offsets stay aligned end to end — a replica's durable
+// replication position is simply the size of its local copy. Offsets
+// are only meaningful within one checkpoint generation: a checkpoint
+// truncates the log and restarts offsets at zero, so every shipped
+// offset travels with the generation it belongs to, and a mismatch
+// forces a full fragment resync instead of corrupt splicing.
+
+// Generation returns the log's checkpoint generation: 0 at creation,
+// bumped by every checkpoint truncation.
+func (l *Log) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// ReadFrom returns the raw log bytes from offset off to the current
+// end, plus the log's total size and generation. A clamped read (off
+// past the end) returns nil bytes without touching the disk — the
+// shipping poll loop calls this continuously, and an idle poll must
+// cost nothing. The caller must treat a generation change since it
+// learned off as invalidating the offset.
+func (l *Log) ReadFrom(off int64) (data []byte, size int64, gen uint64) {
+	l.mu.Lock()
+	gen = l.gen
+	size = l.bytes
+	l.mu.Unlock()
+	if off < 0 {
+		off = 0
+	}
+	if off >= size {
+		return nil, size, gen
+	}
+	all := l.store.ReadAll(l.name)
+	if int64(len(all)) < size {
+		size = int64(len(all))
+	}
+	if off >= size {
+		return nil, size, gen
+	}
+	// Ship only up to the tracked size: a torn tail past it (crash
+	// mid-append) is not yet part of the log's record stream.
+	return all[off:size], size, gen
+}
+
+// ShipSize returns the log's current size and generation from its
+// in-memory counters — the primary's per-batch position probe, which
+// must not pay a disk scan per poll (ValidSize does, and is reserved
+// for the replica's durable resubscribe position).
+func (l *Log) ShipSize() (int64, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes, l.gen
+}
+
+// SyncImage captures the full fragment state for a first-contact or
+// post-checkpoint resync: the raw checkpoint segment, the raw log
+// segment, and the generation both belong to.
+func (l *Log) SyncImage() (ckpt, logBytes []byte, gen uint64) {
+	l.mu.Lock()
+	gen = l.gen
+	l.mu.Unlock()
+	return l.store.ReadAll(l.name + ".ckpt"), l.store.ReadAll(l.name), gen
+}
+
+// InstallImage replaces the local checkpoint and log with a shipped
+// SyncImage in one atomic stable-storage swap, and adopts the shipped
+// generation so subsequent offsets line up with the primary's.
+func (l *Log) InstallImage(ckpt, logBytes []byte, gen uint64) error {
+	if err := l.store.CheckpointSwap(l.name+".ckpt", ckpt, l.name, logBytes); err != nil {
+		return err
+	}
+	recs, valid := DecodeRecords(logBytes)
+	l.mu.Lock()
+	l.records = len(recs)
+	l.bytes = valid
+	l.gen = gen
+	l.mu.Unlock()
+	return nil
+}
+
+// AppendRaw durably appends already-encoded record bytes at the given
+// expected offset (the shipped frame's start offset). The append is
+// refused when the local log isn't exactly at that offset — a torn
+// stream must resubscribe rather than splice garbage.
+func (l *Log) AppendRaw(b []byte, off int64) error {
+	if size := l.store.Size(l.name); size != off {
+		return fmt.Errorf("wal: %s is at offset %d, shipped bytes start at %d", l.name, size, off)
+	}
+	if _, err := l.store.Append(l.name, b); err != nil {
+		return err
+	}
+	recs, _ := DecodeRecords(b)
+	l.mu.Lock()
+	l.records += len(recs)
+	l.bytes += int64(len(b))
+	l.mu.Unlock()
+	return nil
+}
+
+// ValidSize returns the byte length of the log's longest decodable
+// record prefix — the replica's durable resubscribe offset (trailing
+// torn bytes from a mid-append crash don't count).
+func (l *Log) ValidSize() int64 {
+	_, valid, _ := l.scanPrefix()
+	return valid
+}
+
+// DecodeRecords decodes the longest valid record prefix of b, returning
+// the records and the prefix's byte length. Garbage past the prefix is
+// ignored — a shipped batch can end in a torn record when the primary
+// died mid-append, exactly like a local log tail.
+func DecodeRecords(b []byte) ([]Record, int64) {
+	var recs []Record
+	off := 0
+	for off < len(b) {
+		r, n, err := decodeRecord(b[off:])
+		if err != nil {
+			break
+		}
+		recs = append(recs, r)
+		off += n
+	}
+	return recs, int64(off)
+}

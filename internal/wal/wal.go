@@ -122,6 +122,7 @@ type Log struct {
 	mu      sync.Mutex
 	records int
 	bytes   int64
+	gen     uint64 // checkpoint generation: bumps whenever the log is truncated
 }
 
 // Open attaches a log to a segment of a stable store. Existing contents
@@ -263,6 +264,7 @@ func (l *Log) CheckpointWith(snapshot []value.Tuple, carry []Record) error {
 	l.mu.Lock()
 	l.records = len(carry)
 	l.bytes = int64(len(tail))
+	l.gen++
 	l.mu.Unlock()
 	return nil
 }

@@ -79,9 +79,16 @@ const (
 	// in order; a statement-level error fails that statement only — the
 	// rest of the batch still executes and the connection stays usable.
 	TypeBatch byte = 0x08
+	// TypeReplSubscribe turns the connection into a replication stream:
+	// the subscriber's epoch and its durable per-log positions (see
+	// repl.go). The server answers with a ReplStatus carrying the
+	// catalog, then ships ReplRecords/ReplStatus frames until either
+	// side disconnects. No other frame type is valid afterwards.
+	TypeReplSubscribe byte = 0x09
 
 	// TypeHelloOK acknowledges the handshake: a version byte then a
-	// length-prefixed server banner.
+	// length-prefixed server banner, optionally followed by the server's
+	// replication role, epoch and primary address (see EncodeHelloOK).
 	TypeHelloOK byte = 0x81
 	// TypeResult carries an encoded Result.
 	TypeResult byte = 0x82
@@ -106,6 +113,12 @@ const (
 	// the statement's simulated and wall-clock execution times (known
 	// only once the last tuple has been produced).
 	TypeResultEnd byte = 0x87
+	// TypeReplRecords ships one fragment log's new bytes (or a full
+	// fragment resync) to a subscribed replica.
+	TypeReplRecords byte = 0x88
+	// TypeReplStatus commits a shipped batch: the primary's epoch and
+	// commit watermark; the first one also carries the table catalog.
+	TypeReplStatus byte = 0x89
 )
 
 // ErrFrameTooLarge reports a frame whose declared payload exceeds the
@@ -131,6 +144,11 @@ const (
 	// deadline. The transaction aborted cleanly; retryable, but a
 	// client may prefer to give up rather than queue again.
 	ErrCodeDeadline byte = 0x02
+	// ErrCodeRedirect marks a write rejected by a read-only replica: the
+	// statement definitively did not run, and the message names the
+	// primary to retry against. Routing clients re-probe roles and
+	// re-run; a promotion may also turn the same endpoint writable.
+	ErrCodeRedirect byte = 0x03
 )
 
 // EncodeError builds a coded Error payload.
@@ -152,7 +170,7 @@ func DecodeError(payload []byte) (code byte, msg string) {
 // RetryableCode reports whether code promises the statement's
 // transaction did not commit and may safely be re-run.
 func RetryableCode(code byte) bool {
-	return code == ErrCodeRetryable || code == ErrCodeDeadline
+	return code == ErrCodeRetryable || code == ErrCodeDeadline || code == ErrCodeRedirect
 }
 
 // ---------- frame/encode buffer reuse ----------
