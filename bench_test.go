@@ -129,6 +129,13 @@ func BenchmarkE18Replication(b *testing.B) {
 	runExperiment(b, experiments.E18Replication)
 }
 
+// BenchmarkE19Overload — the multi-tenant front door under ~4x
+// capacity: calibrated goodput, bounded admitted p99, fair sharing,
+// retryable sheds.
+func BenchmarkE19Overload(b *testing.B) {
+	runExperiment(b, experiments.E19Overload)
+}
+
 // ---------- micro-benchmarks on the public API ----------
 
 // benchDB builds a loaded database once per benchmark.

@@ -1,5 +1,5 @@
 // Command prisma-bench regenerates the reproduction's experiment tables
-// E1–E18. Each experiment is documented on its function in
+// E1–E19. Each experiment is documented on its function in
 // internal/experiments (the README's "Experiment suite" section lists
 // them); the root bench_test.go wraps each one as a Go benchmark.
 //
@@ -9,7 +9,7 @@
 //
 // With -json the tables are emitted as a JSON array (one object per
 // experiment) instead of aligned text — the CI workflow archives the
-// E11–E18 output this way so every run leaves a comparable perf record.
+// E11–E19 output this way so every run leaves a comparable perf record.
 // With -compare the freshly-run experiments are diffed against a
 // previous -json output: per-row metric deltas are printed on stderr
 // (so -json -compare composes — stdout stays pure JSON), and any
@@ -70,6 +70,7 @@ func main() {
 		{"E16", experiments.E16SnapshotReads},
 		{"E17", experiments.E17Crashpoints},
 		{"E18", experiments.E18Replication},
+		{"E19", experiments.E19Overload},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -217,7 +218,7 @@ func rowKey(header []string, row []string) string {
 // a concurrent workload's statement count varies run to run.
 func isKeyColumn(h string) bool {
 	switch strings.ToLower(h) {
-	case "clients", "pes", "executor", "mode", "depth", "window", "rule set", "writers", "fault point", "invariants", "replicas":
+	case "clients", "pes", "executor", "mode", "depth", "window", "rule set", "writers", "fault point", "invariants", "replicas", "tenant", "class":
 		return true
 	}
 	return false

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64] [-pipeline-depth 64] [-stmt-timeout 0] [-replica-of host:port]
+//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64] [-pipeline-depth 64] [-stmt-timeout 0] [-replica-of host:port] [-max-inflight 0] [-queue-depth 0]
+//
+// With -max-inflight > 0 the server runs statement admission control:
+// at most that many statements execute at once, excess queues up to
+// -queue-depth (default 2x) per priority class, and overflow is shed
+// with a coded retryable error. Tenants created with CREATE USER get
+// per-tenant concurrency tokens, priorities and memory budgets; SHOW
+// ADMISSION reports live counters.
 //
 // With -replica-of the server starts as a read replica: it subscribes
 // to the named primary's WAL stream, serves snapshot reads at the
@@ -25,6 +32,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/repl"
 	"repro/internal/server"
@@ -38,6 +46,8 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
 	stmtTimeout := flag.Duration("stmt-timeout", 0, "default per-statement lock-wait deadline for every session (0 = none; sessions override with SET STATEMENT_TIMEOUT)")
 	replicaOf := flag.String("replica-of", "", "start as a read replica of the primary at this address")
+	maxInflight := flag.Int("max-inflight", 0, "statements executing at once under admission control (0 = admission off)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue slots per priority class (0 = 2x max-inflight)")
 	flag.Parse()
 
 	eng, err := core.New(core.Config{NumPEs: *pes})
@@ -63,6 +73,9 @@ func main() {
 
 	cfg := server.Config{Engine: eng, MaxConns: *maxConns, PipelineDepth: *pipeDepth,
 		StatementTimeout: *stmtTimeout, Logf: logf, Source: src}
+	if *maxInflight > 0 {
+		cfg.Admission = admission.New(admission.Config{MaxInFlight: *maxInflight, QueueDepth: *queueDepth})
+	}
 	var replica *repl.Replica
 	if *replicaOf != "" {
 		replica, err = repl.StartReplica(repl.ReplicaConfig{Engine: eng, Primary: *replicaOf, Logf: logf})

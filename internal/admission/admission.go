@@ -1,0 +1,324 @@
+// Package admission is the statement-level admission queue between the
+// server's connection readers and the executor. The PRISMA paper sizes
+// the machine for a cooperative workload; this package is what stands
+// between that machine and an uncooperative one — offered load beyond
+// capacity must degrade (bounded queueing, load shedding with a
+// retryable error) instead of collapsing p99 for everyone.
+//
+// The model: a global in-flight cap bounds concurrent statements over
+// the whole server, per-tenant concurrency tokens bound any one
+// tenant's share, and statements that cannot run immediately wait in
+// one of two priority FIFOs (interactive before batch). The queues are
+// bounded globally and per tenant; a statement that would overflow
+// either bound is shed with ErrOverloaded, which the server maps to
+// the wire's coded retryable ErrCodeOverloaded so client.Retry's
+// decorrelated backoff absorbs the shed.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Fault points on the admission path, swept by E17: enqueue fires
+// whenever a statement cannot be admitted immediately and must queue,
+// shed fires whenever a statement is refused. An injected error at
+// either point sheds the statement (retryably), so the sweep exercises
+// the client-visible overload contract.
+var (
+	fpEnqueue = fault.Register("admission.enqueue")
+	fpShed    = fault.Register("admission.shed")
+)
+
+// ErrOverloaded reports a shed statement: nothing ran, the client
+// should back off and retry (or try another endpoint).
+var ErrOverloaded = errors.New("admission: overloaded, retry later")
+
+// Priority classes, ordered: lower dequeues first.
+const (
+	ClassInteractive = 0
+	ClassBatch       = 1
+)
+
+// Config sizes a Controller.
+type Config struct {
+	// MaxInFlight caps concurrently executing statements server-wide
+	// (default 64).
+	MaxInFlight int
+	// QueueDepth bounds the total number of waiting statements across
+	// both priority classes (default 2*MaxInFlight).
+	QueueDepth int
+	// PerTenantQueue bounds one tenant's waiting statements, so a
+	// flooding tenant cannot occupy the whole queue and starve others
+	// into shedding (default max(1, QueueDepth/4)).
+	PerTenantQueue int
+	// PerTenantDefault caps one tenant's in-flight statements when the
+	// user record doesn't set its own MaxConcurrent (default
+	// MaxInFlight, i.e. no per-tenant bound).
+	PerTenantDefault int
+	// WaitTimeout sheds a statement still queued after this long, so
+	// queue wait — and therefore admitted-statement latency — stays
+	// bounded under standing overload (0 = wait forever).
+	WaitTimeout time.Duration
+}
+
+type waiter struct {
+	ch      chan struct{}
+	tenant  string
+	max     int
+	granted bool // set under mu when a release hands this waiter the slot
+}
+
+type tenantState struct {
+	inflight  int
+	queued    int
+	admitted  int64
+	shed      int64
+	waitTotal time.Duration
+}
+
+// Controller is the admission queue. The zero value is not usable;
+// call New.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	inflight int
+	queued   int
+	queues   [2][]*waiter // ClassInteractive, ClassBatch
+	tenants  map[string]*tenantState
+	shed     int64
+}
+
+// New builds a Controller, applying Config defaults.
+func New(cfg Config) *Controller {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.MaxInFlight
+	}
+	if cfg.PerTenantQueue <= 0 {
+		cfg.PerTenantQueue = cfg.QueueDepth / 4
+		if cfg.PerTenantQueue < 1 {
+			cfg.PerTenantQueue = 1
+		}
+	}
+	if cfg.PerTenantDefault <= 0 {
+		cfg.PerTenantDefault = cfg.MaxInFlight
+	}
+	return &Controller{cfg: cfg, tenants: map[string]*tenantState{}}
+}
+
+// Grant is an admitted statement's slot; Release it when the statement
+// finishes (success or error).
+type Grant struct {
+	c      *Controller
+	tenant string
+	// Wait is how long the statement queued before admission; the
+	// server surfaces it as the Result's QueueTime.
+	Wait time.Duration
+}
+
+// Release frees the slot and hands it to the highest-priority eligible
+// waiter.
+func (g *Grant) Release() {
+	if g == nil || g.c == nil {
+		return
+	}
+	g.c.release(g.tenant)
+	g.c = nil
+}
+
+func (c *Controller) tenant(name string) *tenantState {
+	ts := c.tenants[name]
+	if ts == nil {
+		ts = &tenantState{}
+		c.tenants[name] = ts
+	}
+	return ts
+}
+
+// Acquire admits one statement for tenant at the given priority class,
+// blocking in the bounded queue when the server is at capacity.
+// maxConc overrides the tenant's concurrency tokens (0 = the
+// controller default). The returned error is ErrOverloaded (possibly
+// wrapped) when the statement was shed.
+func (c *Controller) Acquire(tenant string, class int, maxConc int) (*Grant, error) {
+	if class != ClassInteractive && class != ClassBatch {
+		class = ClassBatch
+	}
+	if maxConc <= 0 {
+		maxConc = c.cfg.PerTenantDefault
+	}
+	c.mu.Lock()
+	ts := c.tenant(tenant)
+	// Injected shed: the fault point forces the refusal path even with
+	// capacity free, so E17 can prove sheds are retryable end to end.
+	if out := fpShed.Eval(); out != nil && out.Err != nil {
+		ts.shed++
+		c.shed++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrOverloaded, out.Err)
+	}
+	if c.inflight < c.cfg.MaxInFlight && ts.inflight < maxConc {
+		c.inflight++
+		ts.inflight++
+		ts.admitted++
+		c.mu.Unlock()
+		return &Grant{c: c, tenant: tenant}, nil
+	}
+	// Slow path: queue, bounded globally and per tenant.
+	if out := fpEnqueue.Eval(); out != nil && out.Err != nil {
+		ts.shed++
+		c.shed++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrOverloaded, out.Err)
+	}
+	if c.queued >= c.cfg.QueueDepth || ts.queued >= c.cfg.PerTenantQueue {
+		ts.shed++
+		c.shed++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w (queue full)", ErrOverloaded)
+	}
+	w := &waiter{ch: make(chan struct{}), tenant: tenant, max: maxConc}
+	c.queues[class] = append(c.queues[class], w)
+	c.queued++
+	ts.queued++
+	c.mu.Unlock()
+
+	start := time.Now()
+	var timeout <-chan time.Time
+	var timer *time.Timer
+	if c.cfg.WaitTimeout > 0 {
+		timer = time.NewTimer(c.cfg.WaitTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case <-w.ch:
+		wait := time.Since(start)
+		c.mu.Lock()
+		ts.admitted++
+		ts.waitTotal += wait
+		c.mu.Unlock()
+		return &Grant{c: c, tenant: tenant, Wait: wait}, nil
+	case <-timeout:
+		c.mu.Lock()
+		if w.granted {
+			// The release raced the timer and already handed us the
+			// slot; take the grant rather than leaking it.
+			wait := time.Since(start)
+			ts.admitted++
+			ts.waitTotal += wait
+			c.mu.Unlock()
+			return &Grant{c: c, tenant: tenant, Wait: wait}, nil
+		}
+		c.removeWaiter(w)
+		ts.queued--
+		c.queued--
+		ts.shed++
+		c.shed++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w (queued %s)", ErrOverloaded, c.cfg.WaitTimeout)
+	}
+}
+
+// removeWaiter drops w from whichever queue holds it. Called under mu.
+func (c *Controller) removeWaiter(w *waiter) {
+	for class := range c.queues {
+		q := c.queues[class]
+		for i, cand := range q {
+			if cand == w {
+				c.queues[class] = append(q[:i], q[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// release frees one slot and wakes the first eligible waiter,
+// interactive queue first.
+func (c *Controller) release(tenant string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inflight--
+	if ts := c.tenants[tenant]; ts != nil {
+		ts.inflight--
+	}
+	if c.inflight >= c.cfg.MaxInFlight {
+		return
+	}
+	for class := range c.queues {
+		q := c.queues[class]
+		for i, w := range q {
+			wts := c.tenant(w.tenant)
+			if wts.inflight >= w.max {
+				continue // tenant at its token cap; try the next waiter
+			}
+			c.queues[class] = append(q[:i], q[i+1:]...)
+			c.queued--
+			wts.queued--
+			wts.inflight++
+			c.inflight++
+			w.granted = true
+			close(w.ch)
+			return
+		}
+	}
+}
+
+// TenantStats is one tenant's admission accounting snapshot.
+type TenantStats struct {
+	Tenant   string
+	InFlight int
+	Queued   int
+	Admitted int64
+	Shed     int64
+	// AvgWait is the mean queue wait over the tenant's queued-then-
+	// admitted statements.
+	AvgWait time.Duration
+}
+
+// Stats is a Controller snapshot for SHOW ADMISSION.
+type Stats struct {
+	InFlight    int
+	Queued      int
+	MaxInFlight int
+	QueueDepth  int
+	Shed        int64
+	Tenants     []TenantStats
+}
+
+// Stats snapshots the controller.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		InFlight:    c.inflight,
+		Queued:      c.queued,
+		MaxInFlight: c.cfg.MaxInFlight,
+		QueueDepth:  c.cfg.QueueDepth,
+		Shed:        c.shed,
+	}
+	for name, ts := range c.tenants {
+		t := TenantStats{
+			Tenant:   name,
+			InFlight: ts.inflight,
+			Queued:   ts.queued,
+			Admitted: ts.admitted,
+			Shed:     ts.shed,
+		}
+		if queuedAdmits := ts.admitted; queuedAdmits > 0 && ts.waitTotal > 0 {
+			t.AvgWait = ts.waitTotal / time.Duration(queuedAdmits)
+		}
+		st.Tenants = append(st.Tenants, t)
+	}
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Tenant < st.Tenants[j].Tenant })
+	return st
+}

@@ -109,6 +109,9 @@ type Catalog struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	version atomic.Uint64 // bumped on every DDL; plan caches key validity on it
+
+	userMu sync.RWMutex
+	users  map[string]*User // tenant identities and grants (see users.go)
 }
 
 // Version returns the schema version counter. Any CREATE or DROP bumps

@@ -1,0 +1,267 @@
+// Multi-tenant identity: a catalog-backed user table with per-table
+// grants. Secrets are hashed at rest (salted SHA-256) and compared in
+// constant time; grants are a privilege bitmask per table. The catalog
+// is the natural home — users and grants are data-dictionary entries
+// exactly like schemas and placements, and sessions already hold a
+// catalog reference for planning.
+//
+// Authentication is opt-in: a catalog with no users accepts every
+// connection as a local administrator (the embedded / bootstrap mode).
+// Creating the first user arms the front door.
+package catalog
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Priv is a per-table privilege bitmask.
+type Priv uint8
+
+const (
+	PrivSelect Priv = 1 << iota
+	PrivInsert
+	PrivUpdate
+	PrivDelete
+
+	// PrivAll grants every statement privilege on a table, including
+	// dropping it.
+	PrivAll = PrivSelect | PrivInsert | PrivUpdate | PrivDelete
+)
+
+// String renders the bitmask as the GRANT statement's privilege list.
+func (p Priv) String() string {
+	if p == PrivAll {
+		return "ALL"
+	}
+	var parts []string
+	for _, e := range []struct {
+		bit  Priv
+		name string
+	}{{PrivSelect, "SELECT"}, {PrivInsert, "INSERT"}, {PrivUpdate, "UPDATE"}, {PrivDelete, "DELETE"}} {
+		if p&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "NONE"
+	}
+	out := parts[0]
+	for _, s := range parts[1:] {
+		out += "," + s
+	}
+	return out
+}
+
+// Priority classes for admission control. Interactive statements are
+// dequeued before batch statements when capacity frees up.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
+
+// User is one tenant identity: hashed credentials, admission-control
+// attributes, and per-table grants.
+type User struct {
+	Name string
+	// Priority is the admission class (PriorityInteractive or
+	// PriorityBatch).
+	Priority string
+	// MaxConcurrent caps the user's in-flight statements under
+	// admission control (0 = the controller's default).
+	MaxConcurrent int
+	// MemBudget caps the working memory one statement may materialize
+	// in sorts, aggregates and join builds, in bytes (0 = unlimited).
+	MemBudget int64
+	// Admin short-circuits every grant check and gates the user/grant
+	// administration statements.
+	Admin bool
+
+	salt [16]byte
+	hash [sha256.Size]byte
+
+	mu     sync.RWMutex
+	grants map[string]Priv
+}
+
+// Can reports whether the user holds priv on table. Admins can do
+// anything.
+func (u *User) Can(table string, priv Priv) bool {
+	if u == nil || u.Admin {
+		return true
+	}
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.grants[canon(table)]&priv == priv
+}
+
+// Grants returns the user's table grants, sorted by table name.
+func (u *User) Grants() []string {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make([]string, 0, len(u.grants))
+	for t, p := range u.grants {
+		out = append(out, fmt.Sprintf("%s ON %s", p, t))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hashSecret(salt [16]byte, secret string) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(salt[:])
+	h.Write([]byte(secret))
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// UserOpts are the optional attributes of CREATE USER.
+type UserOpts struct {
+	Priority      string
+	MaxConcurrent int
+	MemBudget     int64
+	Admin         bool
+}
+
+// CreateUser registers a tenant. The secret is salted and hashed
+// before it is stored; the plaintext is never kept.
+func (c *Catalog) CreateUser(name, secret string, opts UserOpts) error {
+	key := canon(name)
+	if key == "" {
+		return fmt.Errorf("catalog: empty user name")
+	}
+	pri := opts.Priority
+	switch pri {
+	case "":
+		pri = PriorityInteractive
+	case PriorityInteractive, PriorityBatch:
+	default:
+		return fmt.Errorf("catalog: unknown priority %q (want interactive or batch)", opts.Priority)
+	}
+	u := &User{
+		Name:          key,
+		Priority:      pri,
+		MaxConcurrent: opts.MaxConcurrent,
+		MemBudget:     opts.MemBudget,
+		Admin:         opts.Admin,
+		grants:        map[string]Priv{},
+	}
+	if _, err := rand.Read(u.salt[:]); err != nil {
+		return fmt.Errorf("catalog: salt: %w", err)
+	}
+	u.hash = hashSecret(u.salt, secret)
+	c.userMu.Lock()
+	defer c.userMu.Unlock()
+	if c.users == nil {
+		c.users = map[string]*User{}
+	}
+	if _, dup := c.users[key]; dup {
+		return fmt.Errorf("catalog: user %q already exists", name)
+	}
+	c.users[key] = u
+	return nil
+}
+
+// DropUser removes a tenant. Open sessions authenticated as the user
+// keep their session but lose every grant check (the user object stays
+// consistent; new authentications fail).
+func (c *Catalog) DropUser(name string) error {
+	key := canon(name)
+	c.userMu.Lock()
+	defer c.userMu.Unlock()
+	if _, ok := c.users[key]; !ok {
+		return fmt.Errorf("catalog: user %q does not exist", name)
+	}
+	delete(c.users, key)
+	return nil
+}
+
+// HasUsers reports whether any user exists — the switch that arms
+// authentication at the server's front door.
+func (c *Catalog) HasUsers() bool {
+	c.userMu.RLock()
+	defer c.userMu.RUnlock()
+	return len(c.users) > 0
+}
+
+// GetUser looks a tenant up by name.
+func (c *Catalog) GetUser(name string) (*User, error) {
+	c.userMu.RLock()
+	defer c.userMu.RUnlock()
+	u, ok := c.users[canon(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: user %q does not exist", name)
+	}
+	return u, nil
+}
+
+// Users returns all user names, sorted.
+func (c *Catalog) Users() []string {
+	c.userMu.RLock()
+	defer c.userMu.RUnlock()
+	out := make([]string, 0, len(c.users))
+	for name := range c.users {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Authenticate checks a tenant's secret in constant time and returns
+// the user. The error is identical for an unknown tenant and a wrong
+// secret, so the handshake leaks no account existence.
+func (c *Catalog) Authenticate(name, secret string) (*User, error) {
+	c.userMu.RLock()
+	u, ok := c.users[canon(name)]
+	c.userMu.RUnlock()
+	denied := fmt.Errorf("catalog: authentication failed for %q", name)
+	if !ok {
+		// Burn a hash anyway so unknown names cost the same as wrong
+		// secrets.
+		var salt [16]byte
+		hashSecret(salt, secret)
+		return nil, denied
+	}
+	want := hashSecret(u.salt, secret)
+	if subtle.ConstantTimeCompare(want[:], u.hash[:]) != 1 {
+		return nil, denied
+	}
+	return u, nil
+}
+
+// Grant adds privileges on table to a user. The table need not exist
+// yet (grants may precede CREATE TABLE in provisioning scripts).
+func (c *Catalog) Grant(user, table string, priv Priv) error {
+	u, err := c.GetUser(user)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.grants[canon(table)] |= priv
+	return nil
+}
+
+// Revoke removes privileges on table from a user. Sessions already
+// authenticated see the revocation on their next statement — grant
+// checks run per execution, not per plan.
+func (c *Catalog) Revoke(user, table string, priv Priv) error {
+	u, err := c.GetUser(user)
+	if err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	rest := u.grants[canon(table)] &^ priv
+	if rest == 0 {
+		delete(u.grants, canon(table))
+	} else {
+		u.grants[canon(table)] = rest
+	}
+	return nil
+}

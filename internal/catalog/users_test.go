@@ -1,0 +1,124 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCreateUserAndAuthenticate(t *testing.T) {
+	c := New()
+	if c.HasUsers() {
+		t.Fatalf("fresh catalog reports HasUsers")
+	}
+	if err := c.CreateUser("Alice", "s3cret", UserOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasUsers() {
+		t.Fatalf("HasUsers false after CreateUser")
+	}
+	u, err := c.Authenticate("alice", "s3cret")
+	if err != nil {
+		t.Fatalf("authenticate (case-folded name): %v", err)
+	}
+	if u.Name != "alice" {
+		t.Errorf("user name canon = %q, want alice", u.Name)
+	}
+	if u.Priority != PriorityInteractive {
+		t.Errorf("default priority = %q, want interactive", u.Priority)
+	}
+
+	// Wrong secret and unknown user must be indistinguishable.
+	_, badSecret := c.Authenticate("alice", "wrong")
+	_, unknown := c.Authenticate("nobody", "s3cret")
+	if badSecret == nil || unknown == nil {
+		t.Fatalf("bad credentials authenticated: secret=%v unknown=%v", badSecret, unknown)
+	}
+	bs, un := badSecret.Error(), unknown.Error()
+	if strings.Replace(bs, "alice", "X", 1) != strings.Replace(un, "nobody", "X", 1) {
+		t.Errorf("auth errors leak account existence: %q vs %q", bs, un)
+	}
+}
+
+func TestCreateUserValidation(t *testing.T) {
+	c := New()
+	if err := c.CreateUser("", "x", UserOpts{}); err == nil {
+		t.Errorf("empty user name accepted")
+	}
+	if err := c.CreateUser("bob", "x", UserOpts{Priority: "urgent"}); err == nil {
+		t.Errorf("unknown priority accepted")
+	}
+	if err := c.CreateUser("bob", "x", UserOpts{Priority: PriorityBatch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateUser("BOB", "y", UserOpts{}); err == nil {
+		t.Errorf("duplicate user (case-folded) accepted")
+	}
+}
+
+func TestGrantRevoke(t *testing.T) {
+	c := New()
+	if err := c.CreateUser("t1", "pw", UserOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	u, _ := c.GetUser("t1")
+	if u.Can("orders", PrivSelect) {
+		t.Fatalf("fresh user can SELECT ungranted table")
+	}
+	if err := c.Grant("t1", "Orders", PrivSelect|PrivInsert); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Can("orders", PrivSelect) || !u.Can("ORDERS", PrivInsert) {
+		t.Errorf("granted privileges not visible (case-folded)")
+	}
+	if u.Can("orders", PrivDelete) {
+		t.Errorf("ungranted privilege allowed")
+	}
+	if err := c.Revoke("t1", "orders", PrivInsert); err != nil {
+		t.Fatal(err)
+	}
+	if u.Can("orders", PrivInsert) {
+		t.Errorf("revoked privilege still allowed")
+	}
+	if !u.Can("orders", PrivSelect) {
+		t.Errorf("revoke removed more than asked")
+	}
+	// Admins bypass grants entirely.
+	if err := c.CreateUser("root", "pw", UserOpts{Admin: true}); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := c.GetUser("root")
+	if !root.Can("anything", PrivAll) {
+		t.Errorf("admin cannot access ungranted table")
+	}
+}
+
+func TestDropUser(t *testing.T) {
+	c := New()
+	if err := c.DropUser("ghost"); err == nil {
+		t.Errorf("dropping unknown user succeeded")
+	}
+	if err := c.CreateUser("t1", "pw", UserOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropUser("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Authenticate("t1", "pw"); err == nil {
+		t.Errorf("dropped user still authenticates")
+	}
+	if c.HasUsers() {
+		t.Errorf("HasUsers true after last user dropped")
+	}
+}
+
+func TestPrivString(t *testing.T) {
+	if got := PrivAll.String(); got != "ALL" {
+		t.Errorf("PrivAll = %q", got)
+	}
+	if got := (PrivSelect | PrivUpdate).String(); got != "SELECT,UPDATE" {
+		t.Errorf("SELECT|UPDATE = %q", got)
+	}
+	if got := Priv(0).String(); got != "NONE" {
+		t.Errorf("zero priv = %q", got)
+	}
+}

@@ -47,6 +47,13 @@ type Options struct {
 	// and the connection is marked broken instead of hanging forever.
 	// 0 disables both.
 	StatementTimeout time.Duration
+	// Tenant and Secret are the credentials presented at handshake.
+	// A server whose catalog holds users authenticates them (failure
+	// is a coded, non-retryable auth error); a server without users
+	// ignores them. Leaving Tenant empty sends a legacy Hello with no
+	// credential trailer.
+	Tenant string
+	Secret string
 }
 
 // ServerError is a statement error reported by the server. The
@@ -115,6 +122,12 @@ func (c *Client) Epoch() uint64 { return c.epoch }
 // PrimaryAddr reports the primary address a replica advertised for
 // write redirects ("" when unknown or when the server is the primary).
 func (c *Client) PrimaryAddr() string { return c.primary }
+
+// Broken reports the sticky transport/protocol failure that has made
+// this connection permanently unusable (nil while healthy). Statement
+// errors — including retryable sheds and auth denials — do NOT break a
+// connection.
+func (c *Client) Broken() error { return c.brokenErr() }
 
 // brokenErr reports the sticky failure, if any.
 func (c *Client) brokenErr() error {
@@ -203,7 +216,11 @@ func Dial(addr string, opts ...Options) (*Client, error) {
 		chunkRows:  o.ChunkRows,
 		chunkBytes: chunkBytes,
 	}
-	if err := wire.WriteFrame(c.bw, wire.TypeHello, wire.EncodeHello()); err != nil {
+	hello := wire.EncodeHello()
+	if o.Tenant != "" {
+		hello = wire.EncodeHelloCreds(o.Tenant, o.Secret)
+	}
+	if err := wire.WriteFrame(c.bw, wire.TypeHello, hello); err != nil {
 		conn.Close()
 		return nil, err
 	}

@@ -187,6 +187,14 @@ func isRedirect(err error) bool {
 	return errors.As(err, &se) && se.Code == wire.ErrCodeRedirect
 }
 
+// isOverloaded reports a statement shed by an endpoint's admission
+// control (or refused at its connection limit): the statement did not
+// run, so another endpoint may serve it immediately.
+func isOverloaded(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == wire.ErrCodeOverloaded
+}
+
 // Exec executes one statement on the primary. A redirect or a broken
 // primary connection re-probes roles and retries (bounded), absorbing
 // a failover.
@@ -239,9 +247,15 @@ func (cl *Cluster) Query(sql string) (*value.Relation, error) {
 			return rel, nil
 		}
 		lastErr = err
-		if c.brokenErr() != nil {
+		switch {
+		case c.brokenErr() != nil:
 			cl.drop(addr, c)
 			continue // reads are side-effect free: any endpoint will do
+		case isOverloaded(err):
+			// Shed before executing: a sibling replica may have spare
+			// capacity, so rotate to the next endpoint before asking the
+			// caller to back off. The connection itself stays healthy.
+			continue
 		}
 		return nil, err
 	}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/value"
+)
+
+// bindUser authenticates name through the catalog and binds a fresh
+// session to it.
+func bindUser(t *testing.T, e *Engine, name, secret string) *Session {
+	t.Helper()
+	u, err := e.Catalog().Authenticate(name, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	t.Cleanup(s.Close)
+	s.SetUser(u)
+	return s
+}
+
+func TestAdminStatements(t *testing.T) {
+	e := newEngine(t)
+	admin := setupEmp(t, e)
+	mustExec(t, admin, `CREATE USER t1 PASSWORD 'pw' PRIORITY batch MAX_CONCURRENT 3 MEM_BUDGET 1048576`)
+	u, err := e.Catalog().GetUser("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Priority != catalog.PriorityBatch || u.MaxConcurrent != 3 || u.MemBudget != 1<<20 || u.Admin {
+		t.Errorf("CREATE USER attributes not applied: %+v", u)
+	}
+	mustExec(t, admin, `GRANT SELECT, INSERT ON emp TO t1`)
+	if !u.Can("emp", catalog.PrivSelect) || !u.Can("emp", catalog.PrivInsert) || u.Can("emp", catalog.PrivDelete) {
+		t.Errorf("GRANT privilege list misapplied: %v", u.Grants())
+	}
+	mustExec(t, admin, `REVOKE INSERT ON emp FROM t1`)
+	if u.Can("emp", catalog.PrivInsert) {
+		t.Errorf("REVOKE did not bite")
+	}
+
+	res := mustExec(t, admin, `SHOW USERS`)
+	if res.Rel == nil || res.Rel.Len() != 1 {
+		t.Fatalf("SHOW USERS rows = %v", res.Rel)
+	}
+	if rendered := res.Rel.Tuples[0][5].Str(); !strings.Contains(rendered, "SELECT ON emp") {
+		t.Errorf("SHOW USERS grants column = %q", rendered)
+	}
+
+	// SHOW ADMISSION renders even with admission off.
+	res = mustExec(t, admin, `SHOW ADMISSION`)
+	if res.Msg != "admission control off" {
+		t.Errorf("SHOW ADMISSION msg = %q", res.Msg)
+	}
+
+	mustExec(t, admin, `DROP USER t1`)
+	if _, err := e.Catalog().GetUser("t1"); err == nil {
+		t.Errorf("DROP USER did not bite")
+	}
+}
+
+func TestAdminStatementsRequireAdmin(t *testing.T) {
+	e := newEngine(t)
+	admin := setupEmp(t, e)
+	mustExec(t, admin, `CREATE USER plain PASSWORD 'pw'`)
+	mustExec(t, admin, `CREATE USER root PASSWORD 'pw' ADMIN`)
+
+	plain := bindUser(t, e, "plain", "pw")
+	for _, sql := range []string{
+		`CREATE USER evil PASSWORD 'x'`,
+		`DROP USER root`,
+		`GRANT ALL ON emp TO plain`,
+		`REVOKE ALL ON emp FROM root`,
+		`SHOW ADMISSION`,
+		`SHOW USERS`,
+	} {
+		if _, err := plain.Exec(sql); !errors.Is(err, ErrAuth) {
+			t.Errorf("Exec(%q) by non-admin err = %v, want ErrAuth", sql, err)
+		}
+	}
+
+	// An admin user (not just local sessions) may administer.
+	root := bindUser(t, e, "root", "pw")
+	mustExec(t, root, `GRANT SELECT ON emp TO plain`)
+}
+
+func TestGrantEnforcement(t *testing.T) {
+	e := newEngine(t)
+	admin := setupEmp(t, e)
+	mustExec(t, admin, `CREATE USER t1 PASSWORD 'pw'`)
+	mustExec(t, admin, `GRANT SELECT ON emp TO t1`)
+
+	s := bindUser(t, e, "t1", "pw")
+	if _, err := s.Query(`SELECT id FROM emp WHERE id = 1`); err != nil {
+		t.Fatalf("granted SELECT failed: %v", err)
+	}
+	// Each missing privilege is refused with the coded auth error.
+	for _, sql := range []string{
+		`INSERT INTO emp VALUES (999, 'eng', 1)`,
+		`UPDATE emp SET salary = 0 WHERE id = 1`,
+		`DELETE FROM emp WHERE id = 1`,
+		`SELECT name FROM dept`,
+		`SELECT e.id FROM emp e, dept d WHERE e.dept = d.name`,
+		`DROP TABLE emp`,
+	} {
+		if _, err := s.Exec(sql); !errors.Is(err, ErrAuth) {
+			t.Errorf("Exec(%q) err = %v, want ErrAuth", sql, err)
+		}
+	}
+
+	// The creator of a table owns it.
+	mustExec(t, s, `CREATE TABLE mine (k INT, PRIMARY KEY (k))`)
+	mustExec(t, s, `INSERT INTO mine VALUES (1)`)
+	mustExec(t, s, `DROP TABLE mine`)
+}
+
+// TestRevokeBitesCachedPlan pins the per-execution (not per-plan)
+// grant check: the same statement text, served from the shared plan
+// cache, must be refused the moment the grant is revoked — even though
+// the cached plan predates the revocation.
+func TestRevokeBitesCachedPlan(t *testing.T) {
+	e := newEngine(t)
+	admin := setupEmp(t, e)
+	mustExec(t, admin, `CREATE USER t1 PASSWORD 'pw'`)
+	mustExec(t, admin, `GRANT SELECT ON emp TO t1`)
+
+	s := bindUser(t, e, "t1", "pw")
+	const q = `SELECT id FROM emp WHERE id = 7`
+	for i := 0; i < 3; i++ { // warm the plan cache
+		if _, err := s.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(t, admin, `REVOKE SELECT ON emp FROM t1`)
+	if _, err := s.Exec(q); !errors.Is(err, ErrAuth) {
+		t.Fatalf("revoked SELECT via cached plan err = %v, want ErrAuth", err)
+	}
+	// Prepared statements re-check on every execution too.
+	mustExec(t, admin, `GRANT SELECT ON emp TO t1`)
+	ps, err := s.Prepare(`SELECT id FROM emp WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryPrepared(ps, []value.Value{value.NewInt(7)}); err != nil {
+		t.Fatalf("granted prepared exec: %v", err)
+	}
+	mustExec(t, admin, `REVOKE SELECT ON emp FROM t1`)
+	if _, err := s.QueryPrepared(ps, []value.Value{value.NewInt(7)}); !errors.Is(err, ErrAuth) {
+		t.Fatalf("revoked prepared exec err = %v, want ErrAuth", err)
+	}
+}
+
+func TestDatalogGrantEnforcement(t *testing.T) {
+	e := newEngine(t)
+	admin := setupEmp(t, e)
+	mustExec(t, admin, `CREATE USER t1 PASSWORD 'pw'`)
+
+	s := bindUser(t, e, "t1", "pw")
+	if _, err := e.DatalogQuery(s, `emp(X, 'eng', S)`); !errors.Is(err, ErrAuth) {
+		t.Fatalf("datalog over ungranted table err = %v, want ErrAuth", err)
+	}
+	mustExec(t, admin, `GRANT SELECT ON emp TO t1`)
+	if _, err := e.DatalogQuery(s, `emp(X, 'eng', S)`); err != nil {
+		t.Fatalf("datalog over granted table: %v", err)
+	}
+}
+
+func TestMemBudgetAbortsBigStatements(t *testing.T) {
+	e := newEngine(t)
+	s := setupEmp(t, e)
+	// A tiny budget aborts a sorting scan; point lookups stay under it.
+	s.SetMemBudget(128)
+	if _, err := s.Query(`SELECT id, dept, salary FROM emp ORDER BY salary`); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("oversized sort err = %v, want ErrMemBudget", err)
+	}
+	if _, err := s.Query(`SELECT id FROM emp WHERE id = 3`); err != nil {
+		t.Fatalf("point query under budget: %v", err)
+	}
+	// Raising the budget clears the constraint.
+	s.SetMemBudget(1 << 20)
+	if _, err := s.Query(`SELECT id, dept, salary FROM emp ORDER BY salary`); err != nil {
+		t.Fatalf("sort under a sane budget: %v", err)
+	}
+}

@@ -196,6 +196,9 @@ func (s *Session) streamPrepared(ps *PreparedStmt, args []value.Value) (*Cursor,
 		return nil, nil, err
 	}
 	if cs.sel != nil {
+		if err := s.checkAccess(cs.access); err != nil {
+			return nil, nil, err
+		}
 		root := cs.sel
 		if cs.nParams > 0 {
 			if root, err = bindPlan(root, bound); err != nil {
@@ -229,6 +232,9 @@ func (s *Session) parseStream(sql string) (*Cursor, *Result, error) {
 	if !ok {
 		res, err := s.execStmtTimed(st)
 		return nil, res, err
+	}
+	if err := s.checkStmt(sel); err != nil {
+		return nil, nil, err
 	}
 	root, err := s.e.translateSelect(sel)
 	if err != nil {

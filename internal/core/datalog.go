@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/catalog"
 	"repro/internal/ofm"
 	"repro/internal/prismalog"
 	"repro/internal/txn"
@@ -64,6 +65,12 @@ func (edb *engineEDB) Relation(pred string) (*value.Relation, bool) {
 
 	t, err := edb.e.lookupTable(pred)
 	if err != nil {
+		return nil, false
+	}
+	// Grants bite exactly where base tables resolve: a PRISMAlog rule
+	// body reading an unauthorized table fails the whole evaluation.
+	if err := edb.s.checkAccess([]tableAccess{{pred, catalog.PrivSelect}}); err != nil {
+		edb.recordErr(err)
 		return nil, false
 	}
 	all := make([]int, len(t.frags))

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/algebra"
 	"repro/internal/catalog"
 	"repro/internal/expr"
@@ -118,6 +119,10 @@ type Engine struct {
 	replW       atomic.Uint64
 	replWDur    atomic.Uint64 // last durably persisted replW
 	faultDom    *fault.Domain
+
+	// adm is the server's admission controller, attached via
+	// SetAdmission so SHOW ADMISSION can report it (nil = off).
+	adm *admission.Controller
 }
 
 // New builds an engine over a (possibly default) machine.

@@ -24,6 +24,10 @@ type execCtx struct {
 	view   ofm.View
 	shared map[string]*value.Relation
 	mu     sync.Mutex
+	// mem charges materialized intermediates (scans, join outputs,
+	// aggregates, sorts) against the tenant's working-memory budget;
+	// nil when the session has no budget.
+	mem *memAcct
 }
 
 func (ctx *execCtx) cacheGet(key string) (*value.Relation, bool) {
@@ -42,7 +46,19 @@ func (ctx *execCtx) cachePut(key string, r *value.Relation) {
 // execPlan runs an optimized plan under the given transaction and view.
 func (e *Engine) execPlan(s *Session, tx *txn.Txn, view ofm.View, root plan.Node) (*value.Relation, error) {
 	ctx := &execCtx{s: s, tx: tx, view: view, shared: map[string]*value.Relation{}}
-	return e.exec(ctx, root)
+	if s.memBudget > 0 {
+		ctx.mem = &memAcct{limit: s.memBudget}
+	}
+	rel, err := e.exec(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	// Partitioned paths charge mid-gather but cannot error there; a
+	// breach anywhere aborts the statement here at the latest.
+	if err := ctx.mem.breach(); err != nil {
+		return nil, err
+	}
+	return rel, nil
 }
 
 func (e *Engine) exec(ctx *execCtx, n plan.Node) (*value.Relation, error) {
@@ -79,6 +95,9 @@ func (e *Engine) exec(ctx *execCtx, n plan.Node) (*value.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := ctx.chargeRel(out); err != nil {
+			return nil, err
+		}
 		e.m.PE(ctx.s.pe).Advance(e.m.Cost().CompareCost(st.Compares))
 		return out, nil
 	case *plan.Distinct:
@@ -90,6 +109,9 @@ func (e *Engine) exec(ctx *execCtx, n plan.Node) (*value.Relation, error) {
 			return nil, err
 		}
 		out, st := algebra.Distinct(rel)
+		if err := ctx.chargeRel(out); err != nil {
+			return nil, err
+		}
 		e.m.PE(ctx.s.pe).Advance(e.m.Cost().HashCost(st.Hashes))
 		return out, nil
 	case *plan.Limit:
@@ -150,6 +172,9 @@ func (e *Engine) execScan(ctx *execCtx, sc *plan.Scan) (*value.Relation, error) 
 	out := value.NewRelation(sc.Out)
 	for _, p := range parts {
 		out.Tuples = append(out.Tuples, p.Tuples...)
+	}
+	if err := ctx.chargeRel(out); err != nil {
+		return nil, err
 	}
 	if sc.Shared {
 		ctx.cachePut(key, out)
@@ -339,6 +364,9 @@ func (e *Engine) joinRelsCentral(ctx *execCtx, j *plan.Join, l, r *value.Relatio
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.chargeRel(out); err != nil {
+		return nil, err
+	}
 	cost := e.m.Cost()
 	e.m.PE(ctx.s.pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
 	return e.finishJoinPart(j, out, ctx.s.pe)
@@ -406,6 +434,9 @@ func (e *Engine) execAggregate(ctx *execCtx, a *plan.Aggregate) (*value.Relation
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.chargeRel(out); err != nil {
+		return nil, err
+	}
 	cost := e.m.Cost()
 	e.m.PE(ctx.s.pe).Advance(cost.HashCost(st.Hashes) + cost.BuildCost(st.TuplesEmitted))
 	out.Schema = a.Out
@@ -437,6 +468,9 @@ func (e *Engine) execPushdownAggregate(ctx *execCtx, a *plan.Aggregate, sc *plan
 	}
 	out, st, err := algebra.MergeAggregates(partials, len(a.GroupBy), a.Specs)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.chargeRel(out); err != nil {
 		return nil, err
 	}
 	cost := e.m.Cost()

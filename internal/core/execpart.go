@@ -89,6 +89,10 @@ func (e *Engine) gatherPart(ctx *execCtx, pr *partRel, schema *value.Schema) *va
 		}
 		out.Tuples = append(out.Tuples, p.Tuples...)
 	}
+	// Charge the gathered materialization; gatherPart cannot return an
+	// error, so a breach sticks in the accumulator and aborts the
+	// statement at execPlan's checkpoint.
+	_ = ctx.chargeRel(out)
 	return out
 }
 
@@ -528,6 +532,11 @@ func (e *Engine) execPartSort(ctx *execCtx, t *plan.Sort) (*value.Relation, erro
 	}
 	out, st, err := algebra.MergeSortedRuns(runs, t.Cols, t.Desc)
 	if err != nil {
+		return nil, err
+	}
+	// The merge is this path's root materialization (gatherPart never
+	// runs), so the budget charge lands here.
+	if err := ctx.chargeRel(out); err != nil {
 		return nil, err
 	}
 	e.m.PE(ctx.s.pe).Advance(e.m.Cost().CompareCost(st.Compares))

@@ -44,6 +44,11 @@ type compiledStmt struct {
 	sel     plan.Node    // optimized plan (SELECT only)
 	planStr string       // pre-rendered plan (parameters shown as $n)
 	ast     sqlparse.Stmt
+	// access lists the tables the statement touches for the
+	// per-execution grant check (SELECT plans only — AST statements
+	// check in execStmt). Recorded at compile time so a cached shared
+	// plan still enforces each executing session's own grants.
+	access []tableAccess
 }
 
 // Text returns the statement's SQL source.
@@ -137,6 +142,9 @@ func (s *Session) execPrepared(ps *PreparedStmt, args []value.Value) (*Result, e
 		return nil, err
 	}
 	if cs.sel != nil {
+		if err := s.checkAccess(cs.access); err != nil {
+			return nil, err
+		}
 		root := cs.sel
 		if cs.nParams > 0 {
 			root, err = bindPlan(root, bound)
@@ -237,6 +245,7 @@ func (e *Engine) compileParsed(st sqlparse.Stmt, nparams int) (*compiledStmt, er
 		root = e.opt.Optimize(root)
 		cs.sel = root
 		cs.planStr = plan.Format(root)
+		cs.access = stmtAccess(sel)
 		inferPlanParamKinds(root, cs.kinds)
 		return cs, nil
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/ofm"
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
@@ -24,6 +25,13 @@ type Session struct {
 	e  *Engine
 	pe int
 	tx *txn.Txn
+
+	// user is the authenticated tenant (nil = unrestricted local
+	// session); every statement checks its per-table grants.
+	user *catalog.User
+	// memBudget caps one statement's materialized working memory in
+	// bytes (0 = unlimited); breaches abort with ErrMemBudget.
+	memBudget int64
 
 	// stmtTimeout bounds lock waits for this session's statements; zero
 	// waits forever. A timed-out statement aborts its transaction with a
@@ -183,6 +191,9 @@ func (s *Session) execText(sql string) (*Result, error) {
 	if res, handled := s.execSet(sql); handled {
 		return res, nil
 	}
+	if res, handled, err := s.execAdmin(sql); handled {
+		return res, err
+	}
 	if promoteRe.MatchString(sql) {
 		if err := s.e.Promote(); err != nil {
 			return nil, err
@@ -240,6 +251,9 @@ func (s *Session) parseExec(sql string) (*Result, error) {
 }
 
 func (s *Session) execStmt(st sqlparse.Stmt) (*Result, error) {
+	if err := s.checkStmt(st); err != nil {
+		return nil, err
+	}
 	switch t := st.(type) {
 	case *sqlparse.CreateTable:
 		if s.e.IsReadOnly() {
@@ -247,6 +261,12 @@ func (s *Session) execStmt(st sqlparse.Stmt) (*Result, error) {
 		}
 		if err := s.e.createFromAST(t); err != nil {
 			return nil, err
+		}
+		if s.user != nil {
+			// The creator owns what it creates.
+			if err := s.e.cat.Grant(s.user.Name, t.Name, catalog.PrivAll); err != nil {
+				return nil, err
+			}
 		}
 		return &Result{Msg: fmt.Sprintf("table %s created", t.Name)}, nil
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -59,15 +60,19 @@ func E17Crashpoints(quick bool) (*Table, error) {
 			"invariants: sum conserved, committed marker durable, rolled-back marker absent, zero unresolved in-doubt txns, balances = acked ledger + a subset of in-flight transfers, engine functional after recovery",
 			"*.torn points tear the write at a seeded byte offset instead of failing cleanly; recovery truncates the torn tail (torn B)",
 			"server.frame.write runs over TCP: the fault drops a reply frame, the client treats the dead connection as indeterminate (never auto-retried), and a fresh connection audits the ledger",
+			"admission.* and auth.check run over TCP behind a saturating admission controller with authenticated tenants: injected sheds and auth denials always land before execution, so the workload absorbs them (retry or rollback) and the ledger stays exact",
 		},
 	}
 
 	for i, name := range fault.Points() {
 		var row []string
 		var err error
-		if name == "server.frame.write" {
+		switch {
+		case name == "server.frame.write":
 			row, err = runE17WireCell(name, workers, numPEs, warmup)
-		} else {
+		case strings.HasPrefix(name, "admission.") || name == "auth.check":
+			row, err = runE17AdmissionCell(name, workers, numPEs, warmup)
+		default:
 			row, err = runE17CrashCell(name, int64(i), workers, numPEs, warmup)
 		}
 		if err != nil {
@@ -442,6 +447,186 @@ func runE17WireCell(point string, workers, numPEs int, warmup time.Duration) ([]
 		fmt.Sprint(ledger.commits), fmt.Sprint(len(ledger.maybe)),
 		"0", "0", "0", "0", "n/a", "ok",
 	}, nil
+}
+
+// runE17AdmissionCell exercises the overload and authorization fault
+// points (admission.enqueue, admission.shed, auth.check) over real TCP:
+// a deliberately tiny admission controller (one statement in flight)
+// keeps the slow path hot, and the workers run as an authenticated
+// tenant so every statement crosses the grant check. All three points
+// reject a statement BEFORE it executes — a shed is coded retryable,
+// an auth denial coded non-retryable — so the workload absorbs the
+// injection without ambiguity and the ledger must stay exact.
+func runE17AdmissionCell(point string, workers, numPEs int, warmup time.Duration) ([]string, error) {
+	defer fault.DisarmAll()
+	defer fault.ClearCrash()
+
+	eng, err := e17Engine(numPEs)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	admin := eng.NewSession()
+	for _, sql := range []string{
+		`CREATE USER tenant PASSWORD 'pw'`,
+		`GRANT ALL ON acct TO tenant`,
+	} {
+		if _, err := admin.Exec(sql); err != nil {
+			admin.Close()
+			return nil, err
+		}
+	}
+	admin.Close()
+	ctl := admission.New(admission.Config{
+		MaxInFlight: 1, QueueDepth: 2 * workers, PerTenantQueue: 2 * workers,
+		WaitTimeout: 250 * time.Millisecond,
+	})
+	srv, err := server.New(server.Config{Engine: eng, MaxConns: 64, StatementTimeout: time.Second, Admission: ctl})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan struct{})
+	go func() { srv.Serve(l); close(serveDone) }()
+	defer func() { srv.Close(); <-serveDone }()
+	addr := l.Addr().String()
+
+	ledger := newE17Ledger()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var cellErr error
+	var errOnce sync.Once
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := e17AdmWorker(addr, int64(w)+1, &stop, ledger); err != nil {
+				errOnce.Do(func() { cellErr = err })
+				stop.Store(true)
+			}
+		}(w)
+	}
+	// Autocommit readers keep the single execution slot occupied for
+	// whole table scans, so concurrent statements actually queue — the
+	// transfer workers alone gate only their (instant) BEGINs, which
+	// would leave admission.enqueue cold.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e17AdmReader(addr, &stop)
+		}(w)
+	}
+
+	time.Sleep(warmup)
+	if err := fault.Arm(point, fault.Spec{Mode: fault.Error, N: 1}); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return nil, err
+	}
+	pt := fault.Lookup(point)
+	deadline := time.Now().Add(5 * time.Second)
+	for pt.Fired() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Let the survivors keep committing briefly past the fault, then stop.
+	time.Sleep(warmup)
+	stop.Store(true)
+	wg.Wait()
+	if cellErr != nil {
+		return nil, cellErr
+	}
+	if pt.Fired() == 0 {
+		return nil, fmt.Errorf("fault point never fired under the workload")
+	}
+	fault.DisarmAll()
+
+	if err := e17Audit(eng, ledger, 0); err != nil {
+		return nil, err
+	}
+	return []string{
+		point, "error",
+		fmt.Sprint(ledger.commits), fmt.Sprint(len(ledger.maybe)),
+		"0", "0", "0", "0", "n/a", "ok",
+	}, nil
+}
+
+// e17AdmWorker runs credentialed transfers through the admission
+// queue. Sheds are retryable (the statement never ran) and injected
+// auth denials land before execution, so both are absorbed in place:
+// roll back whatever transaction is open and try again.
+func e17AdmWorker(addr string, seed int64, stop *atomic.Bool, ledger *e17Ledger) error {
+	c, err := client.Dial(addr, client.Options{StatementTimeout: time.Second, Tenant: "tenant", Secret: "pw"})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	r := rand.New(rand.NewSource(seed))
+	step := func(sql string) error {
+		for {
+			_, err := c.Exec(sql)
+			if err == nil || !client.IsRetryable(err) {
+				return err
+			}
+			if stop.Load() {
+				return err
+			}
+			time.Sleep(time.Duration(100+r.Intn(400)) * time.Microsecond)
+		}
+	}
+	for !stop.Load() {
+		a := 2 + r.Intn(e17Rows-2)
+		b := 2 + r.Intn(e17Rows-2)
+		var committing bool
+		err := step(`BEGIN`)
+		if err == nil {
+			err = step(fmt.Sprintf(`UPDATE acct SET bal = bal - %d WHERE id = %d`, e17Transfer, a))
+		}
+		if err == nil {
+			err = step(fmt.Sprintf(`UPDATE acct SET bal = bal + %d WHERE id = %d`, e17Transfer, b))
+		}
+		if err == nil {
+			committing = true
+			err = step(`COMMIT`)
+		}
+		switch {
+		case err == nil:
+			ledger.ack(a, b)
+		case c.Broken() != nil:
+			// Transport failure: the session died, aborting any open
+			// transaction server-side — unless the connection broke with
+			// the COMMIT in flight, which is indeterminate.
+			if committing {
+				ledger.ambiguous(a, b)
+			}
+			return nil
+		default:
+			// Pre-execution rejection (injected shed on BEGIN, injected
+			// auth denial anywhere): the statement never ran, so abort
+			// the transaction and move on.
+			c.Exec(`ROLLBACK`)
+		}
+	}
+	return nil
+}
+
+// e17AdmReader floods autocommit scans through the admission queue;
+// every outcome — result, shed, injected denial — is acceptable, it
+// exists only to hold the execution slot and force queueing.
+func e17AdmReader(addr string, stop *atomic.Bool) {
+	c, err := client.Dial(addr, client.Options{StatementTimeout: time.Second, Tenant: "tenant", Secret: "pw"})
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	for !stop.Load() {
+		if _, err := c.Exec(`SELECT id, bal FROM acct`); err != nil && c.Broken() != nil {
+			return
+		}
+	}
 }
 
 // e17WireWorker is e17Worker over TCP. client.Retry drives the

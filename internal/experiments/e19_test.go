@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE19OverloadGraceful is the acceptance bar for the overload
+// tentpole: at ~4x offered load the front door must shed instead of
+// collapse. Goodput stays within 80% of the calibrated capacity,
+// admitted-statement p99 stays bounded (the admission queue's wait
+// timeout plus execution — far below what an unbounded queue would
+// show at 4x), the misbehaving batch tenant cannot push a well-behaved
+// tenant below a third of its fair share, and every refusal the
+// clients saw was a coded retryable shed.
+func TestE19OverloadGraceful(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	st, err := runE19(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Goodput under saturation stays near capacity: the queue keeps the
+	// execution slots busy, shedding only the excess.
+	if goodput := st.goodput(); goodput < 0.8*st.capacity {
+		t.Errorf("goodput %.0f stmts/s under overload, want >= 80%% of capacity %.0f", goodput, st.capacity)
+	}
+
+	// Fair sharing: with 3 tenants the fair share is C/3; a flooding
+	// batch tenant must not push an interactive tenant below a third of
+	// that.
+	floor := st.capacity / 9
+	secs := st.dur.Seconds()
+	for _, tn := range st.tenants[:2] { // alpha, beta
+		if rate := float64(tn.admitted) / secs; rate < floor {
+			t.Errorf("tenant %s admitted %.0f stmts/s, want >= %.0f (1/3 of fair share)", tn.name, rate, floor)
+		}
+	}
+
+	// The overload has to be real: the misbehaving tenant was shed.
+	mallory := st.tenants[2]
+	if mallory.shed == 0 {
+		t.Errorf("mallory was never shed at 2x-capacity offered load")
+	}
+	if st.globalShed == 0 {
+		t.Errorf("SHOW ADMISSION reports zero global sheds under 4x load")
+	}
+
+	// Every refusal is coded retryable — anything else is a contract
+	// violation (hard errors would make clients give up or retry
+	// non-idempotently).
+	for _, tn := range st.tenants {
+		if len(tn.hard) > 0 {
+			t.Errorf("tenant %s saw %d non-retryable errors, first: %v", tn.name, len(tn.hard), tn.hard[0])
+		}
+	}
+
+	// Bounded latency for admitted statements: queue wait is capped at
+	// the 100ms admission timeout, execution adds a few ms — p99 beyond
+	// 500ms would mean the queue is not doing its job.
+	for _, tn := range st.tenants {
+		if p99 := e19Percentile(tn.lats, 0.99); p99 > 500*time.Millisecond {
+			t.Errorf("tenant %s admitted p99 = %s, want <= 500ms", tn.name, p99)
+		}
+	}
+
+	// Observability: queue wait surfaced in Result timings, and SHOW
+	// ADMISSION rendered every tenant plus the global row.
+	if !st.queueTimeSeen {
+		t.Errorf("no admitted Result carried QueueTime > 0 under standing overload")
+	}
+	if st.admissionRows < 4 {
+		t.Errorf("SHOW ADMISSION rendered %d rows, want >= 4 (3 tenants + global)", st.admissionRows)
+	}
+}

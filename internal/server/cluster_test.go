@@ -1,0 +1,67 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+// TestClusterRotatesOffOverloadedEndpoint pins the routing contract for
+// sheds: a statement refused by one endpoint's admission control did
+// not run, so Cluster.Query must try the next endpoint instead of
+// surfacing the retryable error to the caller.
+func TestClusterRotatesOffOverloadedEndpoint(t *testing.T) {
+	mkEngine := func() *core.Engine {
+		eng, err := core.New(core.Config{NumPEs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(eng.Close)
+		s := eng.NewSession()
+		defer s.Close()
+		for _, sql := range []string{
+			`CREATE TABLE t (k INT, PRIMARY KEY (k))`,
+			`INSERT INTO t VALUES (1)`,
+		} {
+			if _, err := s.Exec(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng
+	}
+
+	// Endpoint A sheds everything: its only admission slot is held for
+	// the whole test and waiters time out fast. Endpoint B is healthy.
+	adm := admission.New(admission.Config{MaxInFlight: 1, QueueDepth: 4, WaitTimeout: 10 * time.Millisecond})
+	g, err := adm.Acquire("holder", admission.ClassInteractive, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Release()
+	addrA := startServer(t, Config{Engine: mkEngine(), Admission: adm})
+	addrB := startServer(t, Config{Engine: mkEngine()})
+
+	cl, err := client.DialCluster([]string{addrA, addrB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Round-robin guarantees the saturated endpoint is picked first for
+	// one of two consecutive reads; both must still succeed.
+	for i := 0; i < 2; i++ {
+		rel, err := cl.Query(`SELECT k FROM t`)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if rel.Len() != 1 {
+			t.Fatalf("read %d rows = %d", i, rel.Len())
+		}
+	}
+	if st := adm.Stats(); st.Shed == 0 {
+		t.Errorf("saturated endpoint shed nothing — rotation untested")
+	}
+}

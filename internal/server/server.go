@@ -20,6 +20,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/txn"
@@ -37,6 +39,10 @@ var fpFrameWrite = fault.Register("server.frame.write")
 // the client learns whether the failed transaction may safely re-run.
 func errorCode(err error) byte {
 	switch {
+	case errors.Is(err, core.ErrAuth):
+		return wire.ErrCodeAuth
+	case errors.Is(err, admission.ErrOverloaded):
+		return wire.ErrCodeOverloaded
 	case errors.Is(err, core.ErrReadOnly):
 		return wire.ErrCodeRedirect
 	case errors.Is(err, txn.ErrTimeout):
@@ -89,6 +95,14 @@ type Config struct {
 	// occupies one slot however many statements it carries (its size,
 	// like any frame's, is bounded by MaxFrame).
 	PipelineDepth int
+	// Admission, when set, gates statement execution through a shared
+	// admission controller: per-tenant concurrency tokens, a global
+	// in-flight cap, priority classes and bounded queueing with load
+	// shedding (a coded retryable Error frame). Statements inside an
+	// open transaction bypass admission — shedding mid-transaction
+	// would break the retry-from-BEGIN contract. The controller is
+	// also attached to the engine so SHOW ADMISSION can render it.
+	Admission *admission.Controller
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 	// Source, when set, serves replication subscribers (the primary
@@ -113,6 +127,7 @@ type Server struct {
 	logf        func(string, ...any)
 	source      ReplSource
 	primaryAddr func() string
+	adm         *admission.Controller
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -158,6 +173,10 @@ func New(cfg Config) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	if cfg.Admission != nil {
+		// SHOW ADMISSION renders through the engine.
+		cfg.Engine.SetAdmission(cfg.Admission)
+	}
 	return &Server{
 		eng:         cfg.Engine,
 		maxConns:    maxConns,
@@ -170,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 		logf:        logf,
 		source:      cfg.Source,
 		primaryAddr: cfg.PrimaryAddr,
+		adm:         cfg.Admission,
 		conns:       map[net.Conn]struct{}{},
 	}, nil
 }
@@ -197,9 +217,12 @@ func (s *Server) Serve(l net.Listener) error {
 			return err
 		}
 		if !s.track(conn) {
-			// Over the connection limit (or closing): refuse politely.
+			// Over the connection limit (or closing): refuse politely,
+			// and retryably — the limit is a load condition, not a fault,
+			// so a backing-off client may try again or move on to another
+			// endpoint.
 			bw := bufio.NewWriter(conn)
-			wire.WriteFrame(bw, wire.TypeError, wire.EncodeError(wire.ErrCodeGeneric, "server: connection limit reached"))
+			wire.WriteFrame(bw, wire.TypeError, wire.EncodeError(wire.ErrCodeOverloaded, "server: connection limit reached"))
 			bw.Flush()
 			conn.Close()
 			continue
@@ -312,7 +335,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		hsFail("server: expected Hello frame")
 		return
 	}
-	ver, err := wire.DecodeHello(payload)
+	ver, creds, err := wire.DecodeHelloCreds(payload)
 	if err != nil {
 		hsFail(err.Error())
 		return
@@ -320,6 +343,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	if ver != wire.Version {
 		hsFail(fmt.Sprintf("server: unsupported protocol version %d (want %d)", ver, wire.Version))
 		return
+	}
+	// Authentication bites only once users exist: a catalog with no
+	// user table serves every connection unbound, exactly as before.
+	// Failures are coded ErrCodeAuth — non-retryable, so client retry
+	// loops give up instead of hammering a wrong password.
+	var user *catalog.User
+	if cat := s.eng.Catalog(); cat.HasUsers() {
+		var aerr error
+		if creds == nil {
+			aerr = errors.New("server: authentication required")
+		} else {
+			user, aerr = cat.Authenticate(creds.Tenant, creds.Secret)
+		}
+		if aerr != nil {
+			wire.WriteFrame(bw, wire.TypeError, wire.EncodeError(wire.ErrCodeAuth, aerr.Error()))
+			bw.Flush()
+			conn.Close()
+			return
+		}
 	}
 	var ok []byte
 	ok = append(ok, wire.Version)
@@ -348,6 +390,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	sess := s.eng.NewSession()
 	defer sess.Close() // aborts an open transaction on disconnect
 	sess.SetStatementTimeout(s.stmtTimeout)
+	if user != nil {
+		sess.SetUser(user)
+	}
 	reg := newStmtRegistry(s.maxPrepared)
 
 	// The reader decouples frame intake from execution: it queues up to
@@ -388,7 +433,22 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		keep := s.handleFrame(sess, reg, w, rq.typ, rq.payload)
+		var keep bool
+		if grant, aerr := s.admit(sess, rq.typ); aerr != nil {
+			// Shed: a coded retryable Error frame answers the statement
+			// in place of execution; the connection stays usable and the
+			// client's backoff absorbs the retry.
+			keep = w.writeErrorCoded(wire.ErrCodeOverloaded, aerr.Error())
+		} else {
+			if grant != nil {
+				w.queue = grant.Wait
+			}
+			keep = s.handleFrame(sess, reg, w, rq.typ, rq.payload)
+			if grant != nil {
+				grant.Release()
+				w.queue = 0
+			}
+		}
 		wire.PutBuf(rq.buf)
 		if !keep {
 			bw.Flush() // deliver a pending Error explanation, if any
@@ -405,12 +465,41 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// admit passes one queued frame through the admission controller. A
+// nil grant with a nil error means the frame is not gated: no
+// controller, a non-statement frame (Prepare and ClosePrepared are
+// bookkeeping, not work), or a statement inside an open transaction —
+// the transaction was admitted at its first statement and shedding it
+// midway would force an abort the client cannot retry statement-wise.
+func (s *Server) admit(sess *core.Session, typ byte) (*admission.Grant, error) {
+	if s.adm == nil || sess.InTransaction() {
+		return nil, nil
+	}
+	switch typ {
+	case wire.TypeExec, wire.TypeExecStream, wire.TypeBatch, wire.TypeBindExec, wire.TypeDatalog:
+	default:
+		return nil, nil
+	}
+	tenant := ""
+	class := admission.ClassInteractive
+	maxConc := 0
+	if u := sess.User(); u != nil {
+		tenant = u.Name
+		if u.Priority == catalog.PriorityBatch {
+			class = admission.ClassBatch
+		}
+		maxConc = u.MaxConcurrent
+	}
+	return s.adm.Acquire(tenant, class, maxConc)
+}
+
 // replyWriter writes a connection's reply frames into its buffered
 // writer, reusing one encode buffer across results.
 type replyWriter struct {
 	bw      *bufio.Writer
 	enc     *[]byte
 	max     int
+	queue   time.Duration // admission queue wait of the executing statement
 	primary func() string // primary address for redirect errors (may be nil)
 }
 
@@ -447,12 +536,13 @@ func (w *replyWriter) writeResult(res *core.Result) bool {
 		return false // injected write failure: reply lost, connection dies
 	}
 	wres := &wire.Result{
-		Rel:      res.Rel,
-		Affected: res.Affected,
-		Msg:      res.Msg,
-		Plan:     res.Plan,
-		SimTime:  res.SimTime,
-		WallTime: res.WallTime,
+		Rel:       res.Rel,
+		Affected:  res.Affected,
+		Msg:       res.Msg,
+		Plan:      res.Plan,
+		SimTime:   res.SimTime,
+		WallTime:  res.WallTime,
+		QueueTime: w.queue,
 	}
 	*w.enc = wire.AppendResult((*w.enc)[:0], wres)
 	buf := *w.enc

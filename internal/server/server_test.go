@@ -480,6 +480,9 @@ func TestConnectionLimit(t *testing.T) {
 		t.Fatal("third connection admitted over MaxConns=2")
 	} else if !strings.Contains(err.Error(), "connection limit") {
 		t.Fatalf("refusal err = %v", err)
+	} else if !client.IsRetryable(err) {
+		// The refusal is a coded overload: back off and redial.
+		t.Fatalf("connection refusal must be coded retryable: %v", err)
 	}
 
 	// Freeing a slot re-admits.

@@ -38,4 +38,12 @@ func TestRetryableCode(t *testing.T) {
 	if !RetryableCode(ErrCodeRetryable) || !RetryableCode(ErrCodeDeadline) {
 		t.Error("retryable/deadline codes must be retryable")
 	}
+	// An overload shed ran nothing — safe to retry elsewhere or later.
+	if !RetryableCode(ErrCodeOverloaded) {
+		t.Error("overloaded must be retryable")
+	}
+	// Bad credentials or a missing grant cannot succeed on retry.
+	if RetryableCode(ErrCodeAuth) {
+		t.Error("auth must not be retryable")
+	}
 }

@@ -149,6 +149,17 @@ const (
 	// primary to retry against. Routing clients re-probe roles and
 	// re-run; a promotion may also turn the same endpoint writable.
 	ErrCodeRedirect byte = 0x03
+	// ErrCodeOverloaded marks a statement shed by admission control (or
+	// a connection refused at the MaxConns limit): nothing ran, and the
+	// client should back off and retry — client.Retry's decorrelated
+	// backoff absorbs these, and routing clients may prefer another
+	// endpoint first.
+	ErrCodeOverloaded byte = 0x04
+	// ErrCodeAuth marks an authentication or authorization failure:
+	// bad credentials at handshake or a statement touching a table the
+	// tenant holds no grant on. Never retryable — re-running cannot
+	// succeed until an administrator changes the user or its grants.
+	ErrCodeAuth byte = 0x05
 )
 
 // EncodeError builds a coded Error payload.
@@ -170,7 +181,8 @@ func DecodeError(payload []byte) (code byte, msg string) {
 // RetryableCode reports whether code promises the statement's
 // transaction did not commit and may safely be re-run.
 func RetryableCode(code byte) bool {
-	return code == ErrCodeRetryable || code == ErrCodeDeadline || code == ErrCodeRedirect
+	return code == ErrCodeRetryable || code == ErrCodeDeadline ||
+		code == ErrCodeRedirect || code == ErrCodeOverloaded
 }
 
 // ---------- frame/encode buffer reuse ----------
@@ -264,12 +276,72 @@ func EncodeHello() []byte {
 	return append([]byte(Magic), Version)
 }
 
+// HelloCreds are the optional tenant credentials a Hello frame carries
+// after the magic and version byte: two length-prefixed strings. A
+// legacy Hello stops at the version byte and decodes with nil creds —
+// servers with no user table accept it, servers requiring auth refuse
+// with a coded ErrCodeAuth Error.
+type HelloCreds struct {
+	Tenant string
+	Secret string
+}
+
+// EncodeHelloCreds builds a Hello payload carrying tenant credentials.
+func EncodeHelloCreds(tenant, secret string) []byte {
+	buf := make([]byte, 0, len(Magic)+5+len(tenant)+len(secret))
+	buf = append(buf, Magic...)
+	buf = append(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(tenant)))
+	buf = append(buf, tenant...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(secret)))
+	return append(buf, secret...)
+}
+
 // DecodeHello validates a Hello payload, returning the client version.
+// Credentialed Hellos (see EncodeHelloCreds) validate too — callers
+// that don't authenticate simply ignore the trailer.
 func DecodeHello(payload []byte) (int, error) {
-	if len(payload) != len(Magic)+1 || string(payload[:len(Magic)]) != Magic {
-		return 0, fmt.Errorf("wire: bad handshake magic")
+	ver, _, err := DecodeHelloCreds(payload)
+	return ver, err
+}
+
+// DecodeHelloCreds validates a Hello payload and extracts the optional
+// credential trailer; creds is nil for a legacy credential-less Hello.
+func DecodeHelloCreds(payload []byte) (ver int, creds *HelloCreds, err error) {
+	if len(payload) < len(Magic)+1 || string(payload[:len(Magic)]) != Magic {
+		return 0, nil, fmt.Errorf("wire: bad handshake magic")
 	}
-	return int(payload[len(Magic)]), nil
+	ver = int(payload[len(Magic)])
+	rest := payload[len(Magic)+1:]
+	if len(rest) == 0 {
+		return ver, nil, nil
+	}
+	tenant, n, err := decodeString16(rest)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wire: Hello credential tenant: %w", err)
+	}
+	secret, m, err := decodeString16(rest[n:])
+	if err != nil {
+		return 0, nil, fmt.Errorf("wire: Hello credential secret: %w", err)
+	}
+	if n+m != len(rest) {
+		return 0, nil, fmt.Errorf("wire: %d trailing bytes after Hello credentials", len(rest)-n-m)
+	}
+	if tenant == "" {
+		return 0, nil, fmt.Errorf("wire: Hello credentials with empty tenant")
+	}
+	return ver, &HelloCreds{Tenant: tenant, Secret: secret}, nil
+}
+
+func decodeString16(buf []byte) (string, int, error) {
+	if len(buf) < 2 {
+		return "", 0, fmt.Errorf("wire: truncated string header")
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	if len(buf) < 2+n {
+		return "", 0, fmt.Errorf("wire: truncated string body (want %d bytes)", n)
+	}
+	return string(buf[2 : 2+n]), 2 + n, nil
 }
 
 // EncodePrepareOK builds a PrepareOK payload.
@@ -358,9 +430,17 @@ type Result struct {
 	SimTime time.Duration
 	// WallTime is the server's real execution time.
 	WallTime time.Duration
+	// QueueTime is how long the statement waited in the server's
+	// admission queue before executing; zero when admission control is
+	// off or the statement was admitted immediately. Encoded only when
+	// nonzero, so pre-admission decoders still read the result.
+	QueueTime time.Duration
 }
 
-const resultHasRel byte = 1 << 0
+const (
+	resultHasRel   byte = 1 << 0
+	resultHasQueue byte = 1 << 1
+)
 
 func appendString(buf []byte, s string) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
@@ -388,10 +468,13 @@ func EncodeResult(r *Result) []byte {
 // encode buffer across statements (the server's reply writer).
 func AppendResult(dst []byte, r *Result) []byte {
 	var flags byte
-	size := 33 + len(r.Msg) + len(r.Plan)
+	size := 41 + len(r.Msg) + len(r.Plan)
 	if r.Rel != nil {
 		flags |= resultHasRel
 		size += r.Rel.Size() + 64
+	}
+	if r.QueueTime != 0 {
+		flags |= resultHasQueue
 	}
 	if cap(dst)-len(dst) < size {
 		grown := make([]byte, len(dst), len(dst)+size)
@@ -404,6 +487,9 @@ func AppendResult(dst []byte, r *Result) []byte {
 	buf = appendString(buf, r.Plan)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(r.SimTime.Nanoseconds()))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(r.WallTime.Nanoseconds()))
+	if r.QueueTime != 0 {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(r.QueueTime.Nanoseconds()))
+	}
 	if r.Rel != nil {
 		buf = value.AppendRelation(buf, r.Rel)
 	}
@@ -434,6 +520,13 @@ func DecodeResult(buf []byte) (*Result, error) {
 	r.SimTime = time.Duration(int64(binary.BigEndian.Uint64(buf[off:])))
 	r.WallTime = time.Duration(int64(binary.BigEndian.Uint64(buf[off+8:])))
 	off += 16
+	if flags&resultHasQueue != 0 {
+		if len(buf) < off+8 {
+			return nil, fmt.Errorf("wire: truncated result queue timing")
+		}
+		r.QueueTime = time.Duration(int64(binary.BigEndian.Uint64(buf[off:])))
+		off += 8
+	}
 	if flags&resultHasRel != 0 {
 		rel, used, err := value.DecodeRelation(buf[off:])
 		if err != nil {

@@ -98,6 +98,31 @@ func TestHelloRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHelloCredsRoundTrip(t *testing.T) {
+	ver, creds, err := DecodeHelloCreds(EncodeHelloCreds("acme", "s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != Version || creds == nil || creds.Tenant != "acme" || creds.Secret != "s3cret" {
+		t.Fatalf("decoded ver=%d creds=%+v", ver, creds)
+	}
+	// A legacy Hello decodes cleanly with nil creds.
+	ver, creds, err = DecodeHelloCreds(EncodeHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != Version || creds != nil {
+		t.Fatalf("legacy decode ver=%d creds=%+v, want nil creds", ver, creds)
+	}
+	// Truncated credential trailers must error, never panic.
+	full := EncodeHelloCreds("acme", "s3cret")
+	for n := len(Magic) + 2; n < len(full); n++ {
+		if _, _, err := DecodeHelloCreds(full[:n]); err == nil {
+			t.Fatalf("truncated creds (%d bytes) accepted", n)
+		}
+	}
+}
+
 func TestResultRoundTrip(t *testing.T) {
 	rel := value.NewRelation(value.MustSchema("id", "INTEGER", "name", "VARCHAR", "score", "FLOAT"))
 	rel.Append(
@@ -109,6 +134,8 @@ func TestResultRoundTrip(t *testing.T) {
 		{Affected: -3},
 		{Affected: 42, SimTime: 17 * time.Millisecond, WallTime: time.Microsecond},
 		{Rel: rel, Plan: "Project(id)\n  Scan(emp)"},
+		{Msg: "ok", QueueTime: 350 * time.Microsecond},
+		{Rel: rel, QueueTime: 2 * time.Millisecond, WallTime: time.Millisecond},
 	}
 	for i, in := range cases {
 		out, err := DecodeResult(EncodeResult(in))
@@ -116,7 +143,8 @@ func TestResultRoundTrip(t *testing.T) {
 			t.Fatalf("case %d: %v", i, err)
 		}
 		if out.Affected != in.Affected || out.Msg != in.Msg || out.Plan != in.Plan ||
-			out.SimTime != in.SimTime || out.WallTime != in.WallTime {
+			out.SimTime != in.SimTime || out.WallTime != in.WallTime ||
+			out.QueueTime != in.QueueTime {
 			t.Fatalf("case %d: got %+v want %+v", i, out, in)
 		}
 		if (out.Rel == nil) != (in.Rel == nil) {
@@ -130,6 +158,19 @@ func TestResultRoundTrip(t *testing.T) {
 				t.Fatalf("case %d: tuples differ", i)
 			}
 		}
+	}
+}
+
+// TestResultQueueTimeCompat pins the wire compatibility contract: a
+// Result that never queued encodes without the queue flag, so its bytes
+// are identical to what pre-admission servers emitted.
+func TestResultQueueTimeCompat(t *testing.T) {
+	enc := EncodeResult(&Result{Msg: "ok", Affected: 1})
+	if enc[0]&resultHasQueue != 0 {
+		t.Fatalf("zero QueueTime set the queue flag (flags=0x%02x)", enc[0])
+	}
+	if enc2 := EncodeResult(&Result{Msg: "ok", Affected: 1, QueueTime: time.Millisecond}); len(enc2) != len(enc)+8 {
+		t.Fatalf("queued encoding adds %d bytes, want 8", len(enc2)-len(enc))
 	}
 }
 
