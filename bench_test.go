@@ -136,6 +136,13 @@ func BenchmarkE19Overload(b *testing.B) {
 	runExperiment(b, experiments.E19Overload)
 }
 
+// BenchmarkE20Vectorized — columnar batch execution over the OFM column
+// caches vs the tuple-at-a-time executor: filter-scan selectivity
+// sweep, join, and grouped aggregation, medians of interleaved runs.
+func BenchmarkE20Vectorized(b *testing.B) {
+	runExperiment(b, experiments.E20Vectorized)
+}
+
 // ---------- micro-benchmarks on the public API ----------
 
 // benchDB builds a loaded database once per benchmark.

@@ -1,15 +1,15 @@
 // Command prisma-bench regenerates the reproduction's experiment tables
-// E1–E19. Each experiment is documented on its function in
+// E1–E20. Each experiment is documented on its function in
 // internal/experiments (the README's "Experiment suite" section lists
 // them); the root bench_test.go wraps each one as a Go benchmark.
 //
 // Usage:
 //
-//	prisma-bench [-quick] [-only E4,E5] [-json] [-compare old.json]
+//	prisma-bench [-quick] [-only E4,E5] [-json] [-compare old.json] [-cpuprofile cpu.out]
 //
 // With -json the tables are emitted as a JSON array (one object per
 // experiment) instead of aligned text — the CI workflow archives the
-// E11–E19 output this way so every run leaves a comparable perf record.
+// E11–E20 output this way so every run leaves a comparable perf record.
 // With -compare the freshly-run experiments are diffed against a
 // previous -json output: per-row metric deltas are printed on stderr
 // (so -json -compare composes — stdout stays pure JSON), and any
@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -45,7 +46,29 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of aligned text")
 	compare := flag.String("compare", "", "path to a previous -json output; print per-experiment deltas and warn (soft) on >25% regressions")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (inspect with go tool pprof)")
 	flag.Parse()
+
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		// os.Exit skips defers, so the failure path below flushes the
+		// profile explicitly — a failed experiment is exactly when the
+		// profile is wanted.
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
 
 	type exp struct {
 		id string
@@ -71,6 +94,7 @@ func main() {
 		{"E17", experiments.E17Crashpoints},
 		{"E18", experiments.E18Replication},
 		{"E19", experiments.E19Overload},
+		{"E20", experiments.E20Vectorized},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -124,6 +148,7 @@ func main() {
 		}
 	}
 	if failed {
+		stopProfile()
 		os.Exit(1)
 	}
 }
@@ -218,7 +243,7 @@ func rowKey(header []string, row []string) string {
 // a concurrent workload's statement count varies run to run.
 func isKeyColumn(h string) bool {
 	switch strings.ToLower(h) {
-	case "clients", "pes", "executor", "mode", "depth", "window", "rule set", "writers", "fault point", "invariants", "replicas", "tenant", "class":
+	case "clients", "pes", "executor", "mode", "depth", "window", "rule set", "writers", "fault point", "invariants", "replicas", "tenant", "class", "shape", "selectivity":
 		return true
 	}
 	return false

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64] [-pipeline-depth 64] [-stmt-timeout 0] [-replica-of host:port] [-max-inflight 0] [-queue-depth 0]
+//	prisma-serve [-addr 127.0.0.1:7070] [-pes 64] [-max-conns 64] [-pipeline-depth 64] [-stmt-timeout 0] [-replica-of host:port] [-max-inflight 0] [-queue-depth 0] [-pprof addr]
 //
 // With -max-inflight > 0 the server runs statement admission control:
 // at most that many statements execute at once, excess queues up to
@@ -19,6 +19,12 @@
 // replication watermark, refuses writes with a redirect, and fails
 // over to primary when a client executes PROMOTE.
 //
+// With -pprof the server additionally exposes Go's net/http/pprof
+// handlers on a second (private) address — profile a live server with
+// `go tool pprof http://<addr>/debug/pprof/profile`. Mutex and block
+// profiling are enabled at a small sampling fraction so lock
+// contention inside the executor shows up without distorting it.
+//
 // Stop with SIGINT/SIGTERM; the server drains connections (aborting
 // open transactions) before exiting.
 package main
@@ -28,8 +34,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/admission"
@@ -48,7 +57,24 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "start as a read replica of the primary at this address")
 	maxInflight := flag.Int("max-inflight", 0, "statements executing at once under admission control (0 = admission off)")
 	queueDepth := flag.Int("queue-depth", 0, "admission queue slots per priority class (0 = 2x max-inflight)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = profiling off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(100_000) // one sample per 100µs blocked
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("prisma-serve: pprof listen: %v", err)
+		}
+		fmt.Printf("prisma-serve: pprof on http://%s/debug/pprof/\n", pl.Addr())
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.Serve(pl, nil); err != nil {
+				log.Printf("prisma-serve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	eng, err := core.New(core.Config{NumPEs: *pes})
 	if err != nil {

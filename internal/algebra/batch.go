@@ -1,0 +1,257 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// This file holds the columnar counterparts of the row operators: Select
+// narrows a selection vector without touching tuples, Project remaps
+// column pointers, the hash join builds and probes over column slices and
+// gathers its output column-wise, and Aggregate folds column values into
+// the same group states the row operator uses. Each operator CONSUMES its
+// input batches: selection vectors of consumed inputs go back to the
+// sync.Pool, so a caller must not touch a batch after passing it in.
+
+// SelectBatch filters b with a vectorized predicate, producing a batch
+// that shares b's column vectors under a narrowed selection vector — no
+// tuple is materialized. b is consumed.
+func SelectBatch(b *value.Batch, f *expr.VecFilter) (*value.Batch, Stats, error) {
+	dst := value.GetSel()
+	dst, err := f.Filter(b, b.Sel, dst)
+	if err != nil {
+		value.PutSel(dst)
+		return nil, Stats{}, fmt.Errorf("algebra: select: %w", err)
+	}
+	read := b.Len()
+	if b.Sel != nil {
+		value.PutSel(b.Sel)
+		b.Sel = nil
+	}
+	out := &value.Batch{Schema: b.Schema, Cols: b.Cols, Sel: dst, Rows: b.Rows}
+	return out, Stats{TuplesRead: read, TuplesEmitted: len(dst)}, nil
+}
+
+// ProjectBatch restricts b to the given column positions — a pure column
+// remap sharing vectors and selection with b.
+func ProjectBatch(b *value.Batch, cols []int, schema *value.Schema) (*value.Batch, Stats, error) {
+	for _, c := range cols {
+		if c < 0 || c >= len(b.Cols) {
+			return nil, Stats{}, fmt.Errorf("algebra: project column %d out of range for %s", c, b.Schema)
+		}
+	}
+	n := b.Len()
+	return b.Project(cols, schema), Stats{TuplesRead: n, TuplesEmitted: n}, nil
+}
+
+// HashJoinBatch equi-joins two batches on the given key columns, building
+// a hash table of physical row indices on the smaller input and gathering
+// the matches column-wise into a dense output batch. Output column order
+// is l ++ r and match order follows the row HashJoin exactly (probe
+// order, build-insertion order within a key). Both inputs are consumed.
+func HashJoinBatch(l, r *value.Batch, lcols, rcols []int) (*value.Batch, Stats, error) {
+	if len(lcols) == 0 || len(lcols) != len(rcols) {
+		return nil, Stats{}, fmt.Errorf("algebra: join needs matching non-empty key lists, got %v and %v", lcols, rcols)
+	}
+	for _, c := range lcols {
+		if c < 0 || c >= len(l.Cols) {
+			return nil, Stats{}, fmt.Errorf("algebra: left join key %d out of range for %s", c, l.Schema)
+		}
+	}
+	for _, c := range rcols {
+		if c < 0 || c >= len(r.Cols) {
+			return nil, Stats{}, fmt.Errorf("algebra: right join key %d out of range for %s", c, r.Schema)
+		}
+	}
+	stats := Stats{TuplesRead: l.Len() + r.Len()}
+
+	buildLeft := l.Len() <= r.Len()
+	build, probe := l, r
+	bcols, pcols := lcols, rcols
+	if !buildLeft {
+		build, probe = r, l
+		bcols, pcols = rcols, lcols
+	}
+
+	// Hash table of physical row indices: one chain per distinct key,
+	// linked through `next` so appending a row never re-allocates the
+	// map key string.
+	type chain struct{ head, tail int32 }
+	table := make(map[string]*chain, build.Len())
+	next := make([]int32, build.Rows)
+	var keyBuf []byte
+	bn := build.Len()
+	for i := 0; i < bn; i++ {
+		row := int32(build.Row(i))
+		if batchNullOn(build, row, bcols) {
+			continue // NULL keys never join
+		}
+		keyBuf = build.AppendKey(keyBuf[:0], int(row), bcols)
+		next[row] = -1
+		if c, ok := table[string(keyBuf)]; ok {
+			next[c.tail] = row
+			c.tail = row
+		} else {
+			table[string(keyBuf)] = &chain{head: row, tail: row}
+		}
+	}
+	stats.Hashes += bn
+
+	// Probe in input order, collecting matched (left, right) physical
+	// row pairs in output order.
+	lIdx := value.GetSel()
+	rIdx := value.GetSel()
+	pn := probe.Len()
+	for i := 0; i < pn; i++ {
+		row := int32(probe.Row(i))
+		if batchNullOn(probe, row, pcols) {
+			continue
+		}
+		stats.Hashes++
+		keyBuf = probe.AppendKey(keyBuf[:0], int(row), pcols)
+		c, ok := table[string(keyBuf)]
+		if !ok {
+			continue
+		}
+		for m := c.head; ; m = next[m] {
+			if buildLeft {
+				lIdx = append(lIdx, m)
+				rIdx = append(rIdx, row)
+			} else {
+				lIdx = append(lIdx, row)
+				rIdx = append(rIdx, m)
+			}
+			if m == c.tail {
+				break
+			}
+		}
+	}
+
+	out := &value.Batch{
+		Schema: l.Schema.Concat(r.Schema),
+		Cols:   make([]*value.Vec, 0, len(l.Cols)+len(r.Cols)),
+		Rows:   len(lIdx),
+	}
+	for _, vec := range l.Cols {
+		out.Cols = append(out.Cols, vec.Gather(lIdx))
+	}
+	for _, vec := range r.Cols {
+		out.Cols = append(out.Cols, vec.Gather(rIdx))
+	}
+	stats.TuplesEmitted = len(lIdx)
+	value.PutSel(lIdx)
+	value.PutSel(rIdx)
+	if l.Sel != nil {
+		value.PutSel(l.Sel)
+		l.Sel = nil
+	}
+	if r.Sel != nil {
+		value.PutSel(r.Sel)
+		r.Sel = nil
+	}
+	return out, stats, nil
+}
+
+func batchNullOn(b *value.Batch, row int32, cols []int) bool {
+	for _, c := range cols {
+		if b.Cols[c].IsNull(int(row)) {
+			return true
+		}
+	}
+	return false
+}
+
+// AggregateBatch groups b by the groupBy columns (empty = one global
+// group) and computes the aggregate specs, reading input values straight
+// from the column vectors. Output schema, group order (first-seen) and
+// NULL handling match the row Aggregate exactly; the result is a
+// row-oriented Relation (aggregation is a materialization point). b is
+// consumed.
+func AggregateBatch(b *value.Batch, groupBy []int, specs []AggSpec) (*value.Relation, Stats, error) {
+	for _, c := range groupBy {
+		if c < 0 || c >= len(b.Cols) {
+			return nil, Stats{}, fmt.Errorf("algebra: group-by column %d out of range for %s", c, b.Schema)
+		}
+	}
+	for _, sp := range specs {
+		if sp.Col >= len(b.Cols) {
+			return nil, Stats{}, fmt.Errorf("algebra: aggregate column %d out of range for %s", sp.Col, b.Schema)
+		}
+		if sp.Col < 0 && sp.Func != Count {
+			return nil, Stats{}, fmt.Errorf("algebra: %s(*) is not defined", sp.Func)
+		}
+	}
+
+	// Output schema, mirroring the row Aggregate's naming.
+	cols := make([]value.Column, 0, len(groupBy)+len(specs))
+	for _, c := range groupBy {
+		cols = append(cols, b.Schema.Column(c))
+	}
+	for _, sp := range specs {
+		name := sp.As
+		if name == "" {
+			if sp.Col < 0 {
+				name = "COUNT(*)"
+			} else {
+				name = fmt.Sprintf("%s(%s)", sp.Func, b.Schema.Column(sp.Col).Name)
+			}
+		}
+		k := value.KindInt
+		if sp.Col >= 0 {
+			k = resultKind(sp.Func, b.Schema.Column(sp.Col).Kind)
+		}
+		cols = append(cols, value.Column{Name: name, Kind: k})
+	}
+	out := value.NewRelation(value.NewSchema(cols...))
+
+	type group struct {
+		key    value.Tuple
+		states []aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	var keyBuf []byte
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		row := b.Row(i)
+		keyBuf = b.AppendKey(keyBuf[:0], row, groupBy)
+		g := groups[string(keyBuf)]
+		if g == nil {
+			k := string(keyBuf)
+			key := make(value.Tuple, len(groupBy))
+			for gi, c := range groupBy {
+				key[gi] = b.Cols[c].Value(row)
+			}
+			g = &group{key: key, states: make([]aggState, len(specs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for si, sp := range specs {
+			if sp.Col < 0 {
+				g.states[si].count++ // COUNT(*) counts rows, NULLs included
+			} else {
+				g.states[si].observe(b.Cols[sp.Col].Value(row))
+			}
+		}
+	}
+	if len(groupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{key: value.Tuple{}, states: make([]aggState, len(specs))}
+		order = append(order, "")
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make(value.Tuple, 0, len(groupBy)+len(specs))
+		row = append(row, g.key...)
+		for si, sp := range specs {
+			row = append(row, g.states[si].result(sp.Func))
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	if b.Sel != nil {
+		value.PutSel(b.Sel)
+		b.Sel = nil
+	}
+	return out, Stats{TuplesRead: n, TuplesEmitted: out.Len(), Hashes: n}, nil
+}

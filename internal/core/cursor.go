@@ -370,6 +370,9 @@ func (e *Engine) streamScan(ctx *execCtx, sc *plan.Scan) (*relIter, error) {
 	if err := e.lockFragments(ctx, t, frags); err != nil {
 		return nil, err
 	}
+	if e.vecEligible(ctx) {
+		return e.streamScanVec(ctx, t, frags, sc), nil
+	}
 	specs := make([]pool.CallSpec, len(frags))
 	for i, fi := range frags {
 		specs[i] = pool.CallSpec{To: t.frags[fi].proc, Kind: "scan", Body: scanReq{view: ctx.view, pred: sc.Pred}, Bytes: 128}
@@ -399,6 +402,57 @@ func (e *Engine) streamScan(ctx *execCtx, sc *plan.Scan) (*relIter, error) {
 		}
 	}
 	return &relIter{next: next, wait: wait}, nil
+}
+
+// streamScanVec delivers a leaf scan fragment-at-a-time over the column
+// caches: each fragment filters columnar where it lives and only the
+// qualifying rows materialize into the delivered batch, lazily as the
+// consumer asks. A fragment whose cache declines (pending overlay
+// writes, uncacheable kinds) falls back to a row scan for that fragment
+// only — the stream keeps going either way.
+func (e *Engine) streamScanVec(ctx *execCtx, t *table, frags []int, sc *plan.Scan) *relIter {
+	i := 0
+	next := func() (*value.Relation, error) {
+		for i < len(frags) {
+			f := t.frags[frags[i]]
+			i++
+			b, built, err := f.ofm.ScanBatch(ctx.view, sc.Pred, nil)
+			if ctx.mem != nil && built > 0 {
+				_ = ctx.mem.charge(built)
+			}
+			if err != nil {
+				return nil, err
+			}
+			out := value.NewRelation(sc.Out)
+			if b != nil {
+				if b.Len() == 0 {
+					vecFreeBatch(b)
+					continue
+				}
+				if f.pe != ctx.s.pe {
+					e.m.Send(f.pe, ctx.s.pe, b.Size())
+				}
+				out.Tuples = b.Materialize().Tuples
+				vecFreeBatch(b)
+			} else {
+				rel, err := f.ofm.Scan(ctx.view, sc.Pred, nil)
+				if err != nil {
+					return nil, err
+				}
+				if len(rel.Tuples) == 0 {
+					continue
+				}
+				if f.pe != ctx.s.pe {
+					e.m.Send(f.pe, ctx.s.pe, rel.Size())
+				}
+				out.Tuples = rel.Tuples
+			}
+			_ = ctx.chargeRel(out)
+			return out, nil
+		}
+		return nil, nil
+	}
+	return &relIter{next: next, wait: noWait}
 }
 
 // streamIndexProbe yields the point-query fast path fragment-at-a-time:

@@ -60,6 +60,13 @@ type Config struct {
 	// the all-2PL baseline (S-locks on reads) — experiment E16 measures
 	// the difference.
 	MVCC *bool
+	// Vectorized toggles columnar batch execution (default true): eligible
+	// read plans run over the OFM fragment column caches with selection
+	// vectors, materializing tuples only at the plan root. False forces
+	// tuple-at-a-time execution everywhere — the E20 baseline. Vectorized
+	// scans require compiled expressions and MVCC snapshot reads; when
+	// either is off the engine falls back to the row path regardless.
+	Vectorized *bool
 	// FaultDomain scopes injected faults to this engine's stable stores.
 	// Nil uses the process-wide default domain. Replication experiments
 	// give each engine its own domain so crashing the primary leaves
@@ -92,11 +99,12 @@ type Engine struct {
 	opt   *optimizer.Optimizer
 	alloc fragment.Allocator
 
-	compiled  bool
-	tcAlgo    algebra.TCAlgorithm
-	semiNaive bool
-	mvcc      bool
-	plans     *planCache // nil when the plan cache is disabled
+	compiled   bool
+	tcAlgo     algebra.TCAlgorithm
+	semiNaive  bool
+	mvcc       bool
+	vectorized bool
+	plans      *planCache // nil when the plan cache is disabled
 
 	mu     sync.RWMutex // read-locked on the per-statement table lookup
 	tables map[string]*table
@@ -171,24 +179,29 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MVCC != nil {
 		mvcc = *cfg.MVCC
 	}
+	vectorized := true
+	if cfg.Vectorized != nil {
+		vectorized = *cfg.Vectorized
+	}
 	planCacheSize := cfg.PlanCacheSize
 	if planCacheSize <= 0 {
 		planCacheSize = 256
 	}
 	cat := catalog.New()
 	e := &Engine{
-		m:         m,
-		rt:        pool.NewRuntime(m),
-		cat:       cat,
-		txns:      txn.NewManager(),
-		opt:       optimizer.New(cat, optOpts),
-		alloc:     alloc,
-		compiled:  compiled,
-		tcAlgo:    cfg.TCAlgorithm,
-		semiNaive: semiNaive,
-		mvcc:      mvcc,
-		tables:    map[string]*table{},
-		stores:    map[int]*machine.StableStore{},
+		m:          m,
+		rt:         pool.NewRuntime(m),
+		cat:        cat,
+		txns:       txn.NewManager(),
+		opt:        optimizer.New(cat, optOpts),
+		alloc:      alloc,
+		compiled:   compiled,
+		tcAlgo:     cfg.TCAlgorithm,
+		semiNaive:  semiNaive,
+		mvcc:       mvcc,
+		vectorized: vectorized,
+		tables:     map[string]*table{},
+		stores:     map[int]*machine.StableStore{},
 	}
 	e.epoch.Store(1)
 	e.faultDom = cfg.FaultDomain

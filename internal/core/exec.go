@@ -62,6 +62,11 @@ func (e *Engine) execPlan(s *Session, tx *txn.Txn, view ofm.View, root plan.Node
 }
 
 func (e *Engine) exec(ctx *execCtx, n plan.Node) (*value.Relation, error) {
+	// Columnar batch execution intercepts eligible subtrees (see
+	// execvec.go); everything it declines runs tuple-at-a-time below.
+	if rel, handled, err := e.execVec(ctx, n); handled {
+		return rel, err
+	}
 	switch t := n.(type) {
 	case *plan.Scan:
 		return e.execScan(ctx, t)

@@ -512,8 +512,14 @@ func (e *Engine) execPartSort(ctx *execCtx, t *plan.Sort) (*value.Relation, erro
 	if err != nil {
 		return nil, err
 	}
+	return e.partSortMerge(ctx, t, pr)
+}
+
+// partSortMerge is the sort-and-merge tail over an already partitioned
+// child — shared by the row and vectorized executors.
+func (e *Engine) partSortMerge(ctx *execCtx, t *plan.Sort, pr *partRel) (*value.Relation, error) {
 	runs := make([]*value.Relation, len(pr.parts))
-	err = eachPart(len(pr.parts), func(i int) error {
+	err := eachPart(len(pr.parts), func(i int) error {
 		run, st, err := algebra.Sort(pr.parts[i], t.Cols, t.Desc)
 		if err != nil {
 			return err
@@ -551,8 +557,14 @@ func (e *Engine) execPartDistinct(ctx *execCtx, t *plan.Distinct) (*value.Relati
 	if err != nil {
 		return nil, err
 	}
+	return e.partDistinctMerge(ctx, t, pr)
+}
+
+// partDistinctMerge is the dedup-and-merge tail over an already
+// partitioned child — shared by the row and vectorized executors.
+func (e *Engine) partDistinctMerge(ctx *execCtx, t *plan.Distinct, pr *partRel) (*value.Relation, error) {
 	deduped := make([]*value.Relation, len(pr.parts))
-	err = eachPart(len(pr.parts), func(i int) error {
+	err := eachPart(len(pr.parts), func(i int) error {
 		out, st := algebra.Distinct(pr.parts[i])
 		e.m.PE(pr.pes[i]).Advance(e.m.Cost().HashCost(st.Hashes))
 		deduped[i] = out

@@ -359,6 +359,14 @@ func (s *Session) execExplain(ex *sqlparse.Explain) (*Result, error) {
 		} else {
 			planStr += "access: locked read (2PL shared)\n"
 		}
+		// The execution line states which executor the data-heavy part of
+		// the plan runs on. Vectorized plans fall back to row-at-a-time
+		// inside explicit transactions (the write overlay is row oriented).
+		if s.e.planVectorized(root) {
+			planStr += "execution: vectorized (columnar batches)\n"
+		} else {
+			planStr += "execution: row-at-a-time\n"
+		}
 	case *sqlparse.Insert:
 		planStr = fmt.Sprintf("Insert %s\n%s", t.Table, s.writeAccessLine())
 	case *sqlparse.Update:

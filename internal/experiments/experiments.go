@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction's experiment suite
-// E1–E13. The paper is a project overview without numbered tables or
+// E1–E20. The paper is a project overview without numbered tables or
 // figures; each experiment regenerates one of its quantitative or
 // architectural claims (the doc comment on each experiment function
 // names the claim, and the README's "Experiment suite" section lists

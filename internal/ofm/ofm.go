@@ -115,6 +115,13 @@ type OFM struct {
 
 	predMu    sync.Mutex
 	predCache map[string]*expr.Predicate
+
+	vecMu    sync.Mutex
+	vecCache map[string]*expr.VecFilter
+
+	// ccMu guards the fragment column cache (colcache.go).
+	ccMu sync.Mutex
+	cc   *colCache
 }
 
 // New builds an OFM; Persistent OFMs must have a log.
@@ -136,6 +143,7 @@ func New(cfg Config) (*OFM, error) {
 		store:     storage.NewStore(cfg.Schema),
 		pending:   map[txn.ID]*writeSet{},
 		predCache: map[string]*expr.Predicate{},
+		vecCache:  map[string]*expr.VecFilter{},
 	}
 	// Wire the 16 MB/PE budget: allocation failures surface as panics in
 	// the accounting hook would be hostile; instead track best-effort.

@@ -57,9 +57,10 @@ type Store struct {
 
 	mu      sync.RWMutex
 	rows    []slot
-	free    []int // reusable free slot indexes
-	count   int   // current versions (end == 0)
-	dead    int   // dead versions awaiting Vacuum
+	free    []int  // reusable free slot indexes
+	count   int    // current versions (end == 0)
+	dead    int    // dead versions awaiting Vacuum
+	version uint64 // bumped by every mutation; column caches key on it
 	memSize int64
 	onMem   MemChangeFunc
 
@@ -150,6 +151,7 @@ func (s *Store) InsertVersion(t value.Tuple, ts uint64) (RowID, error) {
 		s.rows = append(s.rows, slot{tuple: t, begin: ts})
 	}
 	s.count++
+	s.version++
 	delta := int64(t.Size())
 	s.memSize += delta
 	for _, idx := range s.hashIdx {
@@ -244,6 +246,7 @@ func (s *Store) Delete(id RowID) bool {
 		return false
 	}
 	s.count--
+	s.version++
 	delta := s.freeSlot(si, id)
 	onMem := s.onMem
 	s.mu.Unlock()
@@ -292,6 +295,7 @@ func (s *Store) DeleteVersion(id RowID, ts uint64) bool {
 	s.rows[si].end = ts
 	s.count--
 	s.dead++
+	s.version++
 	for _, m := range s.markings {
 		delete(m, id)
 	}
@@ -312,6 +316,9 @@ func (s *Store) Vacuum(horizon uint64) int {
 		delta += s.freeSlot(si, makeRowID(si, sl.gen))
 		s.dead--
 		reclaimed++
+	}
+	if reclaimed > 0 {
+		s.version++
 	}
 	onMem := s.onMem
 	s.mu.Unlock()
@@ -341,6 +348,7 @@ func (s *Store) Update(id RowID, t value.Tuple) error {
 	}
 	old := s.rows[si].tuple
 	s.rows[si].tuple = t
+	s.version++
 	delta := int64(t.Size()) - int64(old.Size())
 	s.memSize += delta
 	for _, idx := range s.hashIdx {
@@ -405,6 +413,41 @@ func (s *Store) Snapshot() []value.Tuple {
 	return out
 }
 
+// Version returns the store's mutation counter. It changes whenever the
+// set of versions changes (insert, delete, update, vacuum, clear), so a
+// derived structure — e.g. the OFM's fragment column cache — built at one
+// Version stays valid exactly until Version differs.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// SnapshotVersions returns every tuple version in the store — current and
+// dead — with its begin/end commit timestamps, plus the mutation counter
+// the snapshot was taken at, all under one consistent lock acquisition.
+// A caller can reconstruct the view of ANY snapshot timestamp from it:
+// version i is visible at ts iff begin[i] <= ts && (end[i] == 0 ||
+// end[i] > ts). Tuples are shared — treat as immutable.
+func (s *Store) SnapshotVersions() (tuples []value.Tuple, begin, end []uint64, version uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.count + s.dead
+	tuples = make([]value.Tuple, 0, n)
+	begin = make([]uint64, 0, n)
+	end = make([]uint64, 0, n)
+	for i := range s.rows {
+		sl := &s.rows[i]
+		if sl.tuple == nil {
+			continue
+		}
+		tuples = append(tuples, sl.tuple)
+		begin = append(begin, sl.begin)
+		end = append(end, sl.end)
+	}
+	return tuples, begin, end, s.version
+}
+
 // SnapshotAt returns the tuples visible to a snapshot at ts.
 func (s *Store) SnapshotAt(ts uint64) []value.Tuple {
 	s.mu.RLock()
@@ -426,6 +469,7 @@ func (s *Store) Clear() {
 	s.free = nil
 	s.count = 0
 	s.dead = 0
+	s.version++
 	s.memSize = 0
 	for _, idx := range s.hashIdx {
 		idx.clear()

@@ -1,0 +1,168 @@
+package value
+
+import "testing"
+
+func batchSchema() *Schema {
+	return MustSchema("id", "INT", "name", "VARCHAR", "score", "FLOAT", "active", "BOOL")
+}
+
+func batchTuples() []Tuple {
+	return []Tuple{
+		NewTuple(NewInt(1), NewString("ann"), NewFloat(1.5), NewBool(true)),
+		NewTuple(NewInt(2), NewString(""), NewFloat(-2), NewBool(false)),
+		NewTuple(Null, NewString("cat"), Null, NewBool(true)),
+		NewTuple(NewInt(4), Null, NewFloat(4.25), Null),
+		NewTuple(NewInt(5), NewString("eve"), NewFloat(0), NewBool(false)),
+	}
+}
+
+// TestColumnarBatchRoundTrip: transposing tuples to columns and
+// materializing back is the identity, NULLs included.
+func TestColumnarBatchRoundTrip(t *testing.T) {
+	schema := batchSchema()
+	tuples := batchTuples()
+	b := NewBatchFrom(schema, tuples)
+	if b == nil {
+		t.Fatal("NewBatchFrom declined a uniform relation")
+	}
+	if b.Len() != len(tuples) || b.Rows != len(tuples) {
+		t.Fatalf("Len = %d, Rows = %d", b.Len(), b.Rows)
+	}
+	out := b.Materialize()
+	for i, want := range tuples {
+		if !EqualTuples(out.Tuples[i], want) {
+			t.Errorf("row %d: %v != %v", i, out.Tuples[i], want)
+		}
+	}
+	// Scalar access agrees too.
+	if got := b.Value(1, 0); got.Str() != "ann" {
+		t.Errorf("Value(1,0) = %v", got)
+	}
+	if !b.Cols[0].IsNull(2) || b.Cols[1].IsNull(2) {
+		t.Error("NULL positions wrong")
+	}
+}
+
+// TestNewBatchFromDeclines: heterogeneous columns and short tuples make
+// the transposition refuse (callers fall back to the row path).
+func TestNewBatchFromDeclines(t *testing.T) {
+	s := MustSchema("x", "INT")
+	if b := NewBatchFrom(s, []Tuple{Ints(1), {NewString("oops")}}); b != nil {
+		t.Error("heterogeneous column accepted")
+	}
+	s2 := MustSchema("x", "INT", "y", "INT")
+	if b := NewBatchFrom(s2, []Tuple{Ints(1, 2), Ints(3)}); b != nil {
+		t.Error("short tuple accepted")
+	}
+	// All-NULL column with no declared kind is fine.
+	s3 := NewSchema(Column{Name: "n", Kind: KindNull})
+	b := NewBatchFrom(s3, []Tuple{{Null}, {Null}})
+	if b == nil || !b.Cols[0].IsNull(0) {
+		t.Error("all-NULL column rejected")
+	}
+}
+
+// TestBatchSelAndProject: a selection vector narrows the logical rows
+// without copying, and Project remaps columns sharing the vectors.
+func TestBatchSelAndProject(t *testing.T) {
+	b := NewBatchFrom(batchSchema(), batchTuples())
+	b.Sel = []int32{0, 2, 4}
+	if b.Len() != 3 || b.Row(1) != 2 {
+		t.Fatalf("Len = %d, Row(1) = %d", b.Len(), b.Row(1))
+	}
+	out := b.Materialize()
+	if out.Len() != 3 || out.Tuples[2][0].Int() != 5 {
+		t.Fatalf("materialized selection = %v", out.Tuples)
+	}
+	p := b.Project([]int{2, 0}, MustSchema("score", "FLOAT", "id", "INT"))
+	if p.Cols[0] != b.Cols[2] || p.Cols[1] != b.Cols[0] {
+		t.Error("projection copied vectors instead of sharing")
+	}
+	if p.Len() != 3 || p.Value(1, 2).Int() != 5 {
+		t.Errorf("projected batch = %v", p.Materialize().Tuples)
+	}
+}
+
+// TestHashRowMatchesHashTuple pins the bucket-alignment invariant: a
+// columnar hash of any key subset equals the row tuple hash, so a
+// vectorized exchange routes every row to the same bucket as the row
+// executor.
+func TestHashRowMatchesHashTuple(t *testing.T) {
+	tuples := batchTuples()
+	b := NewBatchFrom(batchSchema(), tuples)
+	for _, idxs := range [][]int{{0}, {1}, {0, 2}, {3, 1, 0}} {
+		for r, tup := range tuples {
+			if got, want := b.HashRow(r, idxs), HashTuple(tup, idxs); got != want {
+				t.Errorf("row %d cols %v: HashRow %x != HashTuple %x", r, idxs, got, want)
+			}
+		}
+	}
+}
+
+// TestGather: the column-wise copy preserves values and NULLs in index
+// order.
+func TestGather(t *testing.T) {
+	b := NewBatchFrom(batchSchema(), batchTuples())
+	g := b.Cols[0].Gather([]int32{4, 2, 0})
+	if g.Len() != 3 || g.I[0] != 5 || !g.IsNull(1) || g.I[2] != 1 {
+		t.Errorf("gathered = %+v", g)
+	}
+	s := b.Cols[1].Gather([]int32{3, 0})
+	if !s.IsNull(0) || s.S[1] != "ann" {
+		t.Errorf("gathered strings = %+v", s)
+	}
+}
+
+// TestConcatBatches: selected rows of several batches concatenate into
+// one dense batch, preserving order and NULLs.
+func TestConcatBatches(t *testing.T) {
+	schema := batchSchema()
+	tuples := batchTuples()
+	b1 := NewBatchFrom(schema, tuples)
+	b1.Sel = append(GetSel(), 1, 3)
+	b2 := NewBatchFrom(schema, tuples)
+	b3 := NewBatchFrom(schema, tuples[:0])
+	out := ConcatBatches(schema, []*Batch{b1, b3, b2})
+	if out.Sel != nil || out.Len() != 7 {
+		t.Fatalf("concat = %d rows (sel %v)", out.Len(), out.Sel)
+	}
+	want := append([]Tuple{tuples[1], tuples[3]}, tuples...)
+	got := out.Materialize()
+	for i := range want {
+		if !EqualTuples(got.Tuples[i], want[i]) {
+			t.Errorf("row %d: %v != %v", i, got.Tuples[i], want[i])
+		}
+	}
+	if b1.Sel != nil {
+		t.Error("consumed input kept its selection vector")
+	}
+}
+
+// TestBatchSizeMatchesMaterialize: the columnar size estimate equals
+// what the materialized relation reports, dense and selected.
+func TestBatchSizeMatchesMaterialize(t *testing.T) {
+	b := NewBatchFrom(batchSchema(), batchTuples())
+	if got, want := b.Size(), b.Materialize().Size(); got != want {
+		t.Errorf("dense Size = %d, materialized = %d", got, want)
+	}
+	b.Sel = []int32{0, 3}
+	if got, want := b.Size(), b.Materialize().Size(); got != want {
+		t.Errorf("selected Size = %d, materialized = %d", got, want)
+	}
+}
+
+// TestSelPool: buffers round-trip through the pool empty, and oversized
+// buffers are dropped rather than pinned.
+func TestSelPool(t *testing.T) {
+	s := GetSel()
+	if len(s) != 0 {
+		t.Fatalf("pooled sel not empty: %d", len(s))
+	}
+	s = append(s, 1, 2, 3)
+	PutSel(s)
+	if s2 := GetSel(); len(s2) != 0 {
+		t.Errorf("reused sel not reset: %d", len(s2))
+	}
+	PutSel(make([]int32, 0, maxPooledSel+1)) // must not panic; silently dropped
+	PutSel(nil)                              // zero-cap: dropped
+}

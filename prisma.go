@@ -108,6 +108,10 @@ type Config struct {
 	// plus first-committer-wins; false = the all-2PL baseline where
 	// reads take shared locks — experiment E16's comparison mode).
 	MVCC *bool
+	// Vectorized controls columnar batch execution (nil/true = eligible
+	// read plans run over fragment column caches with selection vectors;
+	// false forces tuple-at-a-time execution — experiment E20's baseline).
+	Vectorized *bool
 }
 
 // DB is a PRISMA database machine instance.
@@ -120,11 +124,12 @@ func Open(cfg Config) (*DB, error) {
 	compiled := !cfg.Interpreted
 	semiNaive := !cfg.NaiveDatalog
 	ccfg := core.Config{
-		NumPEs:    cfg.NumPEs,
-		Compiled:  &compiled,
-		Optimizer: cfg.Optimizer,
-		SemiNaive: &semiNaive,
-		MVCC:      cfg.MVCC,
+		NumPEs:     cfg.NumPEs,
+		Compiled:   &compiled,
+		Optimizer:  cfg.Optimizer,
+		SemiNaive:  &semiNaive,
+		MVCC:       cfg.MVCC,
+		Vectorized: cfg.Vectorized,
 	}
 	if cfg.RandomPlacement {
 		ccfg.Allocator = fragment.RandomAllocator{Seed: 42}
